@@ -1,0 +1,65 @@
+// Shared helpers for the bench binaries: the paper-testbed machine factory
+// and a tiny flag parser (--paper-scale stretches durations to the paper's
+// originals; --seed overrides the base seed).
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/core/workloads/random_read.h"
+#include "src/sim/machine.h"
+
+namespace fsbench {
+
+struct BenchArgs {
+  bool paper_scale = false;
+  uint64_t seed = 1;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper-scale") == 0) {
+      args.paper_scale = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--paper-scale] [--seed=N]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline MachineFactory PaperMachine(FsKind kind = FsKind::kExt2,
+                                   EvictionPolicyKind eviction = EvictionPolicyKind::kLru) {
+  return [kind, eviction](uint64_t seed) {
+    MachineConfig config = PaperTestbedConfig();
+    config.seed = seed;
+    config.eviction = eviction;
+    return std::make_unique<Machine>(kind, config);
+  };
+}
+
+inline WorkloadFactory RandomReadOf(Bytes file_size) {
+  return [file_size] {
+    RandomReadConfig config;
+    config.file_size = file_size;
+    return std::make_unique<RandomReadWorkload>(config);
+  };
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace fsbench
+
+#endif  // BENCH_BENCH_COMMON_H_

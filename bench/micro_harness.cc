@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the harness's own hot paths.
+//
+// A measurement harness must be cheap relative to what it measures, or it
+// perturbs the result — the observer-effect side of the paper's argument.
+// These verify that per-operation instrumentation (histogram insert, stats
+// update, timeline bucketing, RNG draws, cache lookups, disk-model service
+// computation) costs nanoseconds of *real* time, far below the microseconds
+// of simulated work per operation.
+#include <benchmark/benchmark.h>
+
+#include "src/core/histogram.h"
+#include "src/core/metrics.h"
+#include "src/core/stats.h"
+#include "src/core/timeline.h"
+#include "src/sim/disk_model.h"
+#include "src/sim/page_cache.h"
+#include "src/util/rng.h"
+
+namespace fsbench {
+namespace {
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngNextBelow(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextBelow(104960));
+  }
+}
+BENCHMARK(BM_RngNextBelow);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextZipf(100000, 0.9));
+  }
+}
+BENCHMARK(BM_RngZipf);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  LatencyHistogram histogram;
+  Rng rng(1);
+  for (auto _ : state) {
+    histogram.Add(static_cast<Nanos>(rng.NextBelow(100'000'000)));
+  }
+  benchmark::DoNotOptimize(histogram.total());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_RunningStatsAdd(benchmark::State& state) {
+  RunningStats stats;
+  Rng rng(1);
+  for (auto _ : state) {
+    stats.Add(rng.NextDouble());
+  }
+  benchmark::DoNotOptimize(stats.mean());
+}
+BENCHMARK(BM_RunningStatsAdd);
+
+void BM_MetricsRecord(benchmark::State& state) {
+  MetricsCollector metrics(MetricsConfig{});
+  Rng rng(1);
+  Nanos now = 0;
+  for (auto _ : state) {
+    const Nanos latency = static_cast<Nanos>(rng.NextBelow(10'000'000));
+    metrics.Record(OpType::kRead, now, latency);
+    now += 100'000;
+  }
+  benchmark::DoNotOptimize(metrics.total_ops());
+}
+BENCHMARK(BM_MetricsRecord);
+
+void BM_PageCacheHit(benchmark::State& state) {
+  PageCache cache(/*capacity_pages=*/65536, EvictionPolicyKind::kLru);
+  for (uint64_t i = 0; i < 65536; ++i) {
+    cache.Insert(PageKey{1, i}, i, false);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(PageKey{1, rng.NextBelow(65536)}));
+  }
+}
+BENCHMARK(BM_PageCacheHit);
+
+void BM_PageCacheMissEvict(benchmark::State& state) {
+  PageCache cache(/*capacity_pages=*/4096, EvictionPolicyKind::kLru);
+  uint64_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Insert(PageKey{1, next++}, next, false));
+  }
+}
+BENCHMARK(BM_PageCacheMissEvict);
+
+void BM_PageCacheArcMissEvict(benchmark::State& state) {
+  PageCache cache(/*capacity_pages=*/4096, EvictionPolicyKind::kArc);
+  uint64_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Insert(PageKey{1, next++}, next, false));
+  }
+}
+BENCHMARK(BM_PageCacheArcMissEvict);
+
+void BM_DiskModelRandomAccess(benchmark::State& state) {
+  DiskParams params;
+  DiskModel disk(params, 1);
+  Rng rng(1);
+  const uint64_t span = disk.total_sectors() / 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.Access({IoKind::kRead, rng.NextBelow(span) * 8, 8}));
+  }
+}
+BENCHMARK(BM_DiskModelRandomAccess);
+
+void BM_ThroughputTimelineRecord(benchmark::State& state) {
+  ThroughputTimeline timeline(10 * kSecond);
+  Nanos now = 0;
+  for (auto _ : state) {
+    timeline.RecordOp(now);
+    now += 100'000;
+  }
+  benchmark::DoNotOptimize(timeline.interval_count());
+}
+BENCHMARK(BM_ThroughputTimelineRecord);
+
+}  // namespace
+}  // namespace fsbench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// The full nano-benchmark suite across ext2/ext3/xfs: the paper's proposed
+// replacement for single-number benchmarking (section 4: "a file system
+// benchmark should be a suite of nano-benchmarks where each individual test
+// measures a particular aspect of file system performance and measures it
+// well"), plus a statistically honest pairwise comparison.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/comparison.h"
+#include "src/core/nano_suite.h"
+#include "src/core/report.h"
+#include "src/core/workloads/create_delete.h"
+
+namespace fsbench {
+namespace {
+
+int Run(const BenchArgs& args) {
+  PrintHeader("Nano-benchmark suite: the paper's proposal, across file systems",
+              "section 4 (conclusions: dimension-isolating nano-benchmarks)");
+
+  NanoSuiteConfig config;
+  config.runs = args.paper_scale ? 5 : 2;
+  config.duration = args.paper_scale ? 10 * kSecond : 3 * kSecond;
+  config.base_seed = args.seed;
+  NanoSuite suite(config);
+
+  for (FsKind kind : {FsKind::kExt2, FsKind::kExt3, FsKind::kXfs}) {
+    std::printf("--- %s ---\n", FsKindName(kind));
+    std::printf("%s\n", RenderNanoSuite(suite.RunAll(PaperMachine(kind))).c_str());
+  }
+
+  // A single-workload "which is better" question, answered the honest way.
+  std::printf("--- pairwise comparison on the meta-data dimension (create/delete) ---\n");
+  ExperimentConfig experiment_config;
+  experiment_config.runs = 8;
+  experiment_config.duration = 5 * kSecond;
+  experiment_config.base_seed = args.seed;
+  auto create_delete = [] {
+    CreateDeleteConfig workload_config;
+    workload_config.working_set = 500;
+    return std::make_unique<CreateDeleteWorkload>(workload_config);
+  };
+  const ExperimentResult ext2 =
+      Experiment(experiment_config).Run(PaperMachine(FsKind::kExt2), create_delete);
+  const ExperimentResult xfs =
+      Experiment(experiment_config).Run(PaperMachine(FsKind::kXfs), create_delete);
+  std::printf("%s\n", RenderComparison(CompareThroughput("ext2", ext2, "xfs", xfs)).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fsbench
+
+int main(int argc, char** argv) {
+  return fsbench::Run(fsbench::ParseBenchArgs(argc, argv));
+}

@@ -1,0 +1,70 @@
+// Cache warm-up study: reproduce the paper's time-dimension argument on
+// your own workload. Shows the throughput timeline, the steady-state
+// detector's verdict, the histogram-over-time morphing, and what happens
+// if you (wrongly) report a single point of the transient.
+//
+// Build & run:  ./build/examples/cache_warmup_study
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/core/modality.h"
+#include "src/core/report.h"
+#include "src/core/steady_state.h"
+#include "src/core/workloads/random_read.h"
+
+using namespace fsbench;
+
+int main() {
+  const MachineFactory machine = [](uint64_t seed) {
+    MachineConfig config = PaperTestbedConfig();
+    config.seed = seed;
+    return std::make_unique<Machine>(FsKind::kExt2, config);
+  };
+  const WorkloadFactory workload = [] {
+    RandomReadConfig config;
+    config.file_size = 200 * kMiB;  // fits in cache, starts cold
+    return std::make_unique<RandomReadWorkload>(config);
+  };
+
+  ExperimentConfig config;
+  config.runs = 1;
+  config.duration = 400 * kSecond;
+  config.timeline_interval = 10 * kSecond;
+  config.histogram_slice = 40 * kSecond;
+  const ExperimentResult result = Experiment(config).Run(machine, workload);
+  if (!result.AllOk()) {
+    std::fprintf(stderr, "experiment failed\n");
+    return 1;
+  }
+  const RunResult& run = result.representative();
+
+  std::printf("throughput timeline (ext2, 200 MiB file, cold cache):\n%s\n",
+              RenderTimelines({"ext2"}, {run.throughput_series}, config.timeline_interval)
+                  .c_str());
+
+  const SteadyStateReport steady = AnalyzeSteadyState(run.throughput_series);
+  if (steady.reached) {
+    std::printf("steady state from t=%.0fs (%.0f%% of the run was warm-up); "
+                "steady mean %.0f ops/s\n\n",
+                ToSeconds(config.timeline_interval) *
+                    static_cast<double>(steady.steady_start_interval),
+                steady.warmup_fraction * 100.0, steady.steady_mean);
+  } else {
+    std::printf("steady state was NOT reached during the run - lengthen it!\n\n");
+  }
+
+  std::printf("latency distribution over time (each row one %d-second slice):\n%s\n",
+              static_cast<int>(ToSeconds(config.histogram_slice)),
+              RenderHistogramTimeline(run.histogram_slices, config.histogram_slice).c_str());
+
+  // The trap the paper warns about: quote one instant of the transient.
+  const auto& series = run.throughput_series;
+  const size_t early = 2;                         // 20-30 s in
+  const size_t late = series.size() - 2;          // near the end
+  std::printf("if you reported t=%zus you would claim %8.0f ops/s\n", early * 10,
+              series[early]);
+  std::printf("if you reported t=%zus you would claim %8.0f ops/s\n", late * 10, series[late]);
+  std::printf("both are 'correct'; they differ by %.1fx. Only the whole graph is honest.\n",
+              series[late] / series[early]);
+  return 0;
+}

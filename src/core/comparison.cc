@@ -1,0 +1,48 @@
+#include "src/core/comparison.h"
+
+namespace fsbench {
+
+ComparisonReport CompareThroughput(const std::string& name_a, const ExperimentResult& a,
+                                   const std::string& name_b, const ExperimentResult& b) {
+  ComparisonReport report;
+  report.name_a = name_a;
+  report.name_b = name_b;
+  report.a = a.throughput;
+  report.b = b.throughput;
+  report.welch = WelchTTest(a.ThroughputSamples(), b.ThroughputSamples());
+
+  if (!report.welch.Significant()) {
+    report.verdict = "tie";
+  } else {
+    report.verdict = report.welch.mean_diff > 0.0 ? name_a : name_b;
+  }
+
+  auto check_side = [&report](const std::string& name, const ExperimentResult& result) {
+    if (IsMultimodal(result.merged_histogram)) {
+      report.caveats.push_back(name +
+                               ": latency distribution is multimodal; mean-based "
+                               "comparison hides the modes");
+    }
+    if (result.throughput.rel_stddev_pct > 10.0) {
+      report.caveats.push_back(name + ": relative stddev " +
+                               std::to_string(result.throughput.rel_stddev_pct).substr(0, 4) +
+                               "% suggests a fragile operating point (transition region?)");
+    }
+    if (!result.runs.empty() && !result.AllOk()) {
+      report.caveats.push_back(name + ": some runs failed and were excluded");
+    }
+  };
+  check_side(name_a, a);
+  check_side(name_b, b);
+
+  const bool ci_overlap =
+      report.a.ci95_lo() <= report.b.ci95_hi() && report.b.ci95_lo() <= report.a.ci95_hi();
+  if (report.verdict != "tie" && ci_overlap) {
+    report.caveats.push_back(
+        "95% confidence intervals overlap although the t-test rejects; treat "
+        "the verdict with care");
+  }
+  return report;
+}
+
+}  // namespace fsbench

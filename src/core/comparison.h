@@ -1,0 +1,37 @@
+// Statistically honest system comparison.
+//
+// "Which file system is better?" is, per the paper, an ill-defined question;
+// when it must be answered for one workload, the answer should at least
+// carry a significance test and caveats about distribution shape. This
+// module compares two ExperimentResults with Welch's t-test and attaches
+// the caveats the paper argues for (multimodal latency, high variance,
+// overlapping confidence intervals, transition-region fragility).
+#ifndef SRC_CORE_COMPARISON_H_
+#define SRC_CORE_COMPARISON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/core/modality.h"
+#include "src/core/stats.h"
+
+namespace fsbench {
+
+struct ComparisonReport {
+  std::string name_a;
+  std::string name_b;
+  Summary a;
+  Summary b;
+  WelchResult welch;
+  // "a", "b", or "tie" at alpha = 0.05 on throughput.
+  std::string verdict;
+  std::vector<std::string> caveats;
+};
+
+ComparisonReport CompareThroughput(const std::string& name_a, const ExperimentResult& a,
+                                   const std::string& name_b, const ExperimentResult& b);
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_COMPARISON_H_

@@ -1,0 +1,61 @@
+// The paper's file-system benchmarking dimensions (§2): the axes along
+// which a file system should be evaluated, and the coverage vocabulary used
+// by Table 1 ("•" isolates a dimension, "◦" merely exercises it, "⋆"
+// depends on the trace/workload).
+#ifndef SRC_CORE_DIMENSIONS_H_
+#define SRC_CORE_DIMENSIONS_H_
+
+#include <cstdint>
+
+namespace fsbench {
+
+enum class Dimension : uint8_t {
+  kIo,        // raw device bandwidth/latency
+  kOnDisk,    // on-disk data & meta-data layout efficacy
+  kCaching,   // cache hit behaviour, warm-up, eviction
+  kMetadata,  // namespace operation performance
+  kScaling,   // behaviour under increasing load
+};
+inline constexpr int kDimensionCount = 5;
+
+inline const char* DimensionName(Dimension dimension) {
+  switch (dimension) {
+    case Dimension::kIo:
+      return "I/O";
+    case Dimension::kOnDisk:
+      return "On-disk";
+    case Dimension::kCaching:
+      return "Caching";
+    case Dimension::kMetadata:
+      return "Meta-data";
+    case Dimension::kScaling:
+      return "Scaling";
+  }
+  return "?";
+}
+
+// Table 1's coverage marks.
+enum class Coverage : uint8_t {
+  kNone,       // blank
+  kIsolates,   // filled bullet
+  kExercises,  // open bullet
+  kDepends,    // star: depends on the trace / production workload
+};
+
+inline const char* CoverageMark(Coverage coverage) {
+  switch (coverage) {
+    case Coverage::kNone:
+      return " ";
+    case Coverage::kIsolates:
+      return "*";
+    case Coverage::kExercises:
+      return "o";
+    case Coverage::kDepends:
+      return "x";
+  }
+  return "?";
+}
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_DIMENSIONS_H_

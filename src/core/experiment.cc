@@ -1,0 +1,118 @@
+#include "src/core/experiment.h"
+
+#include <cassert>
+
+namespace fsbench {
+
+std::vector<double> ExperimentResult::ThroughputSamples() const {
+  std::vector<double> samples;
+  samples.reserve(runs.size());
+  for (const RunResult& run : runs) {
+    if (run.ok) {
+      samples.push_back(run.ops_per_second);
+    }
+  }
+  return samples;
+}
+
+bool ExperimentResult::AllOk() const {
+  for (const RunResult& run : runs) {
+    if (!run.ok) {
+      return false;
+    }
+  }
+  return !runs.empty();
+}
+
+RunResult Experiment::RunOnce(const MachineFactory& machine_factory,
+                              const WorkloadFactory& workload_factory, uint64_t seed) const {
+  RunResult result;
+  std::unique_ptr<Machine> machine = machine_factory(seed);
+  std::unique_ptr<Workload> workload = workload_factory();
+  WorkloadContext ctx(machine.get(), seed ^ 0x9e3779b97f4a7c15ULL);
+
+  const FsStatus setup = workload->Setup(ctx);
+  if (setup != FsStatus::kOk) {
+    result.error = setup;
+    return result;
+  }
+  if (config_.prewarm) {
+    const FsStatus prewarm = workload->Prewarm(ctx);
+    if (prewarm != FsStatus::kOk) {
+      result.error = prewarm;
+      return result;
+    }
+  }
+
+  VirtualClock& clock = machine->clock();
+  const Nanos measure_from = clock.now() + config_.warmup;
+  const Nanos end = measure_from + config_.duration;
+
+  MetricsConfig metrics_config;
+  metrics_config.timeline_interval = config_.timeline_interval;
+  metrics_config.histogram_slice = config_.histogram_slice;
+  metrics_config.origin = measure_from;
+  MetricsCollector metrics(metrics_config);
+
+  const double cpu_multiplier = machine->vfs().config().cpu_cost_multiplier;
+  const auto overhead = static_cast<Nanos>(
+      static_cast<double>(config_.framework_overhead) * cpu_multiplier);
+
+  uint64_t ops = 0;
+  while (clock.now() < end) {
+    if (config_.max_ops != 0 && ops >= config_.max_ops) {
+      break;
+    }
+    const Nanos start = clock.now();
+    const FsResult<OpType> op = workload->Step(ctx);
+    if (!op.ok()) {
+      result.error = op.status;
+      return result;
+    }
+    const Nanos latency = clock.now() - start;
+    metrics.Record(op.value, start, latency);
+    clock.Advance(overhead);
+    ++ops;
+  }
+
+  result.ok = true;
+  result.ops = metrics.total_ops();
+  result.measured_duration = clock.now() - measure_from;
+  result.ops_per_second = result.measured_duration > 0
+                              ? static_cast<double>(result.ops) /
+                                    ToSeconds(result.measured_duration)
+                              : 0.0;
+  result.latency = metrics.latency();
+  result.histogram = metrics.histogram();
+  result.throughput_series = metrics.timeline().OpsPerSecond();
+  result.timeline_interval = config_.timeline_interval;
+  result.histogram_slices = metrics.histogram_timeline().slices();
+  result.histogram_slice = config_.histogram_slice;
+  result.cache_hit_ratio = machine->vfs().DataHitRatio();
+  result.vfs_stats = machine->vfs().stats();
+  result.disk_stats = machine->disk().stats();
+  return result;
+}
+
+ExperimentResult Experiment::Run(const MachineFactory& machine_factory,
+                                 const WorkloadFactory& workload_factory) const {
+  assert(config_.runs > 0);
+  ExperimentResult result;
+  std::vector<double> throughputs;
+  std::vector<double> latencies;
+  for (int run = 0; run < config_.runs; ++run) {
+    RunResult run_result =
+        RunOnce(machine_factory, workload_factory, config_.base_seed + static_cast<uint64_t>(run));
+    if (run_result.ok) {
+      throughputs.push_back(run_result.ops_per_second);
+      latencies.push_back(run_result.latency.mean());
+      result.merged_histogram.Merge(run_result.histogram);
+    }
+    result.runs.push_back(std::move(run_result));
+  }
+  result.throughput = Summarize(throughputs);
+  result.mean_latency_ns = Summarize(latencies);
+  return result;
+}
+
+}  // namespace fsbench

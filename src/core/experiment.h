@@ -1,0 +1,94 @@
+// Multi-run experiment harness — the paper's methodological core.
+//
+// An Experiment runs a workload N times, each on a freshly built Machine
+// whose per-run jitter is seeded independently, and aggregates per-run
+// throughput into a Summary with confidence intervals. Per-run results keep
+// the full multi-dimensional record — latency histogram, throughput
+// timeline, histogram timeline, cache/disk counters — so reports can show
+// the whole graph rather than a single number.
+//
+// The optional per-op framework overhead models Filebench's own cost: the
+// paper's throughput numbers include it while its latency histograms do
+// not, and fsbench reproduces that split (overhead advances the clock
+// after the operation's latency has been recorded).
+#ifndef SRC_CORE_EXPERIMENT_H_
+#define SRC_CORE_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/core/stats.h"
+#include "src/core/workload.h"
+#include "src/sim/machine.h"
+
+namespace fsbench {
+
+using MachineFactory = std::function<std::unique_ptr<Machine>(uint64_t seed)>;
+
+struct ExperimentConfig {
+  int runs = 10;
+  Nanos duration = 60 * kSecond;  // measured virtual duration per run
+  Nanos warmup = 0;               // excluded from metrics, after Setup/Prewarm
+  // Per-op benchmark-framework overhead (see header comment).
+  Nanos framework_overhead = 99 * kMicrosecond;
+  Nanos timeline_interval = 10 * kSecond;
+  Nanos histogram_slice = 20 * kSecond;
+  bool prewarm = false;
+  uint64_t base_seed = 1;
+  // Safety cap on operations per run (0 = none).
+  uint64_t max_ops = 0;
+};
+
+struct RunResult {
+  bool ok = false;
+  FsStatus error = FsStatus::kOk;     // first failing status when !ok
+  uint64_t ops = 0;
+  Nanos measured_duration = 0;
+  double ops_per_second = 0.0;
+  RunningStats latency;
+  LatencyHistogram histogram;
+  std::vector<double> throughput_series;  // ops/s per timeline interval
+  Nanos timeline_interval = 0;
+  std::vector<LatencyHistogram> histogram_slices;
+  Nanos histogram_slice = 0;
+  double cache_hit_ratio = 0.0;
+  VfsStats vfs_stats;
+  DiskStats disk_stats;
+};
+
+struct ExperimentResult {
+  std::vector<RunResult> runs;
+  Summary throughput;        // ops/s across runs
+  Summary mean_latency_ns;   // per-run mean latency across runs
+  LatencyHistogram merged_histogram;
+
+  // Per-run throughput values (for significance tests).
+  std::vector<double> ThroughputSamples() const;
+  const RunResult& representative() const { return runs.front(); }
+  bool AllOk() const;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& config) : config_(config) {}
+
+  // Runs `workload_factory()` once per run against `machine_factory(seed)`.
+  ExperimentResult Run(const MachineFactory& machine_factory,
+                       const WorkloadFactory& workload_factory) const;
+
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  RunResult RunOnce(const MachineFactory& machine_factory,
+                    const WorkloadFactory& workload_factory, uint64_t seed) const;
+
+  ExperimentConfig config_;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_EXPERIMENT_H_

@@ -1,0 +1,92 @@
+#include "src/core/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace fsbench {
+
+int LatencyHistogram::BucketFor(Nanos latency_ns) {
+  if (latency_ns <= 1) {
+    return 0;
+  }
+  const auto value = static_cast<uint64_t>(latency_ns);
+  const int bucket = 63 - std::countl_zero(value);  // floor(log2)
+  return std::min(bucket, kBuckets - 1);
+}
+
+Nanos LatencyHistogram::BucketLowerBound(int bucket) { return Nanos{1} << bucket; }
+
+void LatencyHistogram::Add(Nanos latency_ns) {
+  ++counts_[BucketFor(latency_ns)];
+  ++total_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+void LatencyHistogram::Clear() {
+  counts_.fill(0);
+  total_ = 0;
+}
+
+double LatencyHistogram::SharePct(int bucket) const {
+  return total_ == 0 ? 0.0
+                     : 100.0 * static_cast<double>(counts_[bucket]) /
+                           static_cast<double>(total_);
+}
+
+Nanos LatencyHistogram::ApproxPercentile(double q) const {
+  if (total_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<uint64_t>(q * static_cast<double>(total_));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      // Geometric midpoint of [2^i, 2^(i+1)).
+      return static_cast<Nanos>(std::sqrt(2.0) * static_cast<double>(Nanos{1} << i));
+    }
+  }
+  return BucketLowerBound(kBuckets - 1);
+}
+
+double LatencyHistogram::ApproxMean() const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (counts_[i] != 0) {
+      sum += static_cast<double>(counts_[i]) * std::sqrt(2.0) *
+             static_cast<double>(Nanos{1} << i);
+    }
+  }
+  return sum / static_cast<double>(total_);
+}
+
+int LatencyHistogram::FirstBucket() const {
+  for (int i = 0; i < kBuckets; ++i) {
+    if (counts_[i] != 0) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+int LatencyHistogram::LastBucket() const {
+  for (int i = kBuckets - 1; i >= 0; --i) {
+    if (counts_[i] != 0) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+}  // namespace fsbench

@@ -1,0 +1,54 @@
+#include "src/core/metrics.h"
+
+namespace fsbench {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kRead:
+      return "read";
+    case OpType::kWrite:
+      return "write";
+    case OpType::kCreate:
+      return "create";
+    case OpType::kUnlink:
+      return "unlink";
+    case OpType::kStat:
+      return "stat";
+    case OpType::kMkdir:
+      return "mkdir";
+    case OpType::kFsync:
+      return "fsync";
+    case OpType::kOpen:
+      return "open";
+    case OpType::kClose:
+      return "close";
+    case OpType::kReadDir:
+      return "readdir";
+    case OpType::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+MetricsCollector::MetricsCollector(const MetricsConfig& config)
+    : config_(config),
+      timeline_(config.timeline_interval, config.origin),
+      histogram_timeline_(config.histogram_slice, config.origin) {}
+
+void MetricsCollector::Record(OpType type, Nanos start, Nanos latency) {
+  const Nanos completion = start + latency;
+  if (start < config_.origin) {
+    return;
+  }
+  ++total_ops_;
+  const auto value = static_cast<double>(latency);
+  latency_.Add(value);
+  per_type_[static_cast<size_t>(type)].Add(value);
+  ++per_type_count_[static_cast<size_t>(type)];
+  histogram_.Add(latency);
+  timeline_.RecordOp(completion);
+  histogram_timeline_.Record(completion, latency);
+  last_completion_ = completion;
+}
+
+}  // namespace fsbench

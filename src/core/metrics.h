@@ -1,0 +1,74 @@
+// Per-operation measurement sink used while a workload runs: aggregates
+// running latency statistics, the log2 histogram, the throughput timeline
+// and the histogram timeline, overall and per operation type.
+#ifndef SRC_CORE_METRICS_H_
+#define SRC_CORE_METRICS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/core/histogram.h"
+#include "src/core/stats.h"
+#include "src/core/timeline.h"
+#include "src/util/units.h"
+
+namespace fsbench {
+
+enum class OpType : uint8_t {
+  kRead,
+  kWrite,
+  kCreate,
+  kUnlink,
+  kStat,
+  kMkdir,
+  kFsync,
+  kOpen,
+  kClose,
+  kReadDir,
+  kOther,
+};
+inline constexpr int kOpTypeCount = 11;
+
+const char* OpTypeName(OpType type);
+
+struct MetricsConfig {
+  Nanos timeline_interval = 10 * kSecond;
+  Nanos histogram_slice = 20 * kSecond;
+  Nanos origin = 0;  // measurement epoch (ops before it are dropped)
+};
+
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(const MetricsConfig& config);
+
+  // Records one operation that started at `start` (absolute virtual time)
+  // and took `latency`.
+  void Record(OpType type, Nanos start, Nanos latency);
+
+  uint64_t total_ops() const { return total_ops_; }
+  const RunningStats& latency() const { return latency_; }
+  const RunningStats& latency_for(OpType type) const {
+    return per_type_[static_cast<size_t>(type)];
+  }
+  uint64_t ops_for(OpType type) const { return per_type_count_[static_cast<size_t>(type)]; }
+  const LatencyHistogram& histogram() const { return histogram_; }
+  const ThroughputTimeline& timeline() const { return timeline_; }
+  const HistogramTimeline& histogram_timeline() const { return histogram_timeline_; }
+  const MetricsConfig& config() const { return config_; }
+  Nanos last_completion() const { return last_completion_; }
+
+ private:
+  MetricsConfig config_;
+  uint64_t total_ops_ = 0;
+  RunningStats latency_;
+  std::array<RunningStats, kOpTypeCount> per_type_;
+  std::array<uint64_t, kOpTypeCount> per_type_count_{};
+  LatencyHistogram histogram_;
+  ThroughputTimeline timeline_;
+  HistogramTimeline histogram_timeline_;
+  Nanos last_completion_ = 0;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_METRICS_H_

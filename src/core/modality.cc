@@ -1,0 +1,99 @@
+#include "src/core/modality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fsbench {
+
+std::vector<Mode> DetectModes(const LatencyHistogram& histogram, const ModalityConfig& config) {
+  std::vector<Mode> modes;
+  if (histogram.total() == 0) {
+    return modes;
+  }
+  constexpr int n = LatencyHistogram::kBuckets;
+
+  // Smooth shares with a centered moving average.
+  std::vector<double> smooth(n, 0.0);
+  const int half = std::max(0, config.smooth_window / 2);
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    int cells = 0;
+    for (int j = std::max(0, i - half); j <= std::min(n - 1, i + half); ++j) {
+      sum += histogram.SharePct(j);
+      ++cells;
+    }
+    smooth[i] = sum / cells;
+  }
+
+  // Local maxima above the threshold (plateaus take the first bucket).
+  std::vector<int> peaks;
+  for (int i = 0; i < n; ++i) {
+    const double left = i > 0 ? smooth[i - 1] : -1.0;
+    const double right = i < n - 1 ? smooth[i + 1] : -1.0;
+    if (smooth[i] >= config.min_peak_share && smooth[i] > left && smooth[i] >= right) {
+      peaks.push_back(i);
+    }
+  }
+  if (peaks.empty()) {
+    // Fall back to the global maximum.
+    peaks.push_back(static_cast<int>(
+        std::max_element(smooth.begin(), smooth.end()) - smooth.begin()));
+  }
+
+  // Merge peaks separated by shallow valleys.
+  std::vector<int> merged;
+  for (int peak : peaks) {
+    if (merged.empty()) {
+      merged.push_back(peak);
+      continue;
+    }
+    const int prev = merged.back();
+    double valley = smooth[prev];
+    for (int i = prev; i <= peak; ++i) {
+      valley = std::min(valley, smooth[i]);
+    }
+    const double smaller_peak = std::min(smooth[prev], smooth[peak]);
+    if (smaller_peak > 0.0 && valley >= config.valley_ratio * smaller_peak) {
+      // Same mode: keep the taller summit.
+      if (smooth[peak] > smooth[prev]) {
+        merged.back() = peak;
+      }
+    } else {
+      merged.push_back(peak);
+    }
+  }
+
+  // Region boundaries: split at the (raw-share) minimum between peaks.
+  std::vector<int> boundaries;  // boundaries[i] = first bucket of mode i+1
+  for (size_t i = 0; i + 1 < merged.size(); ++i) {
+    int split = merged[i];
+    double best = smooth[merged[i]];
+    for (int j = merged[i]; j <= merged[i + 1]; ++j) {
+      if (smooth[j] < best) {
+        best = smooth[j];
+        split = j;
+      }
+    }
+    boundaries.push_back(split);
+  }
+
+  for (size_t i = 0; i < merged.size(); ++i) {
+    Mode mode;
+    mode.lo_bucket = i == 0 ? 0 : boundaries[i - 1] + 1;
+    mode.hi_bucket = i + 1 < merged.size() ? boundaries[i] : n - 1;
+    // Report the raw-share argmax within the region: smoothing can shift a
+    // plateau's summit by a bucket.
+    mode.peak_bucket = mode.lo_bucket;
+    for (int b = mode.lo_bucket; b <= mode.hi_bucket; ++b) {
+      mode.mass += histogram.SharePct(b);
+      if (histogram.SharePct(b) > histogram.SharePct(mode.peak_bucket)) {
+        mode.peak_bucket = b;
+      }
+    }
+    mode.peak_share = histogram.SharePct(mode.peak_bucket);
+    modes.push_back(mode);
+  }
+  return modes;
+}
+
+}  // namespace fsbench

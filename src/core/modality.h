@@ -1,0 +1,47 @@
+// Modality detection on latency histograms.
+//
+// The paper's Figure 3(b) shows a bimodal latency distribution (cache hits
+// vs disk reads) for which any single number — mean, median — is
+// misleading, and §3.2 notes that "trying to achieve stable results with
+// small standard deviations is nearly impossible" while a distribution is
+// bimodal. DetectModes finds the peaks so reports can say *that* instead of
+// hiding it.
+#ifndef SRC_CORE_MODALITY_H_
+#define SRC_CORE_MODALITY_H_
+
+#include <vector>
+
+#include "src/core/histogram.h"
+
+namespace fsbench {
+
+struct Mode {
+  int peak_bucket = 0;     // bucket with the local maximum
+  double peak_share = 0.0; // % of operations in the peak bucket
+  double mass = 0.0;       // % of operations in the whole mode region
+  int lo_bucket = 0;       // region extent (inclusive)
+  int hi_bucket = 0;
+};
+
+struct ModalityConfig {
+  // Smoothing window (buckets, odd).
+  int smooth_window = 3;
+  // A peak must hold at least this share (%) of operations post-smoothing.
+  double min_peak_share = 5.0;
+  // Two peaks merge when the valley between them stays above this fraction
+  // of the smaller peak.
+  double valley_ratio = 0.75;
+};
+
+// Detected modes in ascending bucket order.
+std::vector<Mode> DetectModes(const LatencyHistogram& histogram,
+                              const ModalityConfig& config = {});
+
+inline bool IsMultimodal(const LatencyHistogram& histogram,
+                         const ModalityConfig& config = {}) {
+  return DetectModes(histogram, config).size() > 1;
+}
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_MODALITY_H_

@@ -1,0 +1,397 @@
+#include "src/core/nano_suite.h"
+
+#include <algorithm>
+
+#include "src/core/workloads/create_delete.h"
+#include "src/core/workloads/random_read.h"
+
+namespace fsbench {
+
+NanoResult NanoSuite::Aggregate(const std::string& name, Dimension dimension,
+                                const std::string& unit, const std::vector<double>& per_run,
+                                const std::string& note) const {
+  NanoResult result;
+  result.name = name;
+  result.dimension = dimension;
+  result.unit = unit;
+  result.across_runs = Summarize(per_run);
+  result.value = result.across_runs.mean;
+  result.note = note;
+  return result;
+}
+
+NanoResult NanoSuite::IoSequentialBandwidth(const MachineFactory& factory) const {
+  std::vector<double> per_run;
+  for (int run = 0; run < config_.runs; ++run) {
+    std::unique_ptr<Machine> machine = factory(config_.base_seed + run);
+    IoScheduler& scheduler = machine->scheduler();
+    VirtualClock& clock = machine->clock();
+    // Raw sequential 256 KiB reads across the span; no file system involved.
+    constexpr uint32_t kSectors = 512;  // 256 KiB
+    const uint64_t start_lba = machine->disk().total_sectors() / 4;
+    const uint64_t total_requests = config_.io_span / (kSectors * 512);
+    const Nanos t0 = clock.now();
+    for (uint64_t i = 0; i < total_requests; ++i) {
+      const auto done =
+          scheduler.SubmitSync(IoRequest{IoKind::kRead, start_lba + i * kSectors, kSectors});
+      if (done.has_value()) {
+        clock.AdvanceTo(*done);
+      }
+    }
+    const double seconds = ToSeconds(clock.now() - t0);
+    per_run.push_back(static_cast<double>(config_.io_span) / (1024.0 * 1024.0) / seconds);
+  }
+  return Aggregate("io.seq_read_bw", Dimension::kIo, "MiB/s", per_run,
+                   "raw device, 256KiB sequential reads");
+}
+
+NanoResult NanoSuite::IoRandomReadLatency(const MachineFactory& factory) const {
+  std::vector<double> per_run;
+  for (int run = 0; run < config_.runs; ++run) {
+    std::unique_ptr<Machine> machine = factory(config_.base_seed + run);
+    IoScheduler& scheduler = machine->scheduler();
+    VirtualClock& clock = machine->clock();
+    Rng rng(config_.base_seed + run);
+    const uint64_t span_sectors = config_.io_span / 512;
+    const uint64_t base = machine->disk().total_sectors() / 4;
+    RunningStats latency;
+    const Nanos end = clock.now() + config_.duration;
+    while (clock.now() < end) {
+      const uint64_t lba = base + (rng.NextBelow(span_sectors / 8)) * 8;
+      const Nanos t0 = clock.now();
+      const auto done = scheduler.SubmitSync(IoRequest{IoKind::kRead, lba, 8});
+      if (done.has_value()) {
+        clock.AdvanceTo(*done);
+      }
+      latency.Add(static_cast<double>(clock.now() - t0));
+    }
+    per_run.push_back(latency.mean() / 1e6);
+  }
+  return Aggregate("io.rand_read_lat", Dimension::kIo, "ms", per_run,
+                   "raw device, 4KiB reads across a 1GiB span");
+}
+
+NanoResult NanoSuite::OnDiskRandomRead(const MachineFactory& factory) const {
+  std::vector<double> per_run;
+  for (int run = 0; run < config_.runs; ++run) {
+    std::unique_ptr<Machine> machine = factory(config_.base_seed + run);
+    RandomReadConfig config;
+    config.file_size = config_.ondisk_file;
+    RandomReadWorkload workload(config);
+    WorkloadContext ctx(machine.get(), config_.base_seed + run);
+    if (workload.Setup(ctx) != FsStatus::kOk) {
+      continue;
+    }
+    machine->vfs().DropCaches();
+    VirtualClock& clock = machine->clock();
+    const Nanos t0 = clock.now();
+    const Nanos end = t0 + config_.duration;
+    uint64_t ops = 0;
+    while (clock.now() < end) {
+      if (!workload.Step(ctx).ok()) {
+        break;
+      }
+      ++ops;
+    }
+    // Cold-cache: drop again every run would keep it cold, but a 5s window
+    // on a >cache file stays miss-dominated by construction.
+    per_run.push_back(static_cast<double>(ops) / ToSeconds(clock.now() - t0));
+  }
+  return Aggregate("ondisk.rand_read", Dimension::kOnDisk, "ops/s", per_run,
+                   "cold cache, 4KiB random reads, file >> cache");
+}
+
+NanoResult NanoSuite::OnDiskSequentialRead(const MachineFactory& factory) const {
+  std::vector<double> per_run;
+  for (int run = 0; run < config_.runs; ++run) {
+    std::unique_ptr<Machine> machine = factory(config_.base_seed + run);
+    Vfs& vfs = machine->vfs();
+    if (vfs.MakeFile("/ondisk_seq", config_.ondisk_file) != FsStatus::kOk) {
+      continue;
+    }
+    vfs.DropCaches();
+    const FsResult<int> fd = vfs.Open("/ondisk_seq");
+    if (!fd.ok()) {
+      continue;
+    }
+    VirtualClock& clock = machine->clock();
+    const Nanos t0 = clock.now();
+    Bytes offset = 0;
+    constexpr Bytes kIo = 256 * kKiB;
+    while (offset < config_.ondisk_file) {
+      if (!vfs.Read(fd.value, offset, kIo).ok()) {
+        break;
+      }
+      offset += kIo;
+    }
+    const double seconds = ToSeconds(clock.now() - t0);
+    per_run.push_back(static_cast<double>(offset) / (1024.0 * 1024.0) / seconds);
+  }
+  return Aggregate("ondisk.seq_read", Dimension::kOnDisk, "MiB/s", per_run,
+                   "cold cache, whole-file sequential read (layout + readahead)");
+}
+
+NanoResult NanoSuite::CacheHitLatency(const MachineFactory& factory) const {
+  std::vector<double> per_run;
+  for (int run = 0; run < config_.runs; ++run) {
+    std::unique_ptr<Machine> machine = factory(config_.base_seed + run);
+    RandomReadConfig config;
+    config.file_size = 64 * kMiB;  // comfortably cached
+    RandomReadWorkload workload(config);
+    WorkloadContext ctx(machine.get(), config_.base_seed + run);
+    if (workload.Setup(ctx) != FsStatus::kOk || workload.Prewarm(ctx) != FsStatus::kOk) {
+      continue;
+    }
+    VirtualClock& clock = machine->clock();
+    RunningStats latency;
+    const Nanos end = clock.now() + config_.duration;
+    while (clock.now() < end) {
+      const Nanos t0 = clock.now();
+      if (!workload.Step(ctx).ok()) {
+        break;
+      }
+      latency.Add(static_cast<double>(clock.now() - t0));
+    }
+    per_run.push_back(latency.mean() / 1e3);
+  }
+  return Aggregate("cache.hit_latency", Dimension::kCaching, "us", per_run,
+                   "prewarmed 64MiB file, pure in-memory reads");
+}
+
+NanoResult NanoSuite::CacheWarmupFillRate(const MachineFactory& factory) const {
+  std::vector<double> per_run;
+  for (int run = 0; run < config_.runs; ++run) {
+    std::unique_ptr<Machine> machine = factory(config_.base_seed + run);
+    RandomReadConfig config;
+    config.file_size = config_.warmup_file;
+    RandomReadWorkload workload(config);
+    WorkloadContext ctx(machine.get(), config_.base_seed + run);
+    if (workload.Setup(ctx) != FsStatus::kOk) {
+      continue;
+    }
+    machine->vfs().DropCaches();
+    VirtualClock& clock = machine->clock();
+    const Nanos t0 = clock.now();
+    const Nanos end = t0 + config_.duration;
+    while (clock.now() < end) {
+      if (!workload.Step(ctx).ok()) {
+        break;
+      }
+    }
+    const double fill_mib = static_cast<double>(machine->vfs().cache().size()) *
+                            static_cast<double>(machine->vfs().config().page_size) /
+                            (1024.0 * 1024.0);
+    per_run.push_back(fill_mib / ToSeconds(clock.now() - t0));
+  }
+  return Aggregate("cache.warmup_fill", Dimension::kCaching, "MiB/s", per_run,
+                   "cold random read: cache fill rate (demand + readahead)");
+}
+
+NanoResult NanoSuite::CacheEvictionQuality(const MachineFactory& factory) const {
+  // Scan-resistance test, the scenario that actually separates eviction
+  // policies (and the motivation for 2Q and ARC): a skewed hot set that
+  // fits comfortably in the cache is read concurrently with a long
+  // one-touch sequential scan. Recency-only policies let the scan flush the
+  // hot set; frequency-aware ones protect it. We measure the hit ratio of
+  // the hot-set accesses alone, after a warm phase.
+  std::vector<double> per_run;
+  for (int run = 0; run < config_.runs; ++run) {
+    std::unique_ptr<Machine> machine = factory(config_.base_seed + run);
+    Vfs& vfs = machine->vfs();
+    const Bytes page = vfs.config().page_size;
+    const Bytes cache_bytes = static_cast<Bytes>(machine->cache_capacity_pages()) * page;
+    const Bytes hot_bytes = cache_bytes / 2;
+    const Bytes scan_bytes = 3 * cache_bytes;
+    if (vfs.MakeFile("/evict_hot", hot_bytes) != FsStatus::kOk ||
+        vfs.MakeFile("/evict_scan", scan_bytes) != FsStatus::kOk) {
+      continue;
+    }
+    const FsResult<int> hot_fd = vfs.Open("/evict_hot");
+    const FsResult<int> scan_fd = vfs.Open("/evict_scan");
+    if (!hot_fd.ok() || !scan_fd.ok()) {
+      continue;
+    }
+    const uint64_t hot_pages = hot_bytes / page;
+    const uint64_t scan_pages = scan_bytes / page;
+    const FsResult<FileAttr> hot_attr = vfs.Stat("/evict_hot");
+    if (!hot_attr.ok()) {
+      continue;
+    }
+    const InodeId hot_ino = hot_attr.value.ino;
+    Rng rng(config_.base_seed + run);
+    Bytes scan_offset = 0;
+    uint64_t hot_hits = 0;
+    uint64_t hot_total = 0;
+    // Phases are sized by scan coverage relative to the cache, not by time:
+    // eviction pressure only exists once the combined traffic exceeds the
+    // cache capacity, however large the machine's cache is.
+    const uint64_t capacity = machine->cache_capacity_pages();
+    uint64_t scanned_pages = 0;
+    const uint64_t warm_scan_pages = 2 * capacity;
+    const uint64_t total_scan_pages = 3 * capacity;
+    int turn = 0;
+    while (scanned_pages < total_scan_pages) {
+      const bool measuring = scanned_pages >= warm_scan_pages;
+      if (turn++ % 5 != 4) {
+        // Hot access: zipf rank scattered across the file so the hot set is
+        // not a contiguous (readahead-friendly) prefix.
+        const uint64_t rank = rng.NextZipf(hot_pages, 0.9);
+        const uint64_t index = (rank * 2654435761ULL) % hot_pages;
+        const bool resident = vfs.cache().Contains(PageKey{hot_ino, index});
+        if (!vfs.Read(hot_fd.value, index * page, page).ok()) {
+          break;
+        }
+        if (measuring) {
+          ++hot_total;
+          hot_hits += resident ? 1 : 0;
+        }
+      } else {
+        // Scan leg: 8 sequential pages over a 3x-cache file; reuse distance
+        // far exceeds the cache, so this is effectively one-touch traffic.
+        if (!vfs.Read(scan_fd.value, scan_offset, 8 * page).ok()) {
+          break;
+        }
+        scanned_pages += 8;
+        scan_offset += 8 * page;
+        if (scan_offset + 8 * page > scan_pages * page) {
+          scan_offset = 0;
+        }
+      }
+    }
+    if (hot_total > 0) {
+      per_run.push_back(100.0 * static_cast<double>(hot_hits) /
+                        static_cast<double>(hot_total));
+    }
+  }
+  return Aggregate("cache.eviction_quality", Dimension::kCaching, "% hot hits", per_run,
+                   "zipf hot set + concurrent sequential scan (scan resistance)");
+}
+
+NanoResult NanoSuite::MetadataCreateRate(const MachineFactory& factory) const {
+  std::vector<double> per_run;
+  for (int run = 0; run < config_.runs; ++run) {
+    std::unique_ptr<Machine> machine = factory(config_.base_seed + run);
+    CreateDeleteConfig config;
+    config.working_set = config_.metadata_files;
+    CreateDeleteWorkload workload(config);
+    WorkloadContext ctx(machine.get(), config_.base_seed + run);
+    if (workload.Setup(ctx) != FsStatus::kOk) {
+      continue;
+    }
+    VirtualClock& clock = machine->clock();
+    const Nanos t0 = clock.now();
+    const Nanos end = t0 + config_.duration;
+    uint64_t ops = 0;
+    while (clock.now() < end) {
+      if (!workload.Step(ctx).ok()) {
+        break;
+      }
+      ++ops;
+    }
+    per_run.push_back(static_cast<double>(ops) / ToSeconds(clock.now() - t0));
+  }
+  return Aggregate("meta.create_delete", Dimension::kMetadata, "ops/s", per_run,
+                   "alternating create/unlink of empty files, one directory");
+}
+
+NanoResult NanoSuite::MetadataStatHot(const MachineFactory& factory) const {
+  std::vector<double> per_run;
+  for (int run = 0; run < config_.runs; ++run) {
+    std::unique_ptr<Machine> machine = factory(config_.base_seed + run);
+    Vfs& vfs = machine->vfs();
+    if (vfs.Mkdir("/stat") != FsStatus::kOk) {
+      continue;
+    }
+    std::vector<std::string> paths;
+    for (uint64_t i = 0; i < config_.metadata_files; ++i) {
+      paths.push_back("/stat/f" + std::to_string(i));
+      if (vfs.CreateFile(paths.back()) != FsStatus::kOk) {
+        break;
+      }
+    }
+    Rng rng(config_.base_seed + run);
+    VirtualClock& clock = machine->clock();
+    const Nanos t0 = clock.now();
+    const Nanos end = t0 + config_.duration;
+    uint64_t ops = 0;
+    while (clock.now() < end) {
+      if (!vfs.Stat(paths[rng.NextBelow(paths.size())]).ok()) {
+        break;
+      }
+      ++ops;
+    }
+    per_run.push_back(static_cast<double>(ops) / ToSeconds(clock.now() - t0));
+  }
+  return Aggregate("meta.stat_hot", Dimension::kMetadata, "ops/s", per_run,
+                   "stat over a warm namespace (meta-data cache behaviour)");
+}
+
+NanoResult NanoSuite::ScalingEfficiency(const MachineFactory& factory) const {
+  // Aggregate throughput of K interleaved random-read streams on separate
+  // files vs K * single-stream throughput, disk-bound so streams contend.
+  auto aggregate_rate = [this, &factory](int streams, uint64_t seed) {
+    std::unique_ptr<Machine> machine = factory(seed);
+    Vfs& vfs = machine->vfs();
+    std::vector<int> fds;
+    std::vector<uint64_t> pages;
+    for (int s = 0; s < streams; ++s) {
+      const std::string path = "/scale" + std::to_string(s);
+      const Bytes size = 128 * kMiB;
+      if (vfs.MakeFile(path, size) != FsStatus::kOk) {
+        return 0.0;
+      }
+      const FsResult<int> fd = vfs.Open(path);
+      if (!fd.ok()) {
+        return 0.0;
+      }
+      fds.push_back(fd.value);
+      pages.push_back(size / vfs.config().page_size);
+    }
+    vfs.DropCaches();
+    Rng rng(seed);
+    VirtualClock& clock = machine->clock();
+    const Nanos t0 = clock.now();
+    const Nanos end = t0 + config_.duration;
+    uint64_t ops = 0;
+    int turn = 0;
+    while (clock.now() < end) {
+      const int s = turn++ % streams;
+      const Bytes offset = rng.NextBelow(pages[s]) * vfs.config().page_size;
+      if (!vfs.Read(fds[s], offset, 4 * kKiB).ok()) {
+        break;
+      }
+      ++ops;
+    }
+    return static_cast<double>(ops) / ToSeconds(clock.now() - t0);
+  };
+
+  std::vector<double> per_run;
+  for (int run = 0; run < config_.runs; ++run) {
+    const uint64_t seed = config_.base_seed + run;
+    const double single = aggregate_rate(1, seed);
+    const double multi = aggregate_rate(config_.scaling_streams, seed);
+    if (single > 0.0) {
+      per_run.push_back(100.0 * multi / (static_cast<double>(config_.scaling_streams) * single));
+    }
+  }
+  return Aggregate("scale.stream_efficiency", Dimension::kScaling, "%", per_run,
+                   std::to_string(config_.scaling_streams) +
+                       " interleaved streams vs ideal linear scaling");
+}
+
+std::vector<NanoResult> NanoSuite::RunAll(const MachineFactory& factory) const {
+  std::vector<NanoResult> results;
+  results.push_back(IoSequentialBandwidth(factory));
+  results.push_back(IoRandomReadLatency(factory));
+  results.push_back(OnDiskSequentialRead(factory));
+  results.push_back(OnDiskRandomRead(factory));
+  results.push_back(CacheHitLatency(factory));
+  results.push_back(CacheWarmupFillRate(factory));
+  results.push_back(CacheEvictionQuality(factory));
+  results.push_back(MetadataCreateRate(factory));
+  results.push_back(MetadataStatHot(factory));
+  results.push_back(ScalingEfficiency(factory));
+  return results;
+}
+
+}  // namespace fsbench

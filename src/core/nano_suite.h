@@ -1,0 +1,72 @@
+// The nano-benchmark suite the paper's conclusion calls for: "a suite of
+// nano-benchmarks where each individual test measures a particular aspect
+// of file system performance and measures it well", covering at minimum
+// "in-memory, disk layout, cache warm-up/eviction, and meta-data
+// operations".
+//
+// Each nano-benchmark targets exactly one Dimension and is careful about
+// what it holds constant: I/O tests bypass the file system, on-disk tests
+// run cold-cache, caching tests separate hit latency, warm-up fill rate and
+// eviction quality, meta-data tests use empty files, and the scaling test
+// reports parallel efficiency rather than raw throughput.
+#ifndef SRC_CORE_NANO_SUITE_H_
+#define SRC_CORE_NANO_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/dimensions.h"
+#include "src/core/experiment.h"
+
+namespace fsbench {
+
+struct NanoResult {
+  std::string name;
+  Dimension dimension = Dimension::kIo;
+  double value = 0.0;
+  std::string unit;
+  Summary across_runs;  // per-run values behind `value` (value = mean)
+  std::string note;
+};
+
+struct NanoSuiteConfig {
+  int runs = 3;
+  Nanos duration = 5 * kSecond;  // virtual duration per measurement
+  uint64_t base_seed = 7;
+  Bytes io_span = 1 * kGiB;       // region for raw-device tests
+  Bytes ondisk_file = 512 * kMiB; // cold-cache file (must exceed cache)
+  Bytes warmup_file = 256 * kMiB; // cache warm-up fill target
+  uint64_t metadata_files = 500;
+  int scaling_streams = 4;
+};
+
+class NanoSuite {
+ public:
+  explicit NanoSuite(const NanoSuiteConfig& config) : config_(config) {}
+
+  // Runs every nano-benchmark; results are grouped by dimension.
+  std::vector<NanoResult> RunAll(const MachineFactory& factory) const;
+
+  // --- Individual nano-benchmarks ---
+  NanoResult IoSequentialBandwidth(const MachineFactory& factory) const;
+  NanoResult IoRandomReadLatency(const MachineFactory& factory) const;
+  NanoResult OnDiskRandomRead(const MachineFactory& factory) const;
+  NanoResult OnDiskSequentialRead(const MachineFactory& factory) const;
+  NanoResult CacheHitLatency(const MachineFactory& factory) const;
+  NanoResult CacheWarmupFillRate(const MachineFactory& factory) const;
+  NanoResult CacheEvictionQuality(const MachineFactory& factory) const;
+  NanoResult MetadataCreateRate(const MachineFactory& factory) const;
+  NanoResult MetadataStatHot(const MachineFactory& factory) const;
+  NanoResult ScalingEfficiency(const MachineFactory& factory) const;
+
+ private:
+  // Aggregates a per-run metric into a NanoResult.
+  NanoResult Aggregate(const std::string& name, Dimension dimension, const std::string& unit,
+                       const std::vector<double>& per_run, const std::string& note) const;
+
+  NanoSuiteConfig config_;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_NANO_SUITE_H_

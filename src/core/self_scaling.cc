@@ -1,0 +1,79 @@
+#include "src/core/self_scaling.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fsbench {
+
+TransitionResult SelfScalingProbe::FindTransition(const MetricFn& metric, double lo, double hi,
+                                                  const Options& options) {
+  assert(lo < hi);
+  assert(options.coarse_steps >= 2);
+  TransitionResult result;
+  int evaluations = 0;
+
+  auto eval = [&](double param) {
+    const double value = metric(param);
+    result.samples.emplace_back(param, value);
+    ++evaluations;
+    return value;
+  };
+
+  // Coarse grid.
+  std::vector<std::pair<double, double>> grid;
+  for (int i = 0; i < options.coarse_steps; ++i) {
+    const double param =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(options.coarse_steps - 1);
+    grid.emplace_back(param, eval(param));
+  }
+
+  // Largest adjacent drop (by ratio).
+  size_t drop_index = grid.size();
+  double best_ratio = 1.0;
+  for (size_t i = 0; i + 1 < grid.size(); ++i) {
+    const double before = grid[i].second;
+    const double after = grid[i + 1].second;
+    if (after <= 0.0 || before <= after) {
+      continue;
+    }
+    const double ratio = before / after;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      drop_index = i;
+    }
+  }
+  if (drop_index == grid.size() || best_ratio < 1.05) {
+    return result;  // monotone-enough: no transition
+  }
+
+  double bracket_lo = grid[drop_index].first;
+  double bracket_hi = grid[drop_index + 1].first;
+  double value_lo = grid[drop_index].second;
+  double value_hi = grid[drop_index + 1].second;
+
+  // Bisect toward the cliff: keep the half that contains the larger ratio.
+  while (bracket_hi - bracket_lo > options.resolution &&
+         evaluations < options.max_evaluations) {
+    const double mid = 0.5 * (bracket_lo + bracket_hi);
+    const double value_mid = eval(mid);
+    const double left_ratio = value_mid > 0.0 ? value_lo / value_mid : 1e9;
+    const double right_ratio = value_hi > 0.0 ? value_mid / value_hi : 1e9;
+    if (left_ratio >= right_ratio) {
+      bracket_hi = mid;
+      value_hi = value_mid;
+    } else {
+      bracket_lo = mid;
+      value_lo = value_mid;
+    }
+  }
+
+  result.found = true;
+  result.param_lo = bracket_lo;
+  result.param_hi = bracket_hi;
+  result.metric_lo = value_lo;
+  result.metric_hi = value_hi;
+  result.drop_factor = value_hi > 0.0 ? value_lo / value_hi : 0.0;
+  return result;
+}
+
+}  // namespace fsbench

@@ -1,0 +1,50 @@
+// Self-scaling transition finder, after Chen & Patterson (SIGMETRICS'93),
+// which the paper cites as the way to produce "the entire graph" instead of
+// a point sample.
+//
+// Given a metric as a function of one workload parameter (e.g. throughput
+// vs file size), FindTransition scans a coarse grid, locates the largest
+// adjacent drop, and bisects that bracket until it is narrower than the
+// requested resolution — exactly the experiment the paper describes when it
+// "zoomed into the region between 384MB and 448MB and observed that
+// performance drops within an even narrower region — less than 6MB".
+#ifndef SRC_CORE_SELF_SCALING_H_
+#define SRC_CORE_SELF_SCALING_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace fsbench {
+
+struct TransitionResult {
+  bool found = false;
+  double param_lo = 0.0;    // transition bracket
+  double param_hi = 0.0;
+  double metric_lo = 0.0;   // metric at param_lo (the high side of the cliff)
+  double metric_hi = 0.0;   // metric at param_hi (the low side)
+  double drop_factor = 1.0; // metric_lo / metric_hi
+  // Every evaluated (param, metric) point, in evaluation order.
+  std::vector<std::pair<double, double>> samples;
+
+  double width() const { return param_hi - param_lo; }
+};
+
+class SelfScalingProbe {
+ public:
+  using MetricFn = std::function<double(double param)>;
+
+  struct Options {
+    int coarse_steps = 8;       // grid points across [lo, hi]
+    double resolution = 1.0;    // stop when bracket width <= resolution
+    int max_evaluations = 64;   // safety cap
+  };
+
+  // Finds the largest downward transition of `metric` over [lo, hi].
+  static TransitionResult FindTransition(const MetricFn& metric, double lo, double hi,
+                                         const Options& options);
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_SELF_SCALING_H_

@@ -1,0 +1,63 @@
+#include "src/core/steady_state.h"
+
+#include <algorithm>
+
+namespace fsbench {
+
+namespace {
+
+// Relative spread (max-min)/mean of rates[from, from+window).
+double WindowSpread(const std::vector<double>& rates, size_t from, size_t window) {
+  double lo = rates[from];
+  double hi = rates[from];
+  double sum = 0.0;
+  for (size_t i = from; i < from + window; ++i) {
+    lo = std::min(lo, rates[i]);
+    hi = std::max(hi, rates[i]);
+    sum += rates[i];
+  }
+  const double mean = sum / static_cast<double>(window);
+  return mean == 0.0 ? (hi > lo ? 1.0 : 0.0) : (hi - lo) / mean;
+}
+
+}  // namespace
+
+SteadyStateReport AnalyzeSteadyState(const std::vector<double>& rates,
+                                     const SteadyStateConfig& config) {
+  SteadyStateReport report;
+  const size_t n = rates.size();
+  if (n < config.window || config.window == 0) {
+    return report;
+  }
+
+  // Walk backwards: find the earliest start such that every window from
+  // there to the end is within tolerance.
+  size_t start = n - config.window;
+  if (WindowSpread(rates, start, config.window) > config.tolerance) {
+    return report;  // not even the tail is steady
+  }
+  while (start > 0 && WindowSpread(rates, start - 1, config.window) <= config.tolerance) {
+    --start;
+  }
+
+  report.reached = true;
+  report.steady_start_interval = start;
+  double sum = 0.0;
+  for (size_t i = start; i < n; ++i) {
+    sum += rates[i];
+  }
+  report.steady_mean = sum / static_cast<double>(n - start);
+  report.warmup_fraction = static_cast<double>(start) / static_cast<double>(n);
+  return report;
+}
+
+std::optional<Nanos> WarmupDuration(const std::vector<double>& rates, Nanos interval,
+                                    const SteadyStateConfig& config) {
+  const SteadyStateReport report = AnalyzeSteadyState(rates, config);
+  if (!report.reached) {
+    return std::nullopt;
+  }
+  return static_cast<Nanos>(report.steady_start_interval) * interval;
+}
+
+}  // namespace fsbench

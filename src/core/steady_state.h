@@ -1,0 +1,42 @@
+// Steady-state detection over a throughput time series.
+//
+// The paper asks (§3.1) whether reporting only steady-state performance is
+// even correct, and shows a 20-minute warm-up transient (Figure 2). This
+// detector makes the warm-up/steady split explicit and measurable instead
+// of eyeballed: a window is steady when its relative spread stays within a
+// tolerance, and the steady region must persist to the end of the series.
+#ifndef SRC_CORE_STEADY_STATE_H_
+#define SRC_CORE_STEADY_STATE_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace fsbench {
+
+struct SteadyStateConfig {
+  size_t window = 6;        // intervals per window
+  double tolerance = 0.10;  // (max-min)/mean within a steady window
+};
+
+struct SteadyStateReport {
+  bool reached = false;
+  size_t steady_start_interval = 0;  // first interval of the steady region
+  double steady_mean = 0.0;          // mean rate over the steady region
+  double warmup_fraction = 0.0;      // share of the series spent warming up
+};
+
+// Analyzes a per-interval rate series (ops/s). The steady region is the
+// longest suffix in which every sliding window satisfies the tolerance.
+SteadyStateReport AnalyzeSteadyState(const std::vector<double>& rates,
+                                     const SteadyStateConfig& config = {});
+
+// Convenience: warm-up duration in virtual time given the interval length.
+std::optional<Nanos> WarmupDuration(const std::vector<double>& rates, Nanos interval,
+                                    const SteadyStateConfig& config = {});
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_STEADY_STATE_H_

@@ -1,0 +1,63 @@
+#include "src/core/timeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace fsbench {
+
+ThroughputTimeline::ThroughputTimeline(Nanos interval, Nanos origin)
+    : interval_(interval), origin_(origin) {
+  assert(interval_ > 0);
+}
+
+void ThroughputTimeline::RecordOp(Nanos completion_time) {
+  if (completion_time < origin_) {
+    return;
+  }
+  const auto index = static_cast<size_t>((completion_time - origin_) / interval_);
+  if (index >= counts_.size()) {
+    counts_.resize(index + 1, 0);
+  }
+  ++counts_[index];
+}
+
+std::vector<double> ThroughputTimeline::OpsPerSecond() const {
+  std::vector<double> rates;
+  rates.reserve(counts_.size());
+  const double seconds = ToSeconds(interval_);
+  for (uint64_t count : counts_) {
+    rates.push_back(static_cast<double>(count) / seconds);
+  }
+  return rates;
+}
+
+double ThroughputTimeline::MeanRate(size_t from, size_t to) const {
+  if (from >= to || from >= counts_.size()) {
+    return 0.0;
+  }
+  to = std::min(to, counts_.size());
+  uint64_t total = 0;
+  for (size_t i = from; i < to; ++i) {
+    total += counts_[i];
+  }
+  return static_cast<double>(total) / (ToSeconds(interval_) * static_cast<double>(to - from));
+}
+
+HistogramTimeline::HistogramTimeline(Nanos slice, Nanos origin)
+    : slice_(slice), origin_(origin) {
+  assert(slice_ > 0);
+}
+
+void HistogramTimeline::Record(Nanos completion_time, Nanos latency) {
+  if (completion_time < origin_) {
+    return;
+  }
+  const auto index = static_cast<size_t>((completion_time - origin_) / slice_);
+  if (index >= slices_.size()) {
+    slices_.resize(index + 1);
+  }
+  slices_[index].Add(latency);
+}
+
+}  // namespace fsbench

@@ -1,0 +1,64 @@
+// Time-resolved measurement: per-interval throughput (the paper's Figure 2)
+// and per-slice latency histograms (Figure 4). The paper argues that "only
+// the entire graph provides a fair and accurate characterization" of
+// performance across the warm-up/steady-state time dimension — these are
+// the data structures that hold the graph.
+#ifndef SRC_CORE_TIMELINE_H_
+#define SRC_CORE_TIMELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/histogram.h"
+#include "src/util/units.h"
+
+namespace fsbench {
+
+// Counts operation completions per fixed interval of virtual time relative
+// to an origin instant.
+class ThroughputTimeline {
+ public:
+  explicit ThroughputTimeline(Nanos interval, Nanos origin = 0);
+
+  void RecordOp(Nanos completion_time);
+
+  Nanos interval() const { return interval_; }
+  Nanos origin() const { return origin_; }
+  size_t interval_count() const { return counts_.size(); }
+  uint64_t count(size_t index) const { return counts_[index]; }
+
+  // Ops/second per interval.
+  std::vector<double> OpsPerSecond() const;
+
+  // Mean ops/second over intervals [from, to) — e.g. "the last minute" of a
+  // 20-minute run, as the paper's Figure 1 reports.
+  double MeanRate(size_t from, size_t to) const;
+
+ private:
+  Nanos interval_;
+  Nanos origin_;
+  std::vector<uint64_t> counts_;
+};
+
+// One latency histogram per fixed slice of virtual time (Figure 4's 3-D
+// plot is exactly this, rendered).
+class HistogramTimeline {
+ public:
+  explicit HistogramTimeline(Nanos slice, Nanos origin = 0);
+
+  void Record(Nanos completion_time, Nanos latency);
+
+  Nanos slice() const { return slice_; }
+  Nanos origin() const { return origin_; }
+  const std::vector<LatencyHistogram>& slices() const { return slices_; }
+
+ private:
+  Nanos slice_;
+  Nanos origin_;
+  std::vector<LatencyHistogram> slices_;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_TIMELINE_H_

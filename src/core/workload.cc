@@ -1,0 +1,5 @@
+#include "src/core/workload.h"
+
+// Workload is header-only today; this translation unit anchors the vtable.
+
+namespace fsbench {}  // namespace fsbench

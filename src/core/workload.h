@@ -1,0 +1,55 @@
+// Workload abstraction: a generator of single file-system operations
+// against a simulated Machine.
+//
+// The experiment runner owns timing: it snapshots the virtual clock around
+// each Step() call, so a workload only performs the operation and says what
+// kind it was. Setup() and Prewarm() run before measurement (Setup uses the
+// untimed VFS helpers where appropriate — the moral equivalent of
+// Filebench's preallocation phase).
+#ifndef SRC_CORE_WORKLOAD_H_
+#define SRC_CORE_WORKLOAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/core/metrics.h"
+#include "src/sim/machine.h"
+#include "src/util/rng.h"
+
+namespace fsbench {
+
+struct WorkloadContext {
+  Machine* machine = nullptr;
+  Vfs* vfs = nullptr;
+  Rng rng{0};
+
+  explicit WorkloadContext(Machine* m, uint64_t seed)
+      : machine(m), vfs(&m->vfs()), rng(seed) {}
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* name() const = 0;
+
+  // Untimed preparation (create the working set).
+  virtual FsStatus Setup(WorkloadContext& ctx) = 0;
+
+  // Optional untimed cache prewarm, for steady-state experiments.
+  virtual FsStatus Prewarm(WorkloadContext& ctx) {
+    (void)ctx;
+    return FsStatus::kOk;
+  }
+
+  // Performs exactly one operation; returns its type. The caller measures
+  // the virtual-time delta around this call.
+  virtual FsResult<OpType> Step(WorkloadContext& ctx) = 0;
+};
+
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_WORKLOAD_H_

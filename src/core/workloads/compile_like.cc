@@ -1,0 +1,84 @@
+#include "src/core/workloads/compile_like.h"
+
+#include <algorithm>
+
+namespace fsbench {
+
+CompileLikeWorkload::CompileLikeWorkload(const CompileLikeConfig& config) : config_(config) {}
+
+std::string CompileLikeWorkload::SourceFor(uint64_t id) const {
+  return config_.dir + "/s" + std::to_string(id) + ".c";
+}
+
+std::string CompileLikeWorkload::ObjectFor(uint64_t id) const {
+  return config_.dir + "/s" + std::to_string(id) + ".o";
+}
+
+FsStatus CompileLikeWorkload::Setup(WorkloadContext& ctx) {
+  const FsStatus mk = ctx.vfs->Mkdir(config_.dir);
+  if (mk != FsStatus::kOk && mk != FsStatus::kExists) {
+    return mk;
+  }
+  const Bytes page = ctx.vfs->config().page_size;
+  for (uint64_t i = 0; i < config_.source_files; ++i) {
+    const double draw = ctx.rng.NextExponential(static_cast<double>(config_.mean_source_size));
+    const Bytes size = std::max<Bytes>(page, static_cast<Bytes>(draw));
+    const FsStatus status = ctx.vfs->MakeFile(SourceFor(i), size);
+    if (status != FsStatus::kOk) {
+      return status;
+    }
+    source_sizes_.push_back(size);
+  }
+  return FsStatus::kOk;
+}
+
+FsResult<OpType> CompileLikeWorkload::Step(WorkloadContext& ctx) {
+  const uint64_t id = next_file_;
+  next_file_ = (next_file_ + 1) % config_.source_files;
+
+  // Read the translation unit.
+  const FsResult<int> fd = ctx.vfs->Open(SourceFor(id));
+  if (!fd.ok()) {
+    return FsResult<OpType>::Error(fd.status);
+  }
+  const FsResult<Bytes> read = ctx.vfs->Read(fd.value, 0, source_sizes_[id]);
+  ctx.vfs->Close(fd.value);
+  if (!read.ok()) {
+    return FsResult<OpType>::Error(read.status);
+  }
+
+  // Read a few "headers" (other sources stand in for them).
+  for (uint64_t h = 0; h < config_.headers_per_file; ++h) {
+    const uint64_t header = ctx.rng.NextBelow(config_.source_files);
+    const FsResult<int> hfd = ctx.vfs->Open(SourceFor(header));
+    if (!hfd.ok()) {
+      return FsResult<OpType>::Error(hfd.status);
+    }
+    const FsResult<Bytes> hread = ctx.vfs->Read(hfd.value, 0, source_sizes_[header]);
+    ctx.vfs->Close(hfd.value);
+    if (!hread.ok()) {
+      return FsResult<OpType>::Error(hread.status);
+    }
+  }
+
+  // The compiler runs: pure CPU. This is the term that dominates and makes
+  // the workload useless as a file-system benchmark.
+  ctx.machine->clock().Advance(config_.cpu_per_file);
+
+  // Emit the object file.
+  const FsResult<int> ofd = ctx.vfs->Open(ObjectFor(id), /*create=*/true);
+  if (!ofd.ok()) {
+    return FsResult<OpType>::Error(ofd.status);
+  }
+  const Bytes object_size = std::max<Bytes>(
+      512, static_cast<Bytes>(static_cast<double>(source_sizes_[id]) * config_.object_ratio));
+  const FsResult<Bytes> written = ctx.vfs->Write(ofd.value, 0, object_size);
+  ctx.vfs->Close(ofd.value);
+  if (!written.ok()) {
+    return FsResult<OpType>::Error(written.status);
+  }
+  ++compiled_;
+  return FsResult<OpType>::Ok(OpType::kOther);
+}
+
+}  // namespace fsbench

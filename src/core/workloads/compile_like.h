@@ -1,0 +1,53 @@
+// Compile-like workload: the benchmark the paper singles out as
+// misleading. Section 1: "on practically all modern systems, a kernel
+// build is a CPU bound process, so what does it mean to use it as a file
+// system benchmark? ... it frequently reveals little about the performance
+// of a file system, yet many of us use it nonetheless."
+//
+// Each step compiles one source file: read it (plus a few headers), burn
+// CPU for the compilation, write the object file. With realistic CPU cost
+// per file the workload is >95% compute, so file systems are
+// indistinguishable under it - which is exactly what
+// bench/fallacy_compile demonstrates.
+#ifndef SRC_CORE_WORKLOADS_COMPILE_LIKE_H_
+#define SRC_CORE_WORKLOADS_COMPILE_LIKE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/workload.h"
+
+namespace fsbench {
+
+struct CompileLikeConfig {
+  std::string dir = "/src";
+  uint64_t source_files = 300;
+  Bytes mean_source_size = 8 * kKiB;   // ~exponential, min one page
+  uint64_t headers_per_file = 3;       // extra includes read per compile
+  Nanos cpu_per_file = 30 * kMillisecond;  // the compiler itself
+  double object_ratio = 0.4;           // .o size relative to source
+};
+
+class CompileLikeWorkload : public Workload {
+ public:
+  explicit CompileLikeWorkload(const CompileLikeConfig& config);
+
+  const char* name() const override { return "compile-like"; }
+  FsStatus Setup(WorkloadContext& ctx) override;
+  FsResult<OpType> Step(WorkloadContext& ctx) override;
+
+  uint64_t files_compiled() const { return compiled_; }
+
+ private:
+  std::string SourceFor(uint64_t id) const;
+  std::string ObjectFor(uint64_t id) const;
+
+  CompileLikeConfig config_;
+  std::vector<Bytes> source_sizes_;
+  uint64_t next_file_ = 0;
+  uint64_t compiled_ = 0;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_WORKLOADS_COMPILE_LIKE_H_

@@ -1,0 +1,46 @@
+#include "src/core/workloads/create_delete.h"
+
+namespace fsbench {
+
+CreateDeleteWorkload::CreateDeleteWorkload(const CreateDeleteConfig& config) : config_(config) {}
+
+std::string CreateDeleteWorkload::PathFor(uint64_t id) const {
+  return config_.dir + "/f" + std::to_string(id);
+}
+
+FsStatus CreateDeleteWorkload::Setup(WorkloadContext& ctx) {
+  const FsStatus mk = ctx.vfs->Mkdir(config_.dir);
+  if (mk != FsStatus::kOk && mk != FsStatus::kExists) {
+    return mk;
+  }
+  for (uint64_t i = 0; i < config_.working_set; ++i) {
+    const FsStatus status = ctx.vfs->CreateFile(PathFor(next_id_));
+    if (status != FsStatus::kOk) {
+      return status;
+    }
+    live_.push_back(next_id_++);
+  }
+  return FsStatus::kOk;
+}
+
+FsResult<OpType> CreateDeleteWorkload::Step(WorkloadContext& ctx) {
+  if (create_next_ || live_.empty()) {
+    const FsStatus status = ctx.vfs->CreateFile(PathFor(next_id_));
+    if (status != FsStatus::kOk) {
+      return FsResult<OpType>::Error(status);
+    }
+    live_.push_back(next_id_++);
+    create_next_ = false;
+    return FsResult<OpType>::Ok(OpType::kCreate);
+  }
+  const uint64_t victim = live_.front();
+  live_.pop_front();
+  const FsStatus status = ctx.vfs->Unlink(PathFor(victim));
+  if (status != FsStatus::kOk) {
+    return FsResult<OpType>::Error(status);
+  }
+  create_next_ = true;
+  return FsResult<OpType>::Ok(OpType::kUnlink);
+}
+
+}  // namespace fsbench

@@ -1,0 +1,40 @@
+// Meta-data churn micro-benchmark: maintains a working set of empty files
+// in one directory, alternately creating a new file and deleting the
+// oldest. Exercises directory scans, inode/bitmap updates and (on ext3)
+// journal commits — the "meta-data operations" dimension of Table 1.
+#ifndef SRC_CORE_WORKLOADS_CREATE_DELETE_H_
+#define SRC_CORE_WORKLOADS_CREATE_DELETE_H_
+
+#include <deque>
+#include <string>
+
+#include "src/core/workload.h"
+
+namespace fsbench {
+
+struct CreateDeleteConfig {
+  std::string dir = "/cd";
+  // Files created during Setup; Step keeps the population at this level.
+  uint64_t working_set = 1000;
+};
+
+class CreateDeleteWorkload : public Workload {
+ public:
+  explicit CreateDeleteWorkload(const CreateDeleteConfig& config);
+
+  const char* name() const override { return "create-delete"; }
+  FsStatus Setup(WorkloadContext& ctx) override;
+  FsResult<OpType> Step(WorkloadContext& ctx) override;
+
+ private:
+  std::string PathFor(uint64_t id) const;
+
+  CreateDeleteConfig config_;
+  std::deque<uint64_t> live_;
+  uint64_t next_id_ = 0;
+  bool create_next_ = true;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_WORKLOADS_CREATE_DELETE_H_

@@ -1,0 +1,90 @@
+#include "src/core/workloads/metadata_mix.h"
+
+namespace fsbench {
+
+MetadataMixWorkload::MetadataMixWorkload(const MetadataMixConfig& config) : config_(config) {
+  total_weight_ = config_.stat_weight + config_.open_close_weight + config_.readdir_weight +
+                  config_.create_unlink_weight;
+}
+
+std::string MetadataMixWorkload::DirFor(uint64_t d) const {
+  return config_.root + "/d" + std::to_string(d);
+}
+
+std::string MetadataMixWorkload::FileFor(uint64_t d, uint64_t f) const {
+  return DirFor(d) + "/f" + std::to_string(f);
+}
+
+FsStatus MetadataMixWorkload::Setup(WorkloadContext& ctx) {
+  FsStatus status = ctx.vfs->Mkdir(config_.root);
+  if (status != FsStatus::kOk && status != FsStatus::kExists) {
+    return status;
+  }
+  for (uint64_t d = 0; d < config_.dirs; ++d) {
+    status = ctx.vfs->Mkdir(DirFor(d));
+    if (status != FsStatus::kOk) {
+      return status;
+    }
+    for (uint64_t f = 0; f < config_.files_per_dir; ++f) {
+      status = ctx.vfs->CreateFile(FileFor(d, f));
+      if (status != FsStatus::kOk) {
+        return status;
+      }
+    }
+  }
+  return FsStatus::kOk;
+}
+
+FsResult<OpType> MetadataMixWorkload::Step(WorkloadContext& ctx) {
+  const uint64_t d = ctx.rng.NextBelow(config_.dirs);
+  const uint64_t f = ctx.rng.NextBelow(config_.files_per_dir);
+  double pick = ctx.rng.NextDouble() * total_weight_;
+
+  if (pick < config_.stat_weight) {
+    const FsResult<FileAttr> attr = ctx.vfs->Stat(FileFor(d, f));
+    if (!attr.ok()) {
+      return FsResult<OpType>::Error(attr.status);
+    }
+    return FsResult<OpType>::Ok(OpType::kStat);
+  }
+  pick -= config_.stat_weight;
+
+  if (pick < config_.open_close_weight) {
+    const FsResult<int> fd = ctx.vfs->Open(FileFor(d, f));
+    if (!fd.ok()) {
+      return FsResult<OpType>::Error(fd.status);
+    }
+    ctx.vfs->Close(fd.value);
+    return FsResult<OpType>::Ok(OpType::kOpen);
+  }
+  pick -= config_.open_close_weight;
+
+  if (pick < config_.readdir_weight) {
+    const auto entries = ctx.vfs->ReadDir(DirFor(d));
+    if (!entries.ok()) {
+      return FsResult<OpType>::Error(entries.status);
+    }
+    return FsResult<OpType>::Ok(OpType::kReadDir);
+  }
+
+  // Create/unlink pair handling: unlink an old transient if one exists,
+  // otherwise create a new one.
+  if (!transient_.empty()) {
+    const std::string victim = transient_.back();
+    transient_.pop_back();
+    const FsStatus status = ctx.vfs->Unlink(victim);
+    if (status != FsStatus::kOk) {
+      return FsResult<OpType>::Error(status);
+    }
+    return FsResult<OpType>::Ok(OpType::kUnlink);
+  }
+  const std::string path = DirFor(d) + "/t" + std::to_string(transient_id_++);
+  const FsStatus status = ctx.vfs->CreateFile(path);
+  if (status != FsStatus::kOk) {
+    return FsResult<OpType>::Error(status);
+  }
+  transient_.push_back(path);
+  return FsResult<OpType>::Ok(OpType::kCreate);
+}
+
+}  // namespace fsbench

@@ -1,0 +1,47 @@
+// Mixed meta-data workload over a directory tree: weighted stat / open+
+// close / readdir / create / unlink operations. Unlike Postmark (which the
+// paper notes "does not actually provide meta-data performance in
+// isolation"), the weights default to pure meta-data so the dimension can
+// be measured alone, but data ops can be mixed in.
+#ifndef SRC_CORE_WORKLOADS_METADATA_MIX_H_
+#define SRC_CORE_WORKLOADS_METADATA_MIX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/workload.h"
+
+namespace fsbench {
+
+struct MetadataMixConfig {
+  std::string root = "/meta";
+  uint64_t dirs = 10;
+  uint64_t files_per_dir = 100;
+  // Operation weights (need not sum to anything particular).
+  double stat_weight = 4.0;
+  double open_close_weight = 2.0;
+  double readdir_weight = 1.0;
+  double create_unlink_weight = 2.0;  // paired: transient files
+};
+
+class MetadataMixWorkload : public Workload {
+ public:
+  explicit MetadataMixWorkload(const MetadataMixConfig& config);
+
+  const char* name() const override { return "metadata-mix"; }
+  FsStatus Setup(WorkloadContext& ctx) override;
+  FsResult<OpType> Step(WorkloadContext& ctx) override;
+
+ private:
+  std::string DirFor(uint64_t d) const;
+  std::string FileFor(uint64_t d, uint64_t f) const;
+
+  MetadataMixConfig config_;
+  double total_weight_ = 0.0;
+  uint64_t transient_id_ = 0;
+  std::vector<std::string> transient_;  // created-but-not-yet-unlinked
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_WORKLOADS_METADATA_MIX_H_

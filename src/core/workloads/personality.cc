@@ -1,0 +1,217 @@
+#include "src/core/workloads/personality.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fsbench {
+
+PersonalityConfig FileServerPersonality() {
+  PersonalityConfig config;
+  config.name = "fileserver";
+  config.dir = "/fileserver";
+  config.file_count = 2000;
+  config.mean_file_size = 128 * kKiB;
+  config.io_size = 16 * kKiB;
+  config.zipf_theta = 0.0;  // uniform: file servers see broad access
+  config.mix = {
+      {FlowOp::kCreateFile, 1.0}, {FlowOp::kWholeFileWrite, 1.0}, {FlowOp::kAppend, 1.0},
+      {FlowOp::kWholeFileRead, 1.0}, {FlowOp::kDeleteFile, 1.0}, {FlowOp::kStat, 1.0},
+  };
+  return config;
+}
+
+PersonalityConfig WebServerPersonality() {
+  PersonalityConfig config;
+  config.name = "webserver";
+  config.dir = "/webserver";
+  config.file_count = 5000;
+  config.mean_file_size = 16 * kKiB;
+  config.io_size = 4 * kKiB;
+  config.zipf_theta = 0.9;  // hot pages dominate
+  config.mix = {
+      {FlowOp::kOpenClose, 1.0},
+      {FlowOp::kWholeFileRead, 10.0},
+      {FlowOp::kAppend, 1.0},  // the access log
+  };
+  return config;
+}
+
+PersonalityConfig VarmailPersonality() {
+  PersonalityConfig config;
+  config.name = "varmail";
+  config.dir = "/varmail";
+  config.file_count = 1000;
+  config.mean_file_size = 8 * kKiB;
+  config.io_size = 4 * kKiB;
+  config.zipf_theta = 0.0;
+  config.mix = {
+      {FlowOp::kCreateFile, 2.0}, {FlowOp::kAppend, 2.0},    {FlowOp::kFsync, 2.0},
+      {FlowOp::kWholeFileRead, 2.0}, {FlowOp::kDeleteFile, 2.0}, {FlowOp::kStat, 1.0},
+  };
+  return config;
+}
+
+PersonalityWorkload::PersonalityWorkload(const PersonalityConfig& config) : config_(config) {
+  assert(!config_.mix.empty());
+  for (const FlowOpMix& m : config_.mix) {
+    total_weight_ += m.weight;
+  }
+}
+
+std::string PersonalityWorkload::PathFor(uint64_t id) const {
+  return config_.dir + "/p" + std::to_string(id);
+}
+
+uint64_t PersonalityWorkload::PickFile(Rng& rng) const {
+  assert(!live_.empty());
+  const uint64_t rank = config_.zipf_theta > 0.0
+                            ? rng.NextZipf(live_.size(), config_.zipf_theta)
+                            : rng.NextBelow(live_.size());
+  return live_[rank];
+}
+
+FsStatus PersonalityWorkload::Setup(WorkloadContext& ctx) {
+  const FsStatus mk = ctx.vfs->Mkdir(config_.dir);
+  if (mk != FsStatus::kOk && mk != FsStatus::kExists) {
+    return mk;
+  }
+  const Bytes page = ctx.vfs->config().page_size;
+  for (uint64_t i = 0; i < config_.file_count; ++i) {
+    const double draw = ctx.rng.NextExponential(static_cast<double>(config_.mean_file_size));
+    const Bytes size = std::max<Bytes>(page, static_cast<Bytes>(draw));
+    const FsStatus status = ctx.vfs->MakeFile(PathFor(next_id_), size);
+    if (status != FsStatus::kOk) {
+      return status;
+    }
+    live_.push_back(next_id_++);
+  }
+  return FsStatus::kOk;
+}
+
+FsResult<OpType> PersonalityWorkload::Execute(WorkloadContext& ctx, FlowOp op) {
+  switch (op) {
+    case FlowOp::kWholeFileRead: {
+      const uint64_t id = PickFile(ctx.rng);
+      const FsResult<int> fd = ctx.vfs->Open(PathFor(id));
+      if (!fd.ok()) {
+        return FsResult<OpType>::Error(fd.status);
+      }
+      const FsResult<FileAttr> attr = ctx.vfs->Stat(PathFor(id));
+      FsResult<Bytes> read = FsResult<Bytes>::Error(attr.status);
+      if (attr.ok()) {
+        read = ctx.vfs->Read(fd.value, 0, attr.value.size);
+      }
+      ctx.vfs->Close(fd.value);
+      return read.ok() ? FsResult<OpType>::Ok(OpType::kRead)
+                       : FsResult<OpType>::Error(read.status);
+    }
+    case FlowOp::kWholeFileWrite: {
+      const uint64_t id = PickFile(ctx.rng);
+      const FsResult<int> fd = ctx.vfs->Open(PathFor(id));
+      if (!fd.ok()) {
+        return FsResult<OpType>::Error(fd.status);
+      }
+      const FsResult<Bytes> written = ctx.vfs->Write(fd.value, 0, config_.mean_file_size);
+      ctx.vfs->Close(fd.value);
+      return written.ok() ? FsResult<OpType>::Ok(OpType::kWrite)
+                          : FsResult<OpType>::Error(written.status);
+    }
+    case FlowOp::kAppend: {
+      const uint64_t id = PickFile(ctx.rng);
+      const std::string path = PathFor(id);
+      const FsResult<FileAttr> attr = ctx.vfs->Stat(path);
+      if (!attr.ok()) {
+        return FsResult<OpType>::Error(attr.status);
+      }
+      const FsResult<int> fd = ctx.vfs->Open(path);
+      if (!fd.ok()) {
+        return FsResult<OpType>::Error(fd.status);
+      }
+      const FsResult<Bytes> written =
+          ctx.vfs->Write(fd.value, attr.value.size, config_.io_size);
+      ctx.vfs->Close(fd.value);
+      return written.ok() ? FsResult<OpType>::Ok(OpType::kWrite)
+                          : FsResult<OpType>::Error(written.status);
+    }
+    case FlowOp::kRandomRead: {
+      const uint64_t id = PickFile(ctx.rng);
+      const std::string path = PathFor(id);
+      const FsResult<FileAttr> attr = ctx.vfs->Stat(path);
+      if (!attr.ok()) {
+        return FsResult<OpType>::Error(attr.status);
+      }
+      const FsResult<int> fd = ctx.vfs->Open(path);
+      if (!fd.ok()) {
+        return FsResult<OpType>::Error(fd.status);
+      }
+      const Bytes max_offset = attr.value.size > config_.io_size
+                                   ? attr.value.size - config_.io_size
+                                   : 0;
+      const FsResult<Bytes> read =
+          ctx.vfs->Read(fd.value, max_offset == 0 ? 0 : ctx.rng.NextBelow(max_offset + 1),
+                        config_.io_size);
+      ctx.vfs->Close(fd.value);
+      return read.ok() ? FsResult<OpType>::Ok(OpType::kRead)
+                       : FsResult<OpType>::Error(read.status);
+    }
+    case FlowOp::kStat: {
+      const FsResult<FileAttr> attr = ctx.vfs->Stat(PathFor(PickFile(ctx.rng)));
+      return attr.ok() ? FsResult<OpType>::Ok(OpType::kStat)
+                       : FsResult<OpType>::Error(attr.status);
+    }
+    case FlowOp::kOpenClose: {
+      const FsResult<int> fd = ctx.vfs->Open(PathFor(PickFile(ctx.rng)));
+      if (!fd.ok()) {
+        return FsResult<OpType>::Error(fd.status);
+      }
+      ctx.vfs->Close(fd.value);
+      return FsResult<OpType>::Ok(OpType::kOpen);
+    }
+    case FlowOp::kCreateFile: {
+      const FsStatus status = ctx.vfs->CreateFile(PathFor(next_id_));
+      if (status != FsStatus::kOk) {
+        return FsResult<OpType>::Error(status);
+      }
+      live_.push_back(next_id_++);
+      return FsResult<OpType>::Ok(OpType::kCreate);
+    }
+    case FlowOp::kDeleteFile: {
+      if (live_.size() <= 1) {
+        return Execute(ctx, FlowOp::kCreateFile);
+      }
+      const size_t idx = ctx.rng.NextBelow(live_.size());
+      const uint64_t victim = live_[idx];
+      live_[idx] = live_.back();
+      live_.pop_back();
+      const FsStatus status = ctx.vfs->Unlink(PathFor(victim));
+      if (status != FsStatus::kOk) {
+        return FsResult<OpType>::Error(status);
+      }
+      return FsResult<OpType>::Ok(OpType::kUnlink);
+    }
+    case FlowOp::kFsync: {
+      const FsResult<int> fd = ctx.vfs->Open(PathFor(PickFile(ctx.rng)));
+      if (!fd.ok()) {
+        return FsResult<OpType>::Error(fd.status);
+      }
+      const FsStatus status = ctx.vfs->Fsync(fd.value);
+      ctx.vfs->Close(fd.value);
+      return status == FsStatus::kOk ? FsResult<OpType>::Ok(OpType::kFsync)
+                                     : FsResult<OpType>::Error(status);
+    }
+  }
+  return FsResult<OpType>::Error(FsStatus::kInvalid);
+}
+
+FsResult<OpType> PersonalityWorkload::Step(WorkloadContext& ctx) {
+  double pick = ctx.rng.NextDouble() * total_weight_;
+  for (const FlowOpMix& m : config_.mix) {
+    if (pick < m.weight) {
+      return Execute(ctx, m.op);
+    }
+    pick -= m.weight;
+  }
+  return Execute(ctx, config_.mix.back().op);
+}
+
+}  // namespace fsbench

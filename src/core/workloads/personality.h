@@ -1,0 +1,68 @@
+// Filebench-style workload "personalities": a weighted mix of flowops over
+// a preset file population. Three canonical presets mirror Filebench's
+// fileserver, webserver and varmail personalities closely enough to stand
+// in for them in the reproduction.
+#ifndef SRC_CORE_WORKLOADS_PERSONALITY_H_
+#define SRC_CORE_WORKLOADS_PERSONALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/workload.h"
+
+namespace fsbench {
+
+enum class FlowOp : uint8_t {
+  kWholeFileRead,
+  kWholeFileWrite,
+  kAppend,
+  kRandomRead,
+  kStat,
+  kOpenClose,
+  kCreateFile,
+  kDeleteFile,
+  kFsync,
+};
+
+struct FlowOpMix {
+  FlowOp op;
+  double weight;
+};
+
+struct PersonalityConfig {
+  std::string name = "custom";
+  std::string dir = "/pers";
+  uint64_t file_count = 1000;
+  Bytes mean_file_size = 16 * kKiB;  // sizes drawn ~exponential, min 1 page
+  Bytes io_size = 4 * kKiB;
+  double zipf_theta = 0.8;  // file popularity skew (0 = uniform)
+  std::vector<FlowOpMix> mix;
+};
+
+// Filebench-like presets.
+PersonalityConfig FileServerPersonality();
+PersonalityConfig WebServerPersonality();
+PersonalityConfig VarmailPersonality();
+
+class PersonalityWorkload : public Workload {
+ public:
+  explicit PersonalityWorkload(const PersonalityConfig& config);
+
+  const char* name() const override { return config_.name.c_str(); }
+  FsStatus Setup(WorkloadContext& ctx) override;
+  FsResult<OpType> Step(WorkloadContext& ctx) override;
+
+ private:
+  std::string PathFor(uint64_t id) const;
+  uint64_t PickFile(Rng& rng) const;
+  FsResult<OpType> Execute(WorkloadContext& ctx, FlowOp op);
+
+  PersonalityConfig config_;
+  double total_weight_ = 0.0;
+  std::vector<uint64_t> live_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_WORKLOADS_PERSONALITY_H_

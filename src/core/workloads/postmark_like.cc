@@ -1,0 +1,81 @@
+#include "src/core/workloads/postmark_like.h"
+
+#include <algorithm>
+
+namespace fsbench {
+
+PostmarkLikeWorkload::PostmarkLikeWorkload(const PostmarkConfig& config) : config_(config) {}
+
+std::string PostmarkLikeWorkload::PathFor(uint64_t id) const {
+  return config_.dir + "/pm" + std::to_string(id);
+}
+
+Bytes PostmarkLikeWorkload::RandomSize(Rng& rng) const {
+  return config_.min_size + rng.NextBelow(config_.max_size - config_.min_size + 1);
+}
+
+FsStatus PostmarkLikeWorkload::Setup(WorkloadContext& ctx) {
+  const FsStatus mk = ctx.vfs->Mkdir(config_.dir);
+  if (mk != FsStatus::kOk && mk != FsStatus::kExists) {
+    return mk;
+  }
+  for (uint64_t i = 0; i < config_.initial_files; ++i) {
+    const FsStatus status = ctx.vfs->MakeFile(PathFor(next_id_), RandomSize(ctx.rng));
+    if (status != FsStatus::kOk) {
+      return status;
+    }
+    live_.push_back(next_id_++);
+  }
+  return FsStatus::kOk;
+}
+
+FsResult<OpType> PostmarkLikeWorkload::Step(WorkloadContext& ctx) {
+  const bool data_tx = !live_.empty() && ctx.rng.NextDouble() < config_.data_fraction;
+  if (data_tx) {
+    const uint64_t id = live_[ctx.rng.NextBelow(live_.size())];
+    const FsResult<int> fd = ctx.vfs->Open(PathFor(id));
+    if (!fd.ok()) {
+      return FsResult<OpType>::Error(fd.status);
+    }
+    FsResult<OpType> result = FsResult<OpType>::Error(FsStatus::kInvalid);
+    const FsResult<FileAttr> attr = ctx.vfs->Stat(PathFor(id));
+    if (!attr.ok()) {
+      ctx.vfs->Close(fd.value);
+      return FsResult<OpType>::Error(attr.status);
+    }
+    if (ctx.rng.NextDouble() < config_.read_bias) {
+      // Read the whole file (Postmark reads files entirely).
+      const FsResult<Bytes> read = ctx.vfs->Read(fd.value, 0, attr.value.size);
+      result = read.ok() ? FsResult<OpType>::Ok(OpType::kRead)
+                         : FsResult<OpType>::Error(read.status);
+    } else {
+      // Append up to io_size bytes.
+      const FsResult<Bytes> written = ctx.vfs->Write(fd.value, attr.value.size, config_.io_size);
+      result = written.ok() ? FsResult<OpType>::Ok(OpType::kWrite)
+                            : FsResult<OpType>::Error(written.status);
+    }
+    ctx.vfs->Close(fd.value);
+    return result;
+  }
+
+  const bool create = live_.empty() || ctx.rng.NextDouble() < config_.create_bias;
+  if (create) {
+    const FsStatus status = ctx.vfs->CreateFile(PathFor(next_id_));
+    if (status != FsStatus::kOk) {
+      return FsResult<OpType>::Error(status);
+    }
+    live_.push_back(next_id_++);
+    return FsResult<OpType>::Ok(OpType::kCreate);
+  }
+  const size_t idx = ctx.rng.NextBelow(live_.size());
+  const uint64_t victim = live_[idx];
+  live_[idx] = live_.back();
+  live_.pop_back();
+  const FsStatus status = ctx.vfs->Unlink(PathFor(victim));
+  if (status != FsStatus::kOk) {
+    return FsResult<OpType>::Error(status);
+  }
+  return FsResult<OpType>::Ok(OpType::kUnlink);
+}
+
+}  // namespace fsbench

@@ -1,0 +1,47 @@
+// Postmark-style transaction workload (Katcher, NetApp TR3022): a pool of
+// small files; each step is either a read-or-append on a random file or a
+// create-or-delete, chosen by bias knobs. Table 1's most-used standard
+// benchmark (30 + 17 papers), reimplemented as a baseline.
+#ifndef SRC_CORE_WORKLOADS_POSTMARK_LIKE_H_
+#define SRC_CORE_WORKLOADS_POSTMARK_LIKE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/workload.h"
+
+namespace fsbench {
+
+struct PostmarkConfig {
+  std::string dir = "/postmark";
+  uint64_t initial_files = 500;
+  Bytes min_size = 512;
+  Bytes max_size = 10 * kKiB;
+  Bytes io_size = 4 * kKiB;
+  double read_bias = 0.5;    // within data transactions: read vs append
+  double create_bias = 0.5;  // within file transactions: create vs delete
+  double data_fraction = 0.5;  // data vs create/delete transactions
+};
+
+class PostmarkLikeWorkload : public Workload {
+ public:
+  explicit PostmarkLikeWorkload(const PostmarkConfig& config);
+
+  const char* name() const override { return "postmark-like"; }
+  FsStatus Setup(WorkloadContext& ctx) override;
+  FsResult<OpType> Step(WorkloadContext& ctx) override;
+
+  size_t live_files() const { return live_.size(); }
+
+ private:
+  std::string PathFor(uint64_t id) const;
+  Bytes RandomSize(Rng& rng) const;
+
+  PostmarkConfig config_;
+  std::vector<uint64_t> live_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_WORKLOADS_POSTMARK_LIKE_H_

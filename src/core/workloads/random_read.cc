@@ -1,0 +1,47 @@
+#include "src/core/workloads/random_read.h"
+
+#include <cassert>
+
+namespace fsbench {
+
+RandomReadWorkload::RandomReadWorkload(const RandomReadConfig& config) : config_(config) {
+  assert(config_.file_size >= config_.io_size);
+  assert(config_.io_size > 0);
+}
+
+FsStatus RandomReadWorkload::Setup(WorkloadContext& ctx) {
+  const FsStatus made = ctx.vfs->MakeFile(config_.path, config_.file_size);
+  if (made != FsStatus::kOk) {
+    return made;
+  }
+  const FsResult<int> fd = ctx.vfs->Open(config_.path);
+  if (!fd.ok()) {
+    return fd.status;
+  }
+  fd_ = fd.value;
+  pages_ = config_.file_size / ctx.vfs->config().page_size;
+  return FsStatus::kOk;
+}
+
+FsStatus RandomReadWorkload::Prewarm(WorkloadContext& ctx) {
+  return ctx.vfs->PrewarmFile(config_.path);
+}
+
+FsResult<OpType> RandomReadWorkload::Step(WorkloadContext& ctx) {
+  Bytes offset;
+  if (config_.aligned) {
+    const uint64_t page = config_.zipf_theta > 0.0
+                              ? ctx.rng.NextZipf(pages_, config_.zipf_theta)
+                              : ctx.rng.NextBelow(pages_);
+    offset = page * ctx.vfs->config().page_size;
+  } else {
+    offset = ctx.rng.NextBelow(config_.file_size - config_.io_size + 1);
+  }
+  const FsResult<Bytes> read = ctx.vfs->Read(fd_, offset, config_.io_size);
+  if (!read.ok()) {
+    return FsResult<OpType>::Error(read.status);
+  }
+  return FsResult<OpType>::Ok(OpType::kRead);
+}
+
+}  // namespace fsbench

@@ -1,0 +1,39 @@
+// The paper's case-study workload: one thread randomly reading from a
+// single preallocated file (§3, run via Filebench there). Page-aligned
+// uniform random offsets by default.
+#ifndef SRC_CORE_WORKLOADS_RANDOM_READ_H_
+#define SRC_CORE_WORKLOADS_RANDOM_READ_H_
+
+#include <string>
+
+#include "src/core/workload.h"
+
+namespace fsbench {
+
+struct RandomReadConfig {
+  std::string path = "/bigfile";
+  Bytes file_size = 64 * kMiB;
+  Bytes io_size = 4 * kKiB;
+  bool aligned = true;  // page-aligned offsets (Filebench default behaviour)
+  // Optional Zipf skew (0 = uniform); exercises eviction policies.
+  double zipf_theta = 0.0;
+};
+
+class RandomReadWorkload : public Workload {
+ public:
+  explicit RandomReadWorkload(const RandomReadConfig& config);
+
+  const char* name() const override { return "random-read"; }
+  FsStatus Setup(WorkloadContext& ctx) override;
+  FsStatus Prewarm(WorkloadContext& ctx) override;
+  FsResult<OpType> Step(WorkloadContext& ctx) override;
+
+ private:
+  RandomReadConfig config_;
+  int fd_ = -1;
+  uint64_t pages_ = 0;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_WORKLOADS_RANDOM_READ_H_

@@ -1,0 +1,80 @@
+#include "src/core/workloads/sequential.h"
+
+#include <cassert>
+
+namespace fsbench {
+
+SequentialReadWorkload::SequentialReadWorkload(const SequentialConfig& config)
+    : config_(config) {
+  assert(config_.file_size >= config_.io_size && config_.io_size > 0);
+}
+
+FsStatus SequentialReadWorkload::Setup(WorkloadContext& ctx) {
+  const FsStatus made = ctx.vfs->MakeFile(config_.path, config_.file_size);
+  if (made != FsStatus::kOk) {
+    return made;
+  }
+  const FsResult<int> fd = ctx.vfs->Open(config_.path);
+  if (!fd.ok()) {
+    return fd.status;
+  }
+  fd_ = fd.value;
+  return FsStatus::kOk;
+}
+
+FsStatus SequentialReadWorkload::Prewarm(WorkloadContext& ctx) {
+  return ctx.vfs->PrewarmFile(config_.path);
+}
+
+FsResult<OpType> SequentialReadWorkload::Step(WorkloadContext& ctx) {
+  if (offset_ + config_.io_size > config_.file_size) {
+    offset_ = 0;
+  }
+  const FsResult<Bytes> read = ctx.vfs->Read(fd_, offset_, config_.io_size);
+  if (!read.ok()) {
+    return FsResult<OpType>::Error(read.status);
+  }
+  offset_ += config_.io_size;
+  return FsResult<OpType>::Ok(OpType::kRead);
+}
+
+SequentialWriteWorkload::SequentialWriteWorkload(const SequentialConfig& config, bool overwrite)
+    : config_(config), overwrite_(overwrite) {
+  assert(config_.file_size >= config_.io_size && config_.io_size > 0);
+}
+
+FsStatus SequentialWriteWorkload::Setup(WorkloadContext& ctx) {
+  const FsStatus made =
+      overwrite_ ? ctx.vfs->MakeFile(config_.path, config_.file_size)
+                 : ctx.vfs->MakeFile(config_.path, 0);
+  if (made != FsStatus::kOk) {
+    return made;
+  }
+  const FsResult<int> fd = ctx.vfs->Open(config_.path);
+  if (!fd.ok()) {
+    return fd.status;
+  }
+  fd_ = fd.value;
+  return FsStatus::kOk;
+}
+
+FsResult<OpType> SequentialWriteWorkload::Step(WorkloadContext& ctx) {
+  if (offset_ + config_.io_size > config_.file_size) {
+    offset_ = 0;
+    if (!overwrite_) {
+      // Restart the growth phase: punch the file back to empty.
+      const FsStatus status = ctx.vfs->Truncate(config_.path, 0);
+      if (status != FsStatus::kOk) {
+        return FsResult<OpType>::Error(status);
+      }
+    }
+  }
+  const FsResult<Bytes> written = ctx.vfs->Write(fd_, offset_, config_.io_size);
+  if (!written.ok()) {
+    return FsResult<OpType>::Error(written.status);
+  }
+  offset_ += config_.io_size;
+  return FsResult<OpType>::Ok(OpType::kWrite);
+}
+
+}  // namespace fsbench

@@ -1,0 +1,56 @@
+// Sequential read and write workloads (the classic "big file" micro-
+// benchmarks from Table 1's I/O / on-disk rows). Reads wrap around the
+// file; writes either overwrite in place or append-then-truncate-wrap.
+#ifndef SRC_CORE_WORKLOADS_SEQUENTIAL_H_
+#define SRC_CORE_WORKLOADS_SEQUENTIAL_H_
+
+#include <string>
+
+#include "src/core/workload.h"
+
+namespace fsbench {
+
+struct SequentialConfig {
+  std::string path = "/seqfile";
+  Bytes file_size = 64 * kMiB;
+  Bytes io_size = 64 * kKiB;
+};
+
+class SequentialReadWorkload : public Workload {
+ public:
+  explicit SequentialReadWorkload(const SequentialConfig& config);
+
+  const char* name() const override { return "sequential-read"; }
+  FsStatus Setup(WorkloadContext& ctx) override;
+  FsStatus Prewarm(WorkloadContext& ctx) override;
+  FsResult<OpType> Step(WorkloadContext& ctx) override;
+
+ private:
+  SequentialConfig config_;
+  int fd_ = -1;
+  Bytes offset_ = 0;
+};
+
+class SequentialWriteWorkload : public Workload {
+ public:
+  // `overwrite` rewrites a preallocated file in place; otherwise the file
+  // grows from zero and restarts when it reaches file_size (allocation
+  // exercised every lap via truncate).
+  SequentialWriteWorkload(const SequentialConfig& config, bool overwrite);
+
+  const char* name() const override {
+    return overwrite_ ? "sequential-overwrite" : "sequential-append";
+  }
+  FsStatus Setup(WorkloadContext& ctx) override;
+  FsResult<OpType> Step(WorkloadContext& ctx) override;
+
+ private:
+  SequentialConfig config_;
+  bool overwrite_;
+  int fd_ = -1;
+  Bytes offset_ = 0;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_WORKLOADS_SEQUENTIAL_H_

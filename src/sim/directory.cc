@@ -1,0 +1,71 @@
+#include "src/sim/directory.h"
+
+#include "src/util/units.h"
+
+namespace fsbench {
+
+bool Directory::Insert(const std::string& name, InodeId ino) {
+  if (index_.count(name) != 0) {
+    return false;
+  }
+  uint64_t slot;
+  if (!holes_.empty()) {
+    slot = holes_.back();
+    holes_.pop_back();
+    slots_[slot] = Slot{name, ino};
+  } else {
+    slot = slots_.size();
+    slots_.push_back(Slot{name, ino});
+  }
+  index_[name] = slot;
+  return true;
+}
+
+std::optional<InodeId> Directory::Remove(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  const uint64_t slot = it->second;
+  const InodeId ino = slots_[slot].ino;
+  slots_[slot] = Slot{};
+  holes_.push_back(slot);
+  index_.erase(it);
+  return ino;
+}
+
+std::optional<InodeId> Directory::Lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return slots_[it->second].ino;
+}
+
+std::optional<uint64_t> Directory::SlotOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+uint64_t Directory::BlockCount(uint64_t entries_per_block) const {
+  if (slots_.empty()) {
+    return 1;  // an empty directory still occupies one block ("." / "..")
+  }
+  return CeilDiv(slots_.size(), entries_per_block);
+}
+
+std::vector<std::string> Directory::List() const {
+  std::vector<std::string> names;
+  names.reserve(index_.size());
+  for (const Slot& slot : slots_) {
+    if (!slot.name.empty()) {
+      names.push_back(slot.name);
+    }
+  }
+  return names;
+}
+
+}  // namespace fsbench

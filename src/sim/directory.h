@@ -1,0 +1,57 @@
+// In-memory directory contents with an on-disk cost model.
+//
+// Entries live in slots; a removed entry leaves a reusable hole, as ext2
+// dirent reuse does. The slot position determines which directory block an
+// entry occupies, which in turn determines how many block reads a linear
+// scan needs to find it.
+#ifndef SRC_SIM_DIRECTORY_H_
+#define SRC_SIM_DIRECTORY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace fsbench {
+
+class Directory {
+ public:
+  // Returns false if the name already exists.
+  bool Insert(const std::string& name, InodeId ino);
+
+  // Returns the removed inode, or std::nullopt if absent.
+  std::optional<InodeId> Remove(const std::string& name);
+
+  std::optional<InodeId> Lookup(const std::string& name) const;
+
+  // Slot index of `name` (for the linear-scan cost model), or std::nullopt.
+  std::optional<uint64_t> SlotOf(const std::string& name) const;
+
+  // Number of live entries.
+  size_t entry_count() const { return index_.size(); }
+
+  // Number of slots in use including holes; determines block count.
+  uint64_t slot_count() const { return slots_.size(); }
+
+  // Directory data blocks needed for `slot_count` slots.
+  uint64_t BlockCount(uint64_t entries_per_block) const;
+
+  // Live names in slot order.
+  std::vector<std::string> List() const;
+
+ private:
+  struct Slot {
+    std::string name;  // empty == hole
+    InodeId ino = kInvalidInode;
+  };
+  std::vector<Slot> slots_;
+  std::vector<uint64_t> holes_;  // indices of free slots, reused LIFO
+  std::unordered_map<std::string, uint64_t> index_;  // name -> slot
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_DIRECTORY_H_

@@ -1,0 +1,128 @@
+#include "src/sim/disk_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fsbench {
+
+DiskModel::DiskModel(const DiskParams& params, uint64_t seed) : params_(params), rng_(seed) {
+  assert(params_.sector_bytes > 0);
+  assert(params_.sectors_per_track > 0);
+  assert(params_.tracks_per_cylinder > 0);
+  assert(params_.rpm > 0);
+  total_sectors_ = params_.capacity / params_.sector_bytes;
+  sectors_per_cylinder_ =
+      static_cast<uint64_t>(params_.sectors_per_track) * params_.tracks_per_cylinder;
+  total_cylinders_ = std::max<uint64_t>(1, total_sectors_ / sectors_per_cylinder_);
+  revolution_time_ = kSecond * 60 / params_.rpm;
+}
+
+uint64_t DiskModel::CylinderOf(uint64_t lba) const { return lba / sectors_per_cylinder_; }
+
+Nanos DiskModel::SeekTime(uint64_t from_cylinder, uint64_t to_cylinder) const {
+  if (from_cylinder == to_cylinder) {
+    return 0;
+  }
+  const uint64_t distance =
+      from_cylinder > to_cylinder ? from_cylinder - to_cylinder : to_cylinder - from_cylinder;
+  // Average seek corresponds to a one-third-stroke distance; model the curve
+  // as sqrt up to that point and cap at the full stroke figure.
+  const double d_avg = static_cast<double>(total_cylinders_) / 3.0;
+  const double scale = std::sqrt(static_cast<double>(distance) / d_avg);
+  const auto base = static_cast<double>(params_.track_to_track_seek);
+  const auto span = static_cast<double>(params_.average_seek - params_.track_to_track_seek);
+  const Nanos t = static_cast<Nanos>(base + span * scale);
+  return std::min(t, params_.full_stroke_seek);
+}
+
+Nanos DiskModel::TransferTime(uint32_t sector_count) const {
+  // Media rate: one track per revolution.
+  const double revs = static_cast<double>(sector_count) / params_.sectors_per_track;
+  return static_cast<Nanos>(revs * static_cast<double>(revolution_time_));
+}
+
+std::optional<Nanos> DiskModel::Access(const IoRequest& req) {
+  assert(req.sector_count > 0);
+  assert(req.lba + req.sector_count <= total_sectors_);
+
+  if (!error_lbas_.empty()) {
+    const auto it = error_lbas_.lower_bound(req.lba);
+    if (it != error_lbas_.end() && *it < req.lba + req.sector_count) {
+      ++stats_.errors;
+      return std::nullopt;
+    }
+  }
+
+  Nanos service = params_.command_overhead;
+  const uint64_t target_cylinder = CylinderOf(req.lba);
+
+  const bool buffer_hit = req.kind == IoKind::kRead && buffer_end_lba_ > buffer_start_lba_ &&
+                          req.lba >= buffer_start_lba_ &&
+                          req.lba + req.sector_count <= buffer_end_lba_;
+  const bool streaming = has_last_ && req.lba == last_end_lba_;
+
+  if (buffer_hit) {
+    // Served from the on-drive buffer at interface speed; no mechanical work.
+    ++stats_.buffer_hits;
+    const double bytes = static_cast<double>(req.sector_count) * params_.sector_bytes;
+    service += static_cast<Nanos>(bytes / static_cast<double>(params_.interface_rate) *
+                                  static_cast<double>(kSecond));
+  } else {
+    if (streaming && target_cylinder == head_cylinder_) {
+      // Head is already positioned right after the previous request: pure
+      // media transfer, no seek or rotational delay.
+      ++stats_.sequential_hits;
+    } else {
+      const Nanos seek = SeekTime(head_cylinder_, target_cylinder);
+      if (seek > 0) {
+        ++stats_.seeks;
+      }
+      // Rotational latency: uniform over a revolution.
+      const Nanos rotation =
+          static_cast<Nanos>(rng_.NextDouble() * static_cast<double>(revolution_time_));
+      service += seek + rotation;
+      stats_.total_seek_time += seek;
+      stats_.total_rotation_time += rotation;
+    }
+    const Nanos transfer = TransferTime(req.sector_count);
+    service += transfer;
+    stats_.total_transfer_time += transfer;
+
+    if (req.kind == IoKind::kRead) {
+      // The drive buffers the whole track(s) it just read over, up to the
+      // buffer size; a subsequent read inside that range is a buffer hit.
+      const uint64_t track_start =
+          req.lba / params_.sectors_per_track * params_.sectors_per_track;
+      const uint64_t max_buffer_sectors = params_.buffer_bytes / params_.sector_bytes;
+      buffer_start_lba_ = track_start;
+      buffer_end_lba_ =
+          std::min(req.lba + std::max<uint64_t>(req.sector_count, params_.sectors_per_track),
+                   track_start + max_buffer_sectors);
+    }
+  }
+
+  head_cylinder_ = CylinderOf(req.lba + req.sector_count - 1);
+  last_end_lba_ = req.lba + req.sector_count;
+  has_last_ = true;
+
+  if (req.kind == IoKind::kRead) {
+    ++stats_.reads;
+    stats_.sectors_read += req.sector_count;
+  } else {
+    ++stats_.writes;
+    stats_.sectors_written += req.sector_count;
+    // Writes invalidate any overlapping buffered range.
+    if (req.lba < buffer_end_lba_ && req.lba + req.sector_count > buffer_start_lba_) {
+      buffer_start_lba_ = buffer_end_lba_ = 0;
+    }
+  }
+  stats_.total_service_time += service;
+  return service;
+}
+
+void DiskModel::InjectError(uint64_t lba) { error_lbas_.insert(lba); }
+
+void DiskModel::ClearErrors() { error_lbas_.clear(); }
+
+}  // namespace fsbench

@@ -1,0 +1,121 @@
+// Analytic model of a rotational disk, calibrated to the Maxtor 7L250S0
+// SATA drive used by the paper's testbed (7200 RPM, 250 GB).
+//
+// The model captures the mechanical effects the paper's case study depends
+// on: seek time grows with cylinder distance (so small files see short
+// seeks), rotational latency is a random fraction of a revolution, media
+// transfer is rate-limited, and a track buffer makes sequential re-reads
+// cheap. Service times are returned to the caller (the IoScheduler), which
+// owns queueing; the DiskModel itself is a pure service-time oracle plus
+// head-position state.
+#ifndef SRC_SIM_DISK_MODEL_H_
+#define SRC_SIM_DISK_MODEL_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+
+#include "src/sim/types.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace fsbench {
+
+// Physical/interface parameters. Defaults approximate the Maxtor 7L250S0.
+struct DiskParams {
+  uint32_t rpm = 7200;
+  Bytes capacity = 250 * kGiB;
+  uint32_t sector_bytes = 512;
+  // Simplified uniform geometry (real drives are zoned): sectors per track
+  // and tracks per cylinder determine the LBA -> cylinder mapping and the
+  // media transfer rate (one track per revolution).
+  uint32_t sectors_per_track = 1024;  // ~64 MiB/s media rate at 7200 RPM
+  uint32_t tracks_per_cylinder = 4;
+  // Seek curve: t(d) = track_to_track + (avg - track_to_track) * sqrt(d / d_avg)
+  // where d_avg = one third of the full stroke, capped at full_stroke.
+  Nanos track_to_track_seek = FromMillis(0.8);
+  Nanos average_seek = FromMillis(8.5);
+  Nanos full_stroke_seek = FromMillis(17.0);
+  // Fixed per-command controller/settle overhead.
+  Nanos command_overhead = FromMillis(0.3);
+  // Interface (SATA) burst rate used for buffer hits, bytes/second.
+  uint64_t interface_rate = 150 * 1000 * 1000;
+  // On-drive buffer used as a read track cache.
+  Bytes buffer_bytes = 8 * kMiB;
+};
+
+// Operation kind for a single device request.
+enum class IoKind : uint8_t { kRead, kWrite };
+
+// One device request in file-system blocks' underlying sectors.
+struct IoRequest {
+  IoKind kind = IoKind::kRead;
+  uint64_t lba = 0;           // first sector
+  uint32_t sector_count = 0;  // must be > 0
+};
+
+// Cumulative counters; cheap to copy.
+struct DiskStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t sectors_read = 0;
+  uint64_t sectors_written = 0;
+  uint64_t seeks = 0;             // requests that moved the head
+  uint64_t buffer_hits = 0;       // served from the track buffer
+  uint64_t sequential_hits = 0;   // head already in position (streaming)
+  Nanos total_service_time = 0;
+  Nanos total_seek_time = 0;
+  Nanos total_rotation_time = 0;
+  Nanos total_transfer_time = 0;
+  uint64_t errors = 0;
+};
+
+class DiskModel {
+ public:
+  // `seed` drives rotational-latency sampling; two DiskModels with the same
+  // seed and request sequence produce identical service times.
+  DiskModel(const DiskParams& params, uint64_t seed);
+
+  // Computes the service time for `req`, updates head position, buffer and
+  // statistics. Returns std::nullopt if the request hits an injected fault
+  // (the time until the failure is still accounted internally).
+  std::optional<Nanos> Access(const IoRequest& req);
+
+  // Fault injection: any request overlapping `lba` fails until cleared.
+  void InjectError(uint64_t lba);
+  void ClearErrors();
+
+  const DiskParams& params() const { return params_; }
+  const DiskStats& stats() const { return stats_; }
+  uint64_t total_sectors() const { return total_sectors_; }
+  uint64_t total_cylinders() const { return total_cylinders_; }
+
+  // Exposed for tests: deterministic components of the model.
+  Nanos SeekTime(uint64_t from_cylinder, uint64_t to_cylinder) const;
+  Nanos TransferTime(uint32_t sector_count) const;
+  uint64_t CylinderOf(uint64_t lba) const;
+  Nanos revolution_time() const { return revolution_time_; }
+
+ private:
+  DiskParams params_;
+  Rng rng_;
+  uint64_t total_sectors_;
+  uint64_t sectors_per_cylinder_;
+  uint64_t total_cylinders_;
+  Nanos revolution_time_;
+
+  uint64_t head_cylinder_ = 0;
+  // End LBA of the last request; equal start means streaming continuation.
+  uint64_t last_end_lba_ = 0;
+  bool has_last_ = false;
+  // Track-buffer contents as an LBA range (last track(s) read).
+  uint64_t buffer_start_lba_ = 0;
+  uint64_t buffer_end_lba_ = 0;
+
+  std::set<uint64_t> error_lbas_;
+  DiskStats stats_;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_DISK_MODEL_H_

@@ -1,0 +1,70 @@
+// Pluggable page-cache eviction policies.
+//
+// The paper asks (§2): "How are elements evicted from the cache? To the best
+// of our knowledge, none of the existing benchmarks consider these
+// questions." fsbench makes the policy a first-class, swappable component so
+// the caching dimension can be benchmarked in isolation (see
+// bench/ablation_eviction). Implemented: LRU, CLOCK, simplified 2Q
+// (Johnson & Shasha, VLDB'94) and ARC (Megiddo & Modha, FAST'03).
+//
+// Contract: the policy tracks exactly the set of *resident* keys the cache
+// holds. PageCache calls OnInsert when a page becomes resident, OnAccess on
+// a hit, OnRemove on explicit invalidation, and ChooseVictim when it must
+// evict; ChooseVictim returns a currently resident key and removes it from
+// the policy's resident bookkeeping (ghost lists may retain it).
+#ifndef SRC_SIM_EVICTION_POLICY_H_
+#define SRC_SIM_EVICTION_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "src/sim/types.h"
+
+namespace fsbench {
+
+// Identity of a cached page: (inode, page index within the file). Meta-data
+// blocks are cached under the reserved kMetaInode.
+struct PageKey {
+  InodeId ino = kInvalidInode;
+  uint64_t index = 0;
+
+  bool operator==(const PageKey& other) const = default;
+};
+
+inline constexpr InodeId kMetaInode = ~0ULL;
+
+struct PageKeyHash {
+  size_t operator()(const PageKey& key) const {
+    uint64_t h = key.ino * 0x9e3779b97f4a7c15ULL;
+    h ^= key.index + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+enum class EvictionPolicyKind : uint8_t { kLru, kClock, kTwoQueue, kArc };
+
+const char* EvictionPolicyKindName(EvictionPolicyKind kind);
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  virtual const char* name() const = 0;
+  virtual void OnInsert(const PageKey& key) = 0;
+  virtual void OnAccess(const PageKey& key) = 0;
+  virtual PageKey ChooseVictim() = 0;
+  virtual void OnRemove(const PageKey& key) = 0;
+  // Number of resident keys tracked; must equal the cache's size.
+  virtual size_t resident_count() const = 0;
+};
+
+// Factory. `capacity_pages` sizes internal queues/ghost lists where the
+// policy needs it (2Q, ARC); LRU and CLOCK ignore it.
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionPolicyKind kind, size_t capacity_pages);
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_EVICTION_POLICY_H_

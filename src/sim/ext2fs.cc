@@ -1,0 +1,174 @@
+#include "src/sim/ext2fs.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fsbench {
+
+Ext2Fs::Ext2Fs(Bytes device_capacity, const FsLayoutParams& params, VirtualClock* clock)
+    : FileSystem(device_capacity, params, clock) {}
+
+void Ext2Fs::IndirectSlotsFor(uint64_t page, std::vector<uint64_t>* slots) const {
+  const uint64_t ptrs = pointers_per_block();
+  const uint64_t direct = direct_pages();
+  if (page < direct) {
+    return;
+  }
+  page -= direct;
+  if (page < ptrs) {
+    // Single indirect root.
+    slots->push_back(0);
+    return;
+  }
+  page -= ptrs;
+  if (page < ptrs * ptrs) {
+    // Double indirect: root at slot 1, leaves at 2..(1+ptrs).
+    slots->push_back(1);
+    slots->push_back(2 + page / ptrs);
+    return;
+  }
+  page -= ptrs * ptrs;
+  // Triple indirect: root, mid, leaf. Slot layout reserves the double-leaf
+  // range [2, 2+ptrs) first.
+  const uint64_t triple_base = 2 + ptrs;
+  const uint64_t mid = page / (ptrs * ptrs);
+  const uint64_t leaf = (page % (ptrs * ptrs)) / ptrs;
+  slots->push_back(triple_base);                              // triple root
+  slots->push_back(triple_base + 1 + mid);                    // mid node
+  slots->push_back(triple_base + 1 + ptrs + mid * ptrs + leaf);  // leaf node
+}
+
+FsResult<BlockId> Ext2Fs::MapPage(InodeId ino, uint64_t page_index, MetaIo* io) {
+  const Inode* inode = FindInode(ino);
+  if (inode == nullptr) {
+    return FsResult<BlockId>::Error(FsStatus::kNotFound);
+  }
+  if (page_index >= inode->block_map.size() || inode->block_map[page_index] == kInvalidBlock) {
+    return FsResult<BlockId>::Ok(kInvalidBlock);  // hole
+  }
+  io->AddMetaRead(inode->itable_block);
+  std::vector<uint64_t> slots;
+  IndirectSlotsFor(page_index, &slots);
+  for (uint64_t slot : slots) {
+    assert(slot < inode->indirect_blocks.size());
+    io->AddMetaRead(inode->indirect_blocks[slot]);
+  }
+  return FsResult<BlockId>::Ok(inode->block_map[page_index]);
+}
+
+BlockId Ext2Fs::DataGoal(const Inode& inode, uint64_t page) const {
+  if (page > 0 && page - 1 < inode.block_map.size() &&
+      inode.block_map[page - 1] != kInvalidBlock) {
+    return inode.block_map[page - 1] + 1;
+  }
+  // Last mapped block anywhere, else the inode's group.
+  for (auto it = inode.block_map.rbegin(); it != inode.block_map.rend(); ++it) {
+    if (*it != kInvalidBlock) {
+      return *it + 1;
+    }
+  }
+  return GroupDataStart(inode.group);
+}
+
+FsStatus Ext2Fs::EnsureIndirectChain(Inode& inode, uint64_t page, MetaIo* io) {
+  std::vector<uint64_t> slots;
+  IndirectSlotsFor(page, &slots);
+  for (uint64_t slot : slots) {
+    if (slot >= inode.indirect_blocks.size()) {
+      inode.indirect_blocks.resize(slot + 1, kInvalidBlock);
+    }
+    if (inode.indirect_blocks[slot] == kInvalidBlock) {
+      const std::optional<BlockId> block = alloc_.AllocateBlock(DataGoal(inode, page));
+      if (!block.has_value()) {
+        return FsStatus::kNoSpace;
+      }
+      inode.indirect_blocks[slot] = *block;
+      ++inode.allocated_blocks;
+      io->AddMetaWrite(*block);
+      io->AddMetaWrite(BlockBitmapBlock(alloc_.GroupOf(*block)));
+    } else {
+      // Updating a deeper level dirties the parent node too.
+      io->AddMetaWrite(inode.indirect_blocks[slot]);
+    }
+  }
+  return FsStatus::kOk;
+}
+
+FsResult<BlockId> Ext2Fs::AllocatePage(InodeId ino, uint64_t page_index, MetaIo* io) {
+  Inode* inode = MutableInode(ino);
+  if (inode == nullptr) {
+    return FsResult<BlockId>::Error(FsStatus::kNotFound);
+  }
+  if (page_index < inode->block_map.size() &&
+      inode->block_map[page_index] != kInvalidBlock) {
+    return FsResult<BlockId>::Ok(inode->block_map[page_index]);
+  }
+  const FsStatus chain = EnsureIndirectChain(*inode, page_index, io);
+  if (chain != FsStatus::kOk) {
+    return FsResult<BlockId>::Error(chain);
+  }
+  const std::optional<BlockId> block = alloc_.AllocateBlock(DataGoal(*inode, page_index));
+  if (!block.has_value()) {
+    return FsResult<BlockId>::Error(FsStatus::kNoSpace);
+  }
+  if (page_index >= inode->block_map.size()) {
+    inode->block_map.resize(page_index + 1, kInvalidBlock);
+  }
+  inode->block_map[page_index] = *block;
+  ++inode->allocated_blocks;
+  io->AddMetaWrite(BlockBitmapBlock(alloc_.GroupOf(*block)));
+  io->AddMetaWrite(inode->itable_block);
+  return FsResult<BlockId>::Ok(*block);
+}
+
+void Ext2Fs::FreeAllBlocks(Inode& inode, MetaIo* io) {
+  for (BlockId block : inode.block_map) {
+    if (block != kInvalidBlock) {
+      alloc_.Free(Extent{block, 1});
+      io->AddMetaWrite(BlockBitmapBlock(alloc_.GroupOf(block)));
+    }
+  }
+  for (BlockId block : inode.indirect_blocks) {
+    if (block != kInvalidBlock) {
+      alloc_.Free(Extent{block, 1});
+      io->AddMetaWrite(BlockBitmapBlock(alloc_.GroupOf(block)));
+      io->invalidations.push_back({kMetaInode, block, block});
+    }
+  }
+  inode.block_map.clear();
+  inode.indirect_blocks.clear();
+  inode.allocated_blocks = 0;
+}
+
+void Ext2Fs::FreePagesFrom(Inode& inode, uint64_t first_page, MetaIo* io) {
+  // Frees data blocks past the new end. Indirect blocks are kept (and stay
+  // accounted in allocated_blocks) — a simplification relative to real
+  // ext2, which prunes empty indirect blocks.
+  for (uint64_t page = first_page; page < inode.block_map.size(); ++page) {
+    const BlockId block = inode.block_map[page];
+    if (block != kInvalidBlock) {
+      alloc_.Free(Extent{block, 1});
+      --inode.allocated_blocks;
+      io->AddMetaWrite(BlockBitmapBlock(alloc_.GroupOf(block)));
+      io->invalidations.push_back({inode.ino, page, block});
+    }
+  }
+  if (first_page < inode.block_map.size()) {
+    inode.block_map.resize(first_page);
+  }
+}
+
+void Ext2Fs::AppendOwnedBlocks(const Inode& inode, std::vector<BlockId>* blocks) const {
+  for (BlockId block : inode.block_map) {
+    if (block != kInvalidBlock) {
+      blocks->push_back(block);
+    }
+  }
+  for (BlockId block : inode.indirect_blocks) {
+    if (block != kInvalidBlock) {
+      blocks->push_back(block);
+    }
+  }
+}
+
+}  // namespace fsbench

@@ -1,0 +1,52 @@
+// Ext2-like file system: block-mapped inodes (12 direct pointers, then
+// single/double/triple indirect blocks), goal-directed block allocation
+// inside the parent's block group, linear directory scans, no journal,
+// conservative readahead.
+#ifndef SRC_SIM_EXT2FS_H_
+#define SRC_SIM_EXT2FS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/filesystem.h"
+
+namespace fsbench {
+
+class Ext2Fs : public FileSystem {
+ public:
+  Ext2Fs(Bytes device_capacity, const FsLayoutParams& params, VirtualClock* clock);
+
+  const char* name() const override { return "ext2"; }
+  FsKind kind() const override { return FsKind::kExt2; }
+
+  FsResult<BlockId> MapPage(InodeId ino, uint64_t page_index, MetaIo* io) override;
+  FsResult<BlockId> AllocatePage(InodeId ino, uint64_t page_index, MetaIo* io) override;
+
+  ReadaheadConfig readahead_config() const override {
+    // Modest read-around cluster; Linux-style ramping window on sequential.
+    return ReadaheadConfig{ReadaheadKind::kAdaptive, /*fixed_pages=*/8, /*min_window=*/4,
+                           /*max_window=*/32, /*random_cluster=*/2};
+  }
+
+  // Indirect-block slot numbering for `page`, appended to `slots`. Slot
+  // indices address Inode::indirect_blocks; exposed for tests.
+  void IndirectSlotsFor(uint64_t page, std::vector<uint64_t>* slots) const;
+
+ protected:
+  void FreeAllBlocks(Inode& inode, MetaIo* io) override;
+  void FreePagesFrom(Inode& inode, uint64_t first_page, MetaIo* io) override;
+  void AppendOwnedBlocks(const Inode& inode, std::vector<BlockId>* blocks) const override;
+
+  // Allocation goal for the next data block of `inode` at `page`.
+  BlockId DataGoal(const Inode& inode, uint64_t page) const;
+
+  // Ensures the indirect chain for `page` exists; charges meta writes.
+  FsStatus EnsureIndirectChain(Inode& inode, uint64_t page, MetaIo* io);
+
+  uint64_t pointers_per_block() const { return params_.block_size / 4; }
+  uint64_t direct_pages() const { return 12; }
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_EXT2FS_H_

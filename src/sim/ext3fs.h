@@ -1,0 +1,45 @@
+// Ext3-like file system: ext2 layout plus a write-ahead journal. Meta-data
+// dirtied by namespace and allocation operations is logged; commits are
+// periodic (kjournald) or synchronous on fsync. Reads behave like ext2 with
+// slightly higher per-op CPU (transaction bookkeeping) and a smaller
+// read-around cluster, which slows cache warm-up relative to ext2
+// (see bench/fig2_warmup_timeline).
+#ifndef SRC_SIM_EXT3FS_H_
+#define SRC_SIM_EXT3FS_H_
+
+#include <memory>
+
+#include "src/sim/ext2fs.h"
+
+namespace fsbench {
+
+class Ext3Fs : public Ext2Fs {
+ public:
+  // Reserves `journal_blocks` file-system blocks for the journal region.
+  Ext3Fs(Bytes device_capacity, const FsLayoutParams& params, VirtualClock* clock,
+         uint64_t journal_blocks = 8192);
+
+  const char* name() const override { return "ext3"; }
+  FsKind kind() const override { return FsKind::kExt3; }
+
+  // The journal needs the I/O scheduler, which exists only after the machine
+  // is assembled; it is attached post-construction.
+  void AttachJournal(std::unique_ptr<Journal> journal) { journal_ = std::move(journal); }
+  Journal* journal() override { return journal_.get(); }
+  const Extent& journal_region() const { return journal_region_; }
+
+  ReadaheadConfig readahead_config() const override {
+    return ReadaheadConfig{ReadaheadKind::kAdaptive, /*fixed_pages=*/8, /*min_window=*/4,
+                           /*max_window=*/32, /*random_cluster=*/1};
+  }
+
+  Nanos per_op_cpu_overhead() const override { return 2 * kMicrosecond; }
+
+ private:
+  Extent journal_region_;
+  std::unique_ptr<Journal> journal_;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_EXT3FS_H_

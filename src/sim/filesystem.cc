@@ -1,0 +1,422 @@
+#include "src/sim/filesystem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace fsbench {
+
+const char* FsStatusName(FsStatus status) {
+  switch (status) {
+    case FsStatus::kOk:
+      return "OK";
+    case FsStatus::kNotFound:
+      return "ENOENT";
+    case FsStatus::kExists:
+      return "EEXIST";
+    case FsStatus::kNoSpace:
+      return "ENOSPC";
+    case FsStatus::kIoError:
+      return "EIO";
+    case FsStatus::kNotDir:
+      return "ENOTDIR";
+    case FsStatus::kIsDir:
+      return "EISDIR";
+    case FsStatus::kNotEmpty:
+      return "ENOTEMPTY";
+    case FsStatus::kBadHandle:
+      return "EBADF";
+    case FsStatus::kInvalid:
+      return "EINVAL";
+  }
+  return "?";
+}
+
+const char* FsKindName(FsKind kind) {
+  switch (kind) {
+    case FsKind::kExt2:
+      return "ext2";
+    case FsKind::kExt3:
+      return "ext3";
+    case FsKind::kXfs:
+      return "xfs";
+  }
+  return "?";
+}
+
+FileSystem::FileSystem(Bytes device_capacity, const FsLayoutParams& params, VirtualClock* clock)
+    : params_(params),
+      clock_(clock),
+      alloc_(device_capacity / params.block_size, params.group_blocks) {
+  InitGroups();
+
+  // Root directory.
+  Inode root;
+  root.ino = kRootInode;
+  root.type = FileType::kDirectory;
+  root.link_count = 2;
+  root.group = 0;
+  root.itable_block = GroupStart(0) + 3;
+  root.mtime = root.ctime = Now();
+  inodes_.emplace(kRootInode, std::move(root));
+  dirs_.emplace(kRootInode, Directory{});
+  group_inode_counts_[0] = 1;
+  group_local_inodes_[0] = 1;
+  next_ino_ = kRootInode + 1;
+}
+
+void FileSystem::InitGroups() {
+  const uint64_t groups = alloc_.group_count();
+  group_inode_counts_.assign(groups, 0);
+  group_local_inodes_.assign(groups, 0);
+  for (uint64_t g = 0; g < groups; ++g) {
+    const BlockId start = GroupStart(g);
+    const uint64_t size = std::min<uint64_t>(params_.group_blocks, alloc_.total_blocks() - start);
+    const uint64_t header = std::min<uint64_t>(params_.group_header_blocks, size);
+    alloc_.ReserveRange(Extent{start, header});
+    reserved_blocks_ += header;
+  }
+}
+
+Nanos FileSystem::Now() const { return clock_ != nullptr ? clock_->now() : 0; }
+
+const Inode* FileSystem::FindInode(InodeId ino) const {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+Inode* FileSystem::MutableInode(InodeId ino) {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+const Directory* FileSystem::FindDir(InodeId ino) const {
+  auto it = dirs_.find(ino);
+  return it == dirs_.end() ? nullptr : &it->second;
+}
+
+Directory* FileSystem::MutableDir(InodeId ino) {
+  auto it = dirs_.find(ino);
+  return it == dirs_.end() ? nullptr : &it->second;
+}
+
+BlockId FileSystem::InodeTableBlock(const Inode& inode) const { return inode.itable_block; }
+
+uint64_t FileSystem::PickGroup(const Inode& parent, FileType type) {
+  if (type == FileType::kDirectory) {
+    // Spread directories across groups (Orlov-flavoured round-robin).
+    const uint64_t group = next_dir_group_;
+    next_dir_group_ = (next_dir_group_ + 1) % group_inode_counts_.size();
+    return group;
+  }
+  return parent.group;
+}
+
+Inode* FileSystem::AllocateInode(const Inode& parent, FileType type, MetaIo* io) {
+  const uint64_t groups = group_local_inodes_.size();
+  const uint64_t max_local = params_.inode_table_blocks * params_.inodes_per_block;
+  uint64_t group = PickGroup(parent, type) % groups;
+  // Linear-probe for a group with a free inode-table slot.
+  for (uint64_t probe = 0; probe < groups; ++probe, group = (group + 1) % groups) {
+    if (group_local_inodes_[group] < max_local) {
+      break;
+    }
+  }
+  if (group_local_inodes_[group] >= max_local) {
+    return nullptr;
+  }
+  const uint64_t local = group_local_inodes_[group]++;
+  ++group_inode_counts_[group];
+
+  Inode inode;
+  inode.ino = next_ino_++;
+  inode.type = type;
+  inode.link_count = type == FileType::kDirectory ? 2 : 1;
+  inode.group = group;
+  inode.itable_block = GroupStart(group) + 3 + local / params_.inodes_per_block;
+  inode.mtime = inode.ctime = Now();
+  io->AddMetaWrite(inode.itable_block);
+  io->AddMetaWrite(InodeBitmapBlock(group));
+
+  auto [it, inserted] = inodes_.emplace(inode.ino, std::move(inode));
+  assert(inserted);
+  return &it->second;
+}
+
+void FileSystem::ChargeDirLookup(const Inode& dir_inode, const Directory& dir,
+                                 const std::string& name, std::optional<uint64_t> slot,
+                                 MetaIo* io) {
+  (void)name;
+  // Linear scan (ext2/ext3 flavour): a positive lookup reads directory
+  // blocks up to and including the entry's block; a negative lookup reads
+  // all of them.
+  const uint64_t epb = params_.dir_entries_per_block;
+  const uint64_t total_blocks = dir.slot_count() == 0 ? 0 : CeilDiv(dir.slot_count(), epb);
+  const uint64_t last_block = !slot.has_value()
+                                  ? total_blocks
+                                  : std::min<uint64_t>(*slot / epb + 1, total_blocks);
+  for (uint64_t page = 0; page < last_block; ++page) {
+    const FsResult<BlockId> mapping = MapPage(dir_inode.ino, page, io);
+    if (mapping.ok() && mapping.value != kInvalidBlock) {
+      io->reads.push_back({dir_inode.ino, page, mapping.value});
+    }
+  }
+}
+
+FsResult<BlockId> FileSystem::EnsureDirSlotBlock(Inode& dir_inode, uint64_t slot, MetaIo* io) {
+  const uint64_t page = slot / params_.dir_entries_per_block;
+  const FsResult<BlockId> existing = MapPage(dir_inode.ino, page, io);
+  if (existing.ok() && existing.value != kInvalidBlock) {
+    return existing;
+  }
+  const FsResult<BlockId> allocated = AllocatePage(dir_inode.ino, page, io);
+  if (allocated.ok()) {
+    const Bytes needed = (page + 1) * params_.block_size;
+    if (dir_inode.size < needed) {
+      dir_inode.size = needed;
+    }
+  }
+  return allocated;
+}
+
+FsResult<InodeId> FileSystem::Create(InodeId parent, const std::string& name, FileType type,
+                                     MetaIo* io) {
+  Inode* parent_inode = MutableInode(parent);
+  if (parent_inode == nullptr) {
+    return FsResult<InodeId>::Error(FsStatus::kNotFound);
+  }
+  if (parent_inode->type != FileType::kDirectory) {
+    return FsResult<InodeId>::Error(FsStatus::kNotDir);
+  }
+  Directory* dir = MutableDir(parent);
+  assert(dir != nullptr);
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return FsResult<InodeId>::Error(FsStatus::kInvalid);
+  }
+
+  // Negative lookup scans the whole directory.
+  ChargeDirLookup(*parent_inode, *dir, name, std::nullopt, io);
+  if (dir->Lookup(name).has_value()) {
+    return FsResult<InodeId>::Error(FsStatus::kExists);
+  }
+
+  Inode* inode = AllocateInode(*parent_inode, type, io);
+  if (inode == nullptr) {
+    return FsResult<InodeId>::Error(FsStatus::kNoSpace);
+  }
+  if (type == FileType::kDirectory) {
+    dirs_.emplace(inode->ino, Directory{});
+    ++parent_inode->link_count;  // ".." back-reference
+  }
+
+  const bool inserted = dir->Insert(name, inode->ino);
+  assert(inserted);
+  (void)inserted;
+  const uint64_t slot = *dir->SlotOf(name);
+  const FsResult<BlockId> dir_block = EnsureDirSlotBlock(*parent_inode, slot, io);
+  if (!dir_block.ok()) {
+    // Roll back: no space for the dirent.
+    dir->Remove(name);
+    if (type == FileType::kDirectory) {
+      dirs_.erase(inode->ino);
+      --parent_inode->link_count;
+    }
+    inodes_.erase(inode->ino);
+    return FsResult<InodeId>::Error(dir_block.status);
+  }
+  io->writes.push_back({parent, slot / params_.dir_entries_per_block, dir_block.value});
+  io->AddMetaWrite(parent_inode->itable_block);
+  parent_inode->mtime = Now();
+  return FsResult<InodeId>::Ok(inode->ino);
+}
+
+FsStatus FileSystem::Unlink(InodeId parent, const std::string& name, MetaIo* io) {
+  Inode* parent_inode = MutableInode(parent);
+  if (parent_inode == nullptr) {
+    return FsStatus::kNotFound;
+  }
+  if (parent_inode->type != FileType::kDirectory) {
+    return FsStatus::kNotDir;
+  }
+  Directory* dir = MutableDir(parent);
+  assert(dir != nullptr);
+
+  const std::optional<uint64_t> slot = dir->SlotOf(name);
+  if (!slot.has_value()) {
+    ChargeDirLookup(*parent_inode, *dir, name, std::nullopt, io);
+    return FsStatus::kNotFound;
+  }
+  ChargeDirLookup(*parent_inode, *dir, name, slot, io);
+
+  const InodeId ino = *dir->Lookup(name);
+  Inode* inode = MutableInode(ino);
+  assert(inode != nullptr);
+  if (inode->type == FileType::kDirectory) {
+    Directory* victim_dir = MutableDir(ino);
+    if (victim_dir != nullptr && victim_dir->entry_count() > 0) {
+      return FsStatus::kNotEmpty;
+    }
+  }
+
+  dir->Remove(name);
+  // Rewrite the dirent's block.
+  const FsResult<BlockId> dir_block = MapPage(parent, *slot / params_.dir_entries_per_block, io);
+  if (dir_block.ok() && dir_block.value != kInvalidBlock) {
+    io->writes.push_back({parent, *slot / params_.dir_entries_per_block, dir_block.value});
+  }
+  io->AddMetaWrite(parent_inode->itable_block);
+  parent_inode->mtime = Now();
+
+  --inode->link_count;
+  if (inode->type == FileType::kDirectory) {
+    --inode->link_count;  // the directory's own "." reference
+    --parent_inode->link_count;
+  }
+  if (inode->link_count == 0 ||
+      (inode->type == FileType::kDirectory && inode->link_count <= 1)) {
+    FreeAllBlocks(*inode, io);
+    io->AddMetaWrite(inode->itable_block);
+    io->AddMetaWrite(InodeBitmapBlock(inode->group));
+    io->drop_files.push_back(ino);
+    --group_inode_counts_[inode->group];
+    dirs_.erase(ino);
+    inodes_.erase(ino);
+  }
+  return FsStatus::kOk;
+}
+
+FsResult<InodeId> FileSystem::Lookup(InodeId parent, const std::string& name, MetaIo* io) {
+  Inode* parent_inode = MutableInode(parent);
+  if (parent_inode == nullptr) {
+    return FsResult<InodeId>::Error(FsStatus::kNotFound);
+  }
+  if (parent_inode->type != FileType::kDirectory) {
+    return FsResult<InodeId>::Error(FsStatus::kNotDir);
+  }
+  const Directory* dir = FindDir(parent);
+  assert(dir != nullptr);
+  const std::optional<uint64_t> slot = dir->SlotOf(name);
+  if (!slot.has_value()) {
+    ChargeDirLookup(*parent_inode, *dir, name, std::nullopt, io);
+    return FsResult<InodeId>::Error(FsStatus::kNotFound);
+  }
+  ChargeDirLookup(*parent_inode, *dir, name, slot, io);
+  return FsResult<InodeId>::Ok(*dir->Lookup(name));
+}
+
+FsResult<FileAttr> FileSystem::Stat(InodeId ino, MetaIo* io) {
+  const Inode* inode = FindInode(ino);
+  if (inode == nullptr) {
+    return FsResult<FileAttr>::Error(FsStatus::kNotFound);
+  }
+  io->AddMetaRead(inode->itable_block);
+  FileAttr attr;
+  attr.ino = inode->ino;
+  attr.type = inode->type;
+  attr.size = inode->size;
+  attr.allocated_blocks = inode->allocated_blocks;
+  attr.link_count = inode->link_count;
+  attr.mtime = inode->mtime;
+  attr.ctime = inode->ctime;
+  return FsResult<FileAttr>::Ok(attr);
+}
+
+FsResult<std::vector<std::string>> FileSystem::ReadDir(InodeId ino, MetaIo* io) {
+  Inode* inode = MutableInode(ino);
+  if (inode == nullptr) {
+    return FsResult<std::vector<std::string>>::Error(FsStatus::kNotFound);
+  }
+  if (inode->type != FileType::kDirectory) {
+    return FsResult<std::vector<std::string>>::Error(FsStatus::kNotDir);
+  }
+  const Directory* dir = FindDir(ino);
+  assert(dir != nullptr);
+  ChargeDirLookup(*inode, *dir, "", std::nullopt, io);  // reads every block
+  return FsResult<std::vector<std::string>>::Ok(dir->List());
+}
+
+FsStatus FileSystem::SetSize(InodeId ino, Bytes new_size, MetaIo* io) {
+  Inode* inode = MutableInode(ino);
+  if (inode == nullptr) {
+    return FsStatus::kNotFound;
+  }
+  if (inode->type == FileType::kDirectory) {
+    return FsStatus::kIsDir;
+  }
+  if (new_size < inode->size) {
+    const uint64_t first_dead_page = CeilDiv(new_size, params_.block_size);
+    FreePagesFrom(*inode, first_dead_page, io);
+  }
+  inode->size = new_size;
+  inode->mtime = Now();
+  io->AddMetaWrite(inode->itable_block);
+  return FsStatus::kOk;
+}
+
+bool FileSystem::CheckConsistency(std::string* error) const {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+
+  if (inodes_.count(kRootInode) == 0) {
+    return fail("missing root inode");
+  }
+
+  // Every owned block allocated exactly once; totals match the allocator.
+  std::unordered_set<BlockId> seen;
+  uint64_t owned = 0;
+  for (const auto& [ino, inode] : inodes_) {
+    std::vector<BlockId> blocks;
+    AppendOwnedBlocks(inode, &blocks);
+    for (BlockId b : blocks) {
+      if (b == kInvalidBlock) {
+        continue;
+      }
+      if (!alloc_.IsAllocated(b)) {
+        return fail("inode " + std::to_string(ino) + " references unallocated block " +
+                    std::to_string(b));
+      }
+      if (!seen.insert(b).second) {
+        return fail("block " + std::to_string(b) + " owned twice");
+      }
+      ++owned;
+    }
+    if (inode.allocated_blocks != blocks.size()) {
+      return fail("inode " + std::to_string(ino) + " allocated_blocks mismatch");
+    }
+  }
+  if (owned + reserved_blocks_ != alloc_.used_blocks()) {
+    return fail("allocator accounting mismatch: owned=" + std::to_string(owned) +
+                " reserved=" + std::to_string(reserved_blocks_) +
+                " used=" + std::to_string(alloc_.used_blocks()));
+  }
+  if (!alloc_.CheckInvariants()) {
+    return fail("allocator bitmap/group counters inconsistent");
+  }
+
+  // Directory structure: every entry resolves to a live inode; every
+  // directory inode has a Directory.
+  for (const auto& [ino, dir] : dirs_) {
+    const Inode* inode = FindInode(ino);
+    if (inode == nullptr || inode->type != FileType::kDirectory) {
+      return fail("directory table entry for non-directory inode " + std::to_string(ino));
+    }
+    for (const std::string& name : dir.List()) {
+      const std::optional<InodeId> child = dir.Lookup(name);
+      if (!child.has_value() || inodes_.count(*child) == 0) {
+        return fail("dangling dirent '" + name + "' in dir " + std::to_string(ino));
+      }
+    }
+  }
+  for (const auto& [ino, inode] : inodes_) {
+    if (inode.type == FileType::kDirectory && dirs_.count(ino) == 0) {
+      return fail("directory inode " + std::to_string(ino) + " has no directory table");
+    }
+  }
+  return true;
+}
+
+}  // namespace fsbench

@@ -1,0 +1,193 @@
+// Abstract simulated file system plus the shared namespace machinery.
+//
+// A FileSystem is pure bookkeeping: it maintains inodes, directories and the
+// block allocator, and *describes* the I/O an operation needs via MetaIo —
+// which cacheable pages must be read to resolve it and which are dirtied.
+// The VFS is the single component that turns MetaIo into page-cache lookups,
+// disk requests and virtual time. This split keeps per-FS differences where
+// they belong: layout policy, mapping structure, directory cost model,
+// journaling, readahead aggressiveness and CPU overhead.
+#ifndef SRC_SIM_FILESYSTEM_H_
+#define SRC_SIM_FILESYSTEM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/block_allocator.h"
+#include "src/sim/clock.h"
+#include "src/sim/directory.h"
+#include "src/sim/eviction_policy.h"
+#include "src/sim/inode.h"
+#include "src/sim/journal.h"
+#include "src/sim/readahead.h"
+#include "src/sim/types.h"
+
+namespace fsbench {
+
+// One cacheable page an operation touches: identified by (ino, index) for
+// the page cache and by `block` for the device. FS-global meta-data
+// (bitmaps, inode tables, indirect blocks, btree nodes) is keyed under
+// kMetaInode with index == block.
+struct MetaRef {
+  InodeId ino = kInvalidInode;
+  uint64_t index = 0;
+  BlockId block = kInvalidBlock;
+};
+
+// The I/O plan for one file-system operation.
+struct MetaIo {
+  std::vector<MetaRef> reads;          // must be resident or read from disk
+  std::vector<MetaRef> writes;         // dirtied (journaled on ext3)
+  std::vector<MetaRef> invalidations;  // cache entries to drop (unlink, truncate)
+  std::vector<InodeId> drop_files;     // whole files whose pages must be dropped
+
+  void AddMetaRead(BlockId block) { reads.push_back({kMetaInode, block, block}); }
+  void AddMetaWrite(BlockId block) { writes.push_back({kMetaInode, block, block}); }
+};
+
+// Geometry/layout parameters common to the simulated file systems.
+struct FsLayoutParams {
+  Bytes block_size = 4 * kKiB;
+  uint64_t group_blocks = 32768;        // 128 MiB block groups
+  uint64_t group_header_blocks = 256;   // superblock copy + bitmaps + inode table
+  uint64_t inode_table_blocks = 128;    // within the header; 16 inodes per block
+  uint64_t inodes_per_block = 16;
+  uint64_t dir_entries_per_block = 64;  // ~64 B per dirent
+};
+
+enum class FsKind : uint8_t { kExt2, kExt3, kXfs };
+
+const char* FsKindName(FsKind kind);
+
+class FileSystem {
+ public:
+  // `clock` may be null (timestamps stay 0); used only for mtime/ctime.
+  FileSystem(Bytes device_capacity, const FsLayoutParams& params, VirtualClock* clock);
+  virtual ~FileSystem() = default;
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  virtual const char* name() const = 0;
+  virtual FsKind kind() const = 0;
+
+  // --- Namespace operations (shared implementation) ---
+
+  // Creates a file or directory under `parent`. Charges a full-directory
+  // negative lookup plus dirent/bitmap/inode-table writes into `io`.
+  FsResult<InodeId> Create(InodeId parent, const std::string& name, FileType type, MetaIo* io);
+
+  // Removes a name; frees the inode and its blocks when the last link drops.
+  FsStatus Unlink(InodeId parent, const std::string& name, MetaIo* io);
+
+  // Resolves a name; charges the directory-scan cost model.
+  FsResult<InodeId> Lookup(InodeId parent, const std::string& name, MetaIo* io);
+
+  FsResult<FileAttr> Stat(InodeId ino, MetaIo* io);
+
+  FsResult<std::vector<std::string>> ReadDir(InodeId dir, MetaIo* io);
+
+  // Grows or shrinks the file size; shrinking frees whole pages past the new
+  // end and invalidates them.
+  FsStatus SetSize(InodeId ino, Bytes new_size, MetaIo* io);
+
+  // --- Data mapping (per-FS) ---
+
+  // Device block backing page `page_index` for reads. A missing mapping
+  // within the file size is a hole: kOk with value kInvalidBlock.
+  virtual FsResult<BlockId> MapPage(InodeId ino, uint64_t page_index, MetaIo* io) = 0;
+
+  // Ensures page `page_index` has a backing block (allocating one according
+  // to the FS's layout policy) and returns it.
+  virtual FsResult<BlockId> AllocatePage(InodeId ino, uint64_t page_index, MetaIo* io) = 0;
+
+  // --- Per-FS behaviour knobs ---
+
+  virtual Journal* journal() { return nullptr; }
+  virtual ReadaheadConfig readahead_config() const = 0;
+  // Extra per-operation CPU cost (journaling bookkeeping etc.).
+  virtual Nanos per_op_cpu_overhead() const { return 0; }
+
+  // --- Introspection / fsck ---
+
+  // fsck-lite: every mapped block allocated exactly once, dirents point at
+  // live inodes, size/allocated accounting consistent. On failure `error`
+  // describes the first violation.
+  bool CheckConsistency(std::string* error) const;
+
+  const Inode* FindInode(InodeId ino) const;
+  const Directory* FindDir(InodeId ino) const;
+  Bytes block_size() const { return params_.block_size; }
+  uint32_t sectors_per_block() const { return static_cast<uint32_t>(params_.block_size / 512); }
+  const FsLayoutParams& layout() const { return params_; }
+  const BlockAllocator& allocator() const { return alloc_; }
+  uint64_t live_inode_count() const { return inodes_.size(); }
+
+ protected:
+  // --- Layout/cost policy hooks ---
+
+  // Charges the meta reads a directory lookup needs to find `name`
+  // (ext2/3: linear scan; xfs: btree path). `slot` is the entry's slot for a
+  // positive lookup, std::nullopt for a negative one.
+  virtual void ChargeDirLookup(const Inode& dir_inode, const Directory& dir,
+                               const std::string& name, std::optional<uint64_t> slot,
+                               MetaIo* io);
+
+  // Placement group for a new inode.
+  virtual uint64_t PickGroup(const Inode& parent, FileType type);
+
+  // Frees every block of `inode` (data + mapping meta), recording bitmap
+  // writes and page invalidations.
+  virtual void FreeAllBlocks(Inode& inode, MetaIo* io) = 0;
+
+  // Frees pages >= first_page (truncate support).
+  virtual void FreePagesFrom(Inode& inode, uint64_t first_page, MetaIo* io) = 0;
+
+  // Appends every device block owned by `inode` (data + meta) for fsck.
+  virtual void AppendOwnedBlocks(const Inode& inode, std::vector<BlockId>* blocks) const = 0;
+
+  // --- Shared helpers for subclasses ---
+
+  Inode* MutableInode(InodeId ino);
+  Directory* MutableDir(InodeId ino);
+  Nanos Now() const;
+
+  // Inode-table block holding `ino` (meta read on any inode access).
+  BlockId InodeTableBlock(const Inode& inode) const;
+  BlockId GroupStart(uint64_t group) const { return group * params_.group_blocks; }
+  BlockId BlockBitmapBlock(uint64_t group) const { return GroupStart(group) + 1; }
+  BlockId InodeBitmapBlock(uint64_t group) const { return GroupStart(group) + 2; }
+  // First block usable for data in `group`.
+  BlockId GroupDataStart(uint64_t group) const {
+    return GroupStart(group) + params_.group_header_blocks;
+  }
+
+  // Ensures the directory has capacity for `slot`; allocates dir data pages
+  // via AllocatePage as needed. Returns the dir data block of the slot.
+  FsResult<BlockId> EnsureDirSlotBlock(Inode& dir_inode, uint64_t slot, MetaIo* io);
+
+  // Allocates a fresh inode in a group chosen by PickGroup, charging the
+  // inode bitmap + table writes. Returns null on inode exhaustion.
+  Inode* AllocateInode(const Inode& parent, FileType type, MetaIo* io);
+
+  FsLayoutParams params_;
+  VirtualClock* clock_;
+  BlockAllocator alloc_;
+  std::unordered_map<InodeId, Inode> inodes_;
+  std::unordered_map<InodeId, Directory> dirs_;
+  std::vector<uint64_t> group_inode_counts_;
+  std::vector<uint64_t> group_local_inodes_;  // next inode-table slot per group
+  InodeId next_ino_ = kRootInode;
+  uint64_t next_dir_group_ = 0;
+  uint64_t reserved_blocks_ = 0;  // mkfs-reserved (headers, journal) for fsck accounting
+
+ private:
+  void InitGroups();
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_FILESYSTEM_H_

@@ -1,0 +1,69 @@
+#include "src/sim/flash_tier.h"
+
+#include <cassert>
+
+namespace fsbench {
+
+FlashTier::FlashTier(const FlashTierConfig& config)
+    : config_(config),
+      capacity_pages_(static_cast<size_t>(config.capacity / config.page_size)) {
+  assert(capacity_pages_ > 0);
+}
+
+bool FlashTier::LookupAndPromote(const PageKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  return true;
+}
+
+void FlashTier::Insert(const PageKey& key, BlockId block) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Refresh.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    it->second.block = block;
+    return;
+  }
+  while (entries_.size() >= capacity_pages_) {
+    const PageKey victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{lru_.begin(), block});
+  ++stats_.insertions;
+}
+
+void FlashTier::Remove(const PageKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void FlashTier::RemoveFile(InodeId ino) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.ino == ino) {
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FlashTier::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace fsbench

@@ -1,0 +1,75 @@
+// Second-level (flash) cache tier.
+//
+// Section 3.1 of the paper predicts that systems with multiple cache levels
+// (flash, network) show performance curves with "multiple distinctive
+// steps" instead of one memory/disk cliff. This tier models exactly that:
+// pages evicted from the RAM page cache land here; a RAM miss probes the
+// tier before paying the disk penalty. Latency is a flat device cost
+// (~100 us class), far from both RAM (~microsecond) and disk
+// (~10 millisecond), which is what creates the middle step.
+//
+// The tier stores identities only (like the page cache): LRU over PageKeys
+// with the backing device block retained for writeback bookkeeping.
+#ifndef SRC_SIM_FLASH_TIER_H_
+#define SRC_SIM_FLASH_TIER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/sim/eviction_policy.h"
+#include "src/sim/types.h"
+
+namespace fsbench {
+
+struct FlashTierConfig {
+  Bytes capacity = 1 * kGiB;
+  Nanos read_latency = 90 * kMicrosecond;    // device read + DMA
+  Nanos write_latency = 120 * kMicrosecond;  // admission cost (charged async-free)
+  Bytes page_size = 4 * kKiB;
+};
+
+struct FlashTierStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+};
+
+class FlashTier {
+ public:
+  explicit FlashTier(const FlashTierConfig& config);
+
+  // Probes the tier; a hit refreshes recency and removes the page (it is
+  // being promoted back into RAM — exclusive tiering).
+  bool LookupAndPromote(const PageKey& key);
+
+  // Admits a page demoted from RAM; evicts the LRU page when full.
+  void Insert(const PageKey& key, BlockId block);
+
+  void Remove(const PageKey& key);
+  void RemoveFile(InodeId ino);
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity_pages() const { return capacity_pages_; }
+  const FlashTierConfig& config() const { return config_; }
+  const FlashTierStats& stats() const { return stats_; }
+  bool Contains(const PageKey& key) const { return entries_.count(key) != 0; }
+
+ private:
+  struct Entry {
+    std::list<PageKey>::iterator lru_it;
+    BlockId block = kInvalidBlock;
+  };
+
+  FlashTierConfig config_;
+  size_t capacity_pages_;
+  std::list<PageKey> lru_;  // front = MRU
+  std::unordered_map<PageKey, Entry, PageKeyHash> entries_;
+  FlashTierStats stats_;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_FLASH_TIER_H_

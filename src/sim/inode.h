@@ -1,0 +1,50 @@
+// In-memory inode representation shared by the simulated file systems.
+//
+// The struct carries both a block-map view (ext2/ext3: page index -> device
+// block, with indirect meta blocks) and an extent view (xfs: sorted extent
+// list with btree node blocks); each file system uses its half. Keeping one
+// struct avoids a parallel class hierarchy for what is, for the simulator,
+// pure bookkeeping.
+#ifndef SRC_SIM_INODE_H_
+#define SRC_SIM_INODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/types.h"
+#include "src/util/units.h"
+
+namespace fsbench {
+
+struct FileExtent {
+  uint64_t first_page = 0;
+  Extent extent;
+};
+
+struct Inode {
+  InodeId ino = kInvalidInode;
+  FileType type = FileType::kRegular;
+  Bytes size = 0;
+  uint32_t link_count = 0;
+  Nanos mtime = 0;
+  Nanos ctime = 0;
+  uint64_t group = 0;  // placement block group / allocation group
+  BlockId itable_block = kInvalidBlock;  // inode-table block holding this inode
+
+  // ext2-style mapping: block_map[i] is the device block backing page i
+  // (kInvalidBlock for holes). indirect_blocks are the allocated meta blocks
+  // backing the non-direct part of the map.
+  std::vector<BlockId> block_map;
+  std::vector<BlockId> indirect_blocks;
+
+  // xfs-style mapping: sorted, non-overlapping extents plus btree node
+  // blocks charged when the extent list outgrows the inline area.
+  std::vector<FileExtent> extents;
+  std::vector<BlockId> extent_meta_blocks;
+
+  uint64_t allocated_blocks = 0;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_INODE_H_

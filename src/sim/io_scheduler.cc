@@ -1,0 +1,59 @@
+#include "src/sim/io_scheduler.h"
+
+#include <algorithm>
+
+namespace fsbench {
+
+IoScheduler::IoScheduler(DiskModel* disk, VirtualClock* clock, SchedulerKind kind)
+    : disk_(disk), clock_(clock), kind_(kind) {}
+
+void IoScheduler::ServicePending(Nanos from) {
+  if (pending_.empty()) {
+    return;
+  }
+  if (kind_ == SchedulerKind::kElevator) {
+    // C-SCAN: ascending LBA order. The sort is stable with respect to equal
+    // LBAs, preserving submission order for overlapping requests.
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const IoRequest& a, const IoRequest& b) { return a.lba < b.lba; });
+  }
+  Nanos t = std::max(busy_until_, from);
+  for (const IoRequest& req : pending_) {
+    const std::optional<Nanos> service = disk_->Access(req);
+    ++stats_.async_serviced;
+    if (!service.has_value()) {
+      ++stats_.async_errors;
+      continue;
+    }
+    t += *service;
+  }
+  pending_.clear();
+  busy_until_ = t;
+}
+
+std::optional<Nanos> IoScheduler::SubmitSync(const IoRequest& req) {
+  ++stats_.sync_requests;
+  ServicePending(clock_->now());
+  const Nanos start = std::max(clock_->now(), busy_until_);
+  const std::optional<Nanos> service = disk_->Access(req);
+  if (!service.has_value()) {
+    return std::nullopt;
+  }
+  const Nanos completion = start + *service;
+  busy_until_ = completion;
+  stats_.total_sync_wait += completion - clock_->now();
+  return completion;
+}
+
+void IoScheduler::SubmitAsync(const IoRequest& req) {
+  ++stats_.async_requests;
+  pending_.push_back(req);
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, pending_.size());
+}
+
+Nanos IoScheduler::Drain() {
+  ServicePending(clock_->now());
+  return std::max(busy_until_, clock_->now());
+}
+
+}  // namespace fsbench

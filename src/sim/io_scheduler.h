@@ -1,0 +1,73 @@
+// Request queueing in front of the DiskModel.
+//
+// The scheduler owns the notion of "when is the disk free": synchronous
+// requests (demand reads, fsync writes) block the caller until completion,
+// while asynchronous requests (readahead, writeback) only occupy the device
+// in the background. Pending async requests are serviced — in FIFO or
+// elevator (ascending-LBA C-SCAN) order — before the next synchronous
+// request or an explicit Drain().
+#ifndef SRC_SIM_IO_SCHEDULER_H_
+#define SRC_SIM_IO_SCHEDULER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/disk_model.h"
+#include "src/util/units.h"
+
+namespace fsbench {
+
+enum class SchedulerKind : uint8_t { kFifo, kElevator };
+
+struct IoSchedulerStats {
+  uint64_t sync_requests = 0;
+  uint64_t async_requests = 0;
+  uint64_t async_serviced = 0;
+  uint64_t async_errors = 0;
+  Nanos total_sync_wait = 0;  // queueing delay + service for sync requests
+  size_t max_queue_depth = 0;
+};
+
+class IoScheduler {
+ public:
+  IoScheduler(DiskModel* disk, VirtualClock* clock, SchedulerKind kind = SchedulerKind::kElevator);
+
+  // Issues a synchronous request. Pending async requests are drained first.
+  // Returns the absolute completion time (>= clock->now()); the caller is
+  // responsible for advancing the clock. Returns std::nullopt on an injected
+  // device error.
+  std::optional<Nanos> SubmitSync(const IoRequest& req);
+
+  // Queues an asynchronous request; it consumes device time in the
+  // background and is serviced before the next sync request or Drain().
+  void SubmitAsync(const IoRequest& req);
+
+  // Services all queued async requests. Returns the time the device goes
+  // idle (>= clock->now()).
+  Nanos Drain();
+
+  // Absolute virtual time until which the device is busy with already
+  // admitted work.
+  Nanos busy_until() const { return busy_until_; }
+
+  size_t pending_async() const { return pending_.size(); }
+  const IoSchedulerStats& stats() const { return stats_; }
+  SchedulerKind kind() const { return kind_; }
+
+ private:
+  // Services pending async requests starting no earlier than `from`.
+  void ServicePending(Nanos from);
+
+  DiskModel* disk_;
+  VirtualClock* clock_;
+  SchedulerKind kind_;
+  Nanos busy_until_ = 0;
+  std::vector<IoRequest> pending_;
+  IoSchedulerStats stats_;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_IO_SCHEDULER_H_

@@ -1,0 +1,62 @@
+#include "src/sim/journal.h"
+
+#include <cassert>
+
+namespace fsbench {
+
+Journal::Journal(IoScheduler* scheduler, VirtualClock* clock, Extent region,
+                 const JournalConfig& config)
+    : scheduler_(scheduler), clock_(clock), region_(region), config_(config) {
+  assert(region_.count > 0);
+}
+
+void Journal::LogMetadataBlock(BlockId block) { current_tx_.insert(block); }
+
+void Journal::LogDataBlock(BlockId block) {
+  if (config_.mode == JournalMode::kJournaled) {
+    current_tx_.insert(block);
+  }
+}
+
+Nanos Journal::WriteTransaction(bool sync) {
+  if (current_tx_.empty()) {
+    return clock_->now();
+  }
+  // Descriptor block + logged blocks + commit record, written sequentially
+  // at the journal head (wrapping). Sequential writes are nearly free on the
+  // disk model, as on real hardware.
+  const uint64_t blocks_to_write = current_tx_.size() + 2;
+  Nanos completion = clock_->now();
+  for (uint64_t i = 0; i < blocks_to_write; ++i) {
+    const uint64_t offset = (head_block_ + i) % region_.count;
+    const IoRequest req{IoKind::kWrite, (region_.start + offset) * config_.block_sectors,
+                        config_.block_sectors};
+    if (sync && i + 1 == blocks_to_write) {
+      // Only the commit record is waited on.
+      if (const auto done = scheduler_->SubmitSync(req); done.has_value()) {
+        completion = *done;
+      }
+    } else {
+      scheduler_->SubmitAsync(req);
+    }
+  }
+  head_block_ = (head_block_ + blocks_to_write) % region_.count;
+  stats_.blocks_logged += current_tx_.size();
+  ++stats_.commits;
+  current_tx_.clear();
+  last_commit_time_ = clock_->now();
+  return completion;
+}
+
+void Journal::MaybePeriodicCommit() {
+  if (clock_->now() - last_commit_time_ >= config_.commit_interval) {
+    WriteTransaction(/*sync=*/false);
+  }
+}
+
+Nanos Journal::CommitSync() {
+  ++stats_.sync_commits;
+  return WriteTransaction(/*sync=*/true);
+}
+
+}  // namespace fsbench

@@ -1,0 +1,80 @@
+// Write-ahead journal (JBD-flavoured) for the ext3-like file system.
+//
+// Meta-data (and, in kJournaled mode, data) blocks dirtied by an operation
+// join the running transaction. Commits write the logged blocks plus a
+// commit record sequentially into the journal region — cheap sequential I/O,
+// which is exactly why journaling costs show up in meta-data benchmarks but
+// not in read benchmarks. Commits happen periodically (the kjournald timer)
+// or synchronously on fsync.
+#ifndef SRC_SIM_JOURNAL_H_
+#define SRC_SIM_JOURNAL_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "src/sim/clock.h"
+#include "src/sim/io_scheduler.h"
+#include "src/sim/types.h"
+
+namespace fsbench {
+
+enum class JournalMode : uint8_t {
+  kOrdered,    // meta-data only (ext3 default)
+  kJournaled,  // data + meta-data
+};
+
+struct JournalConfig {
+  JournalMode mode = JournalMode::kOrdered;
+  Nanos commit_interval = 5 * kSecond;  // kjournald default
+  uint32_t block_sectors = 8;           // journal block size in sectors (4 KiB)
+};
+
+struct JournalStats {
+  uint64_t commits = 0;
+  uint64_t sync_commits = 0;
+  uint64_t blocks_logged = 0;
+};
+
+class Journal {
+ public:
+  // `region` is the reserved on-disk area (in *blocks* of block_sectors) the
+  // journal wraps around in.
+  Journal(IoScheduler* scheduler, VirtualClock* clock, Extent region,
+          const JournalConfig& config);
+
+  // Adds a dirtied meta-data block to the running transaction.
+  void LogMetadataBlock(BlockId block);
+
+  // Adds a data block; no-op unless mode == kJournaled.
+  void LogDataBlock(BlockId block);
+
+  // Commits the running transaction asynchronously if the commit interval
+  // has elapsed. Called opportunistically from the VFS on every operation.
+  void MaybePeriodicCommit();
+
+  // Synchronous commit (fsync path): the returned completion time reflects
+  // waiting for the journal writes to reach the platter.
+  Nanos CommitSync();
+
+  size_t pending_blocks() const { return current_tx_.size(); }
+  const JournalStats& stats() const { return stats_; }
+  const JournalConfig& config() const { return config_; }
+
+ private:
+  // Emits the transaction's blocks into the journal region; returns the
+  // completion time of the commit record for sync commits.
+  Nanos WriteTransaction(bool sync);
+
+  IoScheduler* scheduler_;
+  VirtualClock* clock_;
+  Extent region_;
+  JournalConfig config_;
+  uint64_t head_block_ = 0;  // offset within region, wraps
+  Nanos last_commit_time_ = 0;
+  std::unordered_set<BlockId> current_tx_;
+  JournalStats stats_;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_JOURNAL_H_

@@ -1,0 +1,88 @@
+// Machine: assembles the whole simulated stack (clock, disk, scheduler,
+// file system, journal, VFS) from one configuration, applying the per-run
+// jitter model.
+//
+// The jitter model is itself part of the reproduction: the paper attributes
+// the fragility of benchmark results near the memory/disk boundary to
+// run-to-run variation in "the amount of available cache" — a few MB of OS
+// activity — plus ordinary CPU and disk speed variation. Each run draws,
+// deterministically from its seed:
+//   - an OS memory reservation within ± os_reserve_jitter (shifts the
+//     page-cache capacity, the paper's transition-fragility mechanism),
+//   - a CPU cost multiplier within ± cpu_jitter,
+//   - a disk mechanical-speed multiplier within ± disk_speed_jitter.
+#ifndef SRC_SIM_MACHINE_H_
+#define SRC_SIM_MACHINE_H_
+
+#include <memory>
+
+#include "src/sim/clock.h"
+#include "src/sim/disk_model.h"
+#include "src/sim/ext2fs.h"
+#include "src/sim/ext3fs.h"
+#include "src/sim/flash_tier.h"
+#include "src/sim/io_scheduler.h"
+#include "src/sim/vfs.h"
+#include "src/sim/xfsfs.h"
+
+namespace fsbench {
+
+struct MachineConfig {
+  Bytes ram = 512 * kMiB;
+  Bytes os_reserved = 102 * kMiB;     // kernel + daemons -> ~410 MiB page cache
+  Bytes os_reserve_jitter = 4 * kMiB; // per-run uniform +-
+  double cpu_jitter = 0.015;          // per-run uniform +- fraction
+  double disk_speed_jitter = 0.05;    // per-run uniform +- fraction
+  DiskParams disk;
+  FsLayoutParams layout;
+  JournalConfig journal;              // used by ext3
+  uint64_t journal_blocks = 8192;     // 32 MiB journal region
+  SchedulerKind scheduler = SchedulerKind::kElevator;
+  EvictionPolicyKind eviction = EvictionPolicyKind::kLru;
+  Nanos syscall_overhead = 3500;
+  Nanos page_copy_cost = 500;
+  Nanos meta_touch_cost = 250;
+  std::optional<ReadaheadConfig> readahead_override;
+  // Optional second-level cache (flash) tier - see src/sim/flash_tier.h.
+  std::optional<FlashTierConfig> flash;
+  uint64_t seed = 42;
+};
+
+// Configuration approximating the paper's testbed: 512 MB RAM,
+// Maxtor 7L250S0-like disk (see DiskParams defaults), Linux-like costs.
+MachineConfig PaperTestbedConfig();
+
+class Machine {
+ public:
+  Machine(FsKind fs_kind, const MachineConfig& config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  VirtualClock& clock() { return clock_; }
+  DiskModel& disk() { return *disk_; }
+  FlashTier* flash() { return flash_.get(); }  // null when not configured
+  IoScheduler& scheduler() { return *scheduler_; }
+  FileSystem& fs() { return *fs_; }
+  Vfs& vfs() { return *vfs_; }
+  const MachineConfig& config() const { return config_; }
+  FsKind fs_kind() const { return fs_kind_; }
+
+  // Effective page-cache capacity after the per-run OS reservation draw.
+  size_t cache_capacity_pages() const { return cache_capacity_pages_; }
+
+ private:
+  MachineConfig config_;
+  FsKind fs_kind_;
+  VirtualClock clock_;
+  std::unique_ptr<DiskModel> disk_;
+  std::unique_ptr<IoScheduler> scheduler_;
+  std::unique_ptr<FileSystem> fs_;
+  std::unique_ptr<FlashTier> flash_;
+  std::unique_ptr<Vfs> vfs_;
+  size_t cache_capacity_pages_ = 0;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_MACHINE_H_

@@ -1,0 +1,126 @@
+#include "src/sim/page_cache.h"
+
+#include <cassert>
+
+namespace fsbench {
+
+PageCache::PageCache(size_t capacity_pages, EvictionPolicyKind policy_kind)
+    : capacity_(capacity_pages), policy_(MakeEvictionPolicy(policy_kind, capacity_pages)) {
+  assert(capacity_ > 0);
+}
+
+bool PageCache::Contains(const PageKey& key) const { return entries_.count(key) != 0; }
+
+bool PageCache::Lookup(const PageKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  policy_->OnAccess(key);
+  return true;
+}
+
+std::vector<PageCache::Evicted> PageCache::Insert(const PageKey& key, BlockId block, bool dirty) {
+  std::vector<Evicted> evicted;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Refresh: update block, possibly dirty, touch recency.
+    if (dirty && !it->second.dirty) {
+      ++dirty_count_;
+    }
+    it->second.block = block;
+    it->second.dirty = it->second.dirty || dirty;
+    policy_->OnAccess(key);
+    return evicted;
+  }
+
+  while (entries_.size() >= capacity_) {
+    const PageKey victim = policy_->ChooseVictim();
+    auto vit = entries_.find(victim);
+    assert(vit != entries_.end());
+    evicted.push_back(Evicted{victim, vit->second.block, vit->second.dirty});
+    if (vit->second.dirty) {
+      --dirty_count_;
+      ++stats_.dirty_evictions;
+    }
+    entries_.erase(vit);
+    ++stats_.evictions;
+  }
+
+  entries_.emplace(key, Entry{block, dirty});
+  if (dirty) {
+    ++dirty_count_;
+  }
+  policy_->OnInsert(key);
+  ++stats_.insertions;
+  return evicted;
+}
+
+bool PageCache::MarkDirty(const PageKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return false;
+  }
+  if (!it->second.dirty) {
+    it->second.dirty = true;
+    ++dirty_count_;
+  }
+  return true;
+}
+
+std::vector<PageCache::Evicted> PageCache::TakeDirty(size_t max_pages) {
+  std::vector<Evicted> dirty;
+  for (auto& [key, entry] : entries_) {
+    if (dirty.size() >= max_pages) {
+      break;
+    }
+    if (entry.dirty) {
+      dirty.push_back(Evicted{key, entry.block, true});
+      entry.dirty = false;
+      --dirty_count_;
+    }
+  }
+  return dirty;
+}
+
+void PageCache::Remove(const PageKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  if (it->second.dirty) {
+    --dirty_count_;
+  }
+  entries_.erase(it);
+  policy_->OnRemove(key);
+}
+
+void PageCache::RemoveFile(InodeId ino) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.ino == ino) {
+      if (it->second.dirty) {
+        --dirty_count_;
+      }
+      policy_->OnRemove(it->first);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageCache::Clear() {
+  for (const auto& [key, entry] : entries_) {
+    policy_->OnRemove(key);
+  }
+  entries_.clear();
+  dirty_count_ = 0;
+}
+
+bool PageCache::CheckInvariants() const {
+  return policy_->resident_count() == entries_.size() && entries_.size() <= capacity_;
+}
+
+}  // namespace fsbench

@@ -1,0 +1,90 @@
+// Simulated unified page cache.
+//
+// Holds (inode, page-index) keys with a dirty bit and the device block the
+// page maps to (so evicted dirty pages can be written back without another
+// mapping lookup). Capacity is fixed in pages; the eviction decision is
+// delegated to a pluggable EvictionPolicy.
+#ifndef SRC_SIM_PAGE_CACHE_H_
+#define SRC_SIM_PAGE_CACHE_H_
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/eviction_policy.h"
+#include "src/sim/types.h"
+
+namespace fsbench {
+
+struct PageCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_evictions = 0;
+};
+
+class PageCache {
+ public:
+  PageCache(size_t capacity_pages, EvictionPolicyKind policy_kind);
+
+  // A page evicted to make room; dirty pages must be written back by the
+  // caller to `block`.
+  struct Evicted {
+    PageKey key;
+    BlockId block = kInvalidBlock;
+    bool dirty = false;
+  };
+
+  // Membership test without touching recency state or statistics.
+  bool Contains(const PageKey& key) const;
+
+  // Hit path: returns true and updates the policy's recency state on a hit;
+  // records a miss otherwise.
+  bool Lookup(const PageKey& key);
+
+  // Makes `key` resident (or refreshes it if already resident). Evicts as
+  // needed and returns the evicted pages. `block` is the device block
+  // backing the page (kInvalidBlock for holes).
+  std::vector<Evicted> Insert(const PageKey& key, BlockId block, bool dirty);
+
+  // Marks a resident page dirty; returns false if not resident.
+  bool MarkDirty(const PageKey& key);
+
+  // Collects up to `max_pages` dirty pages, marking them clean (the caller
+  // is about to write them). Returns (key, block) pairs.
+  std::vector<Evicted> TakeDirty(size_t max_pages);
+
+  size_t dirty_count() const { return dirty_count_; }
+
+  // Invalidates one page / every page of a file / everything. Dirty contents
+  // are discarded (callers invalidate after freeing blocks, as unlink does).
+  void Remove(const PageKey& key);
+  void RemoveFile(InodeId ino);
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  const PageCacheStats& stats() const { return stats_; }
+  EvictionPolicy* policy() { return policy_.get(); }
+
+  // Invariant check for tests: the policy's resident set size matches.
+  bool CheckInvariants() const;
+
+ private:
+  struct Entry {
+    BlockId block = kInvalidBlock;
+    bool dirty = false;
+  };
+
+  size_t capacity_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::unordered_map<PageKey, Entry, PageKeyHash> entries_;
+  size_t dirty_count_ = 0;
+  PageCacheStats stats_;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_PAGE_CACHE_H_

@@ -1,0 +1,36 @@
+#include "src/sim/readahead.h"
+
+#include <algorithm>
+
+namespace fsbench {
+
+uint32_t ReadaheadPolicy::OnAccess(ReadaheadState& state, uint64_t index) const {
+  const bool sequential = state.last_index != ~0ULL && index == state.last_index + 1;
+  state.last_index = index;
+
+  switch (config_.kind) {
+    case ReadaheadKind::kNone:
+      return 0;
+    case ReadaheadKind::kFixed:
+      return config_.fixed_pages;
+    case ReadaheadKind::kAdaptive:
+      break;
+  }
+
+  if (sequential) {
+    ++state.streak;
+    if (state.streak >= 2) {
+      // Ramp: start at min_window, double up to max_window.
+      state.window = state.window == 0
+                         ? config_.min_window
+                         : std::min(config_.max_window, state.window * 2);
+      return state.window;
+    }
+    return config_.random_cluster;
+  }
+  state.streak = 0;
+  state.window = 0;
+  return config_.random_cluster;
+}
+
+}  // namespace fsbench

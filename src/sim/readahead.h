@@ -1,0 +1,54 @@
+// Readahead (prefetch) policies.
+//
+// The paper (§2) stresses that prefetching and on-disk layout are entangled
+// and that benchmarks should be able to tell them apart. fsbench models
+// readahead as an explicit per-file-system policy: given the access history
+// of one open file, decide how many pages to prefetch after the current
+// access. Prefetch I/O is issued asynchronously (it occupies the disk but
+// does not block the demand read).
+#ifndef SRC_SIM_READAHEAD_H_
+#define SRC_SIM_READAHEAD_H_
+
+#include <cstdint>
+
+namespace fsbench {
+
+enum class ReadaheadKind : uint8_t {
+  kNone,      // pure demand paging
+  kFixed,     // constant window on every access
+  kAdaptive,  // Linux-like: ramping window on sequential streaks, small
+              // read-around cluster on random access
+};
+
+struct ReadaheadConfig {
+  ReadaheadKind kind = ReadaheadKind::kAdaptive;
+  uint32_t fixed_pages = 8;      // kFixed: pages per access
+  uint32_t min_window = 4;       // kAdaptive: initial sequential window
+  uint32_t max_window = 32;      // kAdaptive: ramp limit
+  uint32_t random_cluster = 2;   // kAdaptive: extra pages on random access
+};
+
+// Per-open-file readahead state, owned by the VFS file handle.
+struct ReadaheadState {
+  uint64_t last_index = ~0ULL;
+  uint64_t streak = 0;      // consecutive sequential accesses
+  uint32_t window = 0;      // current sequential window
+};
+
+class ReadaheadPolicy {
+ public:
+  explicit ReadaheadPolicy(const ReadaheadConfig& config) : config_(config) {}
+
+  // Records an access to `index` and returns how many pages to prefetch
+  // after it ([index+1, index+n]).
+  uint32_t OnAccess(ReadaheadState& state, uint64_t index) const;
+
+  const ReadaheadConfig& config() const { return config_; }
+
+ private:
+  ReadaheadConfig config_;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_READAHEAD_H_

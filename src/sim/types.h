@@ -1,0 +1,79 @@
+// Shared simulator types: status codes, result wrapper, identifiers.
+#ifndef SRC_SIM_TYPES_H_
+#define SRC_SIM_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/units.h"
+
+namespace fsbench {
+
+// Inode number. 0 is reserved as "invalid"; the root directory is 1, matching
+// ext2 convention closely enough to read naturally.
+using InodeId = uint64_t;
+inline constexpr InodeId kInvalidInode = 0;
+inline constexpr InodeId kRootInode = 1;
+
+// Device block number (file-system block, not sector).
+using BlockId = uint64_t;
+inline constexpr BlockId kInvalidBlock = ~0ULL;
+
+// File-system level status codes, deliberately errno-flavoured.
+enum class FsStatus {
+  kOk,
+  kNotFound,    // ENOENT
+  kExists,      // EEXIST
+  kNoSpace,     // ENOSPC
+  kIoError,     // EIO (e.g. injected disk fault)
+  kNotDir,      // ENOTDIR
+  kIsDir,       // EISDIR
+  kNotEmpty,    // ENOTEMPTY
+  kBadHandle,   // EBADF
+  kInvalid,     // EINVAL
+};
+
+// Human-readable name for an FsStatus ("kOk" -> "OK", etc.).
+const char* FsStatusName(FsStatus status);
+
+// Tiny result type: a status plus a value that is meaningful only when
+// status == kOk. Kept trivially copyable on purpose.
+template <typename T>
+struct FsResult {
+  FsStatus status = FsStatus::kInvalid;
+  T value{};
+
+  bool ok() const { return status == FsStatus::kOk; }
+
+  static FsResult Ok(T v) { return FsResult{FsStatus::kOk, std::move(v)}; }
+  static FsResult Error(FsStatus s) { return FsResult{s, T{}}; }
+};
+
+// File type stored in an inode.
+enum class FileType : uint8_t {
+  kRegular,
+  kDirectory,
+};
+
+// stat(2)-style attributes.
+struct FileAttr {
+  InodeId ino = kInvalidInode;
+  FileType type = FileType::kRegular;
+  Bytes size = 0;
+  uint64_t allocated_blocks = 0;
+  uint32_t link_count = 0;
+  Nanos mtime = 0;
+  Nanos ctime = 0;
+};
+
+// A contiguous run of device blocks.
+struct Extent {
+  BlockId start = kInvalidBlock;
+  uint64_t count = 0;
+
+  bool operator==(const Extent& other) const = default;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_TYPES_H_

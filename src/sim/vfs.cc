@@ -1,0 +1,697 @@
+#include "src/sim/vfs.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fsbench {
+
+namespace {
+
+// Splits an absolute path into components; empty components collapse.
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start < path.size()) {
+    const size_t slash = path.find('/', start);
+    const size_t end = slash == std::string::npos ? path.size() : slash;
+    if (end > start) {
+      parts.push_back(path.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+Vfs::Vfs(VirtualClock* clock, IoScheduler* scheduler, FileSystem* fs, const VfsConfig& config,
+         FlashTier* flash)
+    : clock_(clock),
+      scheduler_(scheduler),
+      fs_(fs),
+      flash_(flash),
+      config_(config),
+      cache_(config.cache_capacity_pages, config.eviction),
+      readahead_(config.readahead_override.value_or(fs->readahead_config())) {
+  dirty_limit_ = config_.dirty_limit_pages != 0 ? config_.dirty_limit_pages
+                                                : std::max<size_t>(1, cache_.capacity() / 10);
+}
+
+double Vfs::DataHitRatio() const {
+  const uint64_t total = stats_.data_page_hits + stats_.data_page_misses;
+  return total == 0 ? 0.0 : static_cast<double>(stats_.data_page_hits) / total;
+}
+
+void Vfs::ChargeCpu(Nanos cost) {
+  clock_->Advance(static_cast<Nanos>(static_cast<double>(cost) * config_.cpu_cost_multiplier));
+}
+
+FsStatus Vfs::DemandRead(BlockId block, uint32_t count) {
+  ++stats_.demand_requests;
+  const IoRequest req{IoKind::kRead, block * fs_->sectors_per_block(),
+                      count * fs_->sectors_per_block()};
+  const std::optional<Nanos> completion = scheduler_->SubmitSync(req);
+  if (!completion.has_value()) {
+    ++stats_.io_errors;
+    return FsStatus::kIoError;
+  }
+  clock_->AdvanceTo(*completion);
+  return FsStatus::kOk;
+}
+
+void Vfs::HandleEvictions(const std::vector<PageCache::Evicted>& evicted) {
+  for (const PageCache::Evicted& page : evicted) {
+    if (page.dirty && page.block != kInvalidBlock) {
+      scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
+                                        fs_->sectors_per_block()});
+      ++stats_.writeback_pages;
+    }
+    // Demote RAM evictions into the flash tier (clean copies; durability is
+    // handled by the writeback above).
+    if (flash_ != nullptr && page.block != kInvalidBlock) {
+      flash_->Insert(page.key, page.block);
+    }
+  }
+}
+
+void Vfs::InsertPage(const PageKey& key, BlockId block, bool dirty) {
+  HandleEvictions(cache_.Insert(key, block, dirty));
+}
+
+FsStatus Vfs::ProcessMetaIo(const MetaIo& io) {
+  for (const MetaRef& ref : io.reads) {
+    ChargeCpu(config_.meta_touch_cost);
+    const PageKey key{ref.ino, ref.index};
+    if (!cache_.Lookup(key)) {
+      const FsStatus status = DemandRead(ref.block, 1);
+      if (status != FsStatus::kOk) {
+        return status;
+      }
+      InsertPage(key, ref.block, /*dirty=*/false);
+    }
+  }
+  Journal* journal = fs_->journal();
+  for (const MetaRef& ref : io.writes) {
+    ChargeCpu(config_.meta_touch_cost);
+    InsertPage(PageKey{ref.ino, ref.index}, ref.block, /*dirty=*/true);
+    if (journal != nullptr) {
+      journal->LogMetadataBlock(ref.block);
+    }
+  }
+  for (const MetaRef& ref : io.invalidations) {
+    cache_.Remove(PageKey{ref.ino, ref.index});
+    if (flash_ != nullptr) {
+      flash_->Remove(PageKey{ref.ino, ref.index});
+    }
+  }
+  for (const InodeId ino : io.drop_files) {
+    cache_.RemoveFile(ino);
+    if (flash_ != nullptr) {
+      flash_->RemoveFile(ino);
+    }
+  }
+  return FsStatus::kOk;
+}
+
+void Vfs::MaybeWriteback() {
+  if (cache_.dirty_count() <= dirty_limit_) {
+    return;
+  }
+  std::vector<PageCache::Evicted> dirty = cache_.TakeDirty(config_.writeback_batch_pages);
+  // Sort by device block so the elevator sees sequential runs.
+  std::sort(dirty.begin(), dirty.end(),
+            [](const PageCache::Evicted& a, const PageCache::Evicted& b) {
+              return a.block < b.block;
+            });
+  for (const PageCache::Evicted& page : dirty) {
+    if (page.block == kInvalidBlock) {
+      continue;
+    }
+    scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
+                                      fs_->sectors_per_block()});
+    ++stats_.writeback_pages;
+  }
+}
+
+void Vfs::JournalTick() {
+  if (Journal* journal = fs_->journal(); journal != nullptr) {
+    journal->MaybePeriodicCommit();
+  }
+}
+
+Vfs::OpenFile* Vfs::FileFor(int fd) {
+  if (fd < 0 || static_cast<size_t>(fd) >= fd_table_.size() || !fd_table_[fd].has_value()) {
+    return nullptr;
+  }
+  return &*fd_table_[fd];
+}
+
+FsResult<InodeId> Vfs::ResolvePath(const std::string& path, InodeId* parent_out,
+                                   std::string* leaf_out) {
+  const std::vector<std::string> parts = SplitPath(path);
+  if (parent_out != nullptr && parts.empty()) {
+    return FsResult<InodeId>::Error(FsStatus::kInvalid);
+  }
+  InodeId current = kRootInode;
+  const size_t walk_to = parent_out != nullptr ? parts.size() - 1 : parts.size();
+  for (size_t i = 0; i < walk_to; ++i) {
+    MetaIo io;
+    const FsResult<InodeId> next = fs_->Lookup(current, parts[i], &io);
+    const FsStatus meta = ProcessMetaIo(io);
+    if (meta != FsStatus::kOk) {
+      return FsResult<InodeId>::Error(meta);
+    }
+    if (!next.ok()) {
+      return next;
+    }
+    current = next.value;
+  }
+  if (parent_out != nullptr) {
+    *parent_out = current;
+    *leaf_out = parts.back();
+  }
+  return FsResult<InodeId>::Ok(current);
+}
+
+FsResult<int> Vfs::Open(const std::string& path, bool create) {
+  ++stats_.opens;
+  ChargeCpu(config_.syscall_overhead);
+  FsResult<InodeId> ino = ResolvePath(path, nullptr, nullptr);
+  if (!ino.ok() && create && ino.status == FsStatus::kNotFound) {
+    InodeId parent = kInvalidInode;
+    std::string leaf;
+    const FsResult<InodeId> parent_result = ResolvePath(path, &parent, &leaf);
+    if (!parent_result.ok()) {
+      return FsResult<int>::Error(parent_result.status);
+    }
+    MetaIo io;
+    ino = fs_->Create(parent, leaf, FileType::kRegular, &io);
+    const FsStatus meta = ProcessMetaIo(io);
+    if (meta != FsStatus::kOk) {
+      return FsResult<int>::Error(meta);
+    }
+    ++stats_.creates;
+    JournalTick();
+  }
+  if (!ino.ok()) {
+    return FsResult<int>::Error(ino.status);
+  }
+  // Reuse the lowest free slot.
+  for (size_t fd = 0; fd < fd_table_.size(); ++fd) {
+    if (!fd_table_[fd].has_value()) {
+      fd_table_[fd] = OpenFile{ino.value, {}};
+      return FsResult<int>::Ok(static_cast<int>(fd));
+    }
+  }
+  fd_table_.push_back(OpenFile{ino.value, {}});
+  return FsResult<int>::Ok(static_cast<int>(fd_table_.size() - 1));
+}
+
+FsStatus Vfs::Close(int fd) {
+  if (FileFor(fd) == nullptr) {
+    return FsStatus::kBadHandle;
+  }
+  ChargeCpu(config_.syscall_overhead);
+  fd_table_[fd].reset();
+  return FsStatus::kOk;
+}
+
+void Vfs::IssueReadahead(OpenFile& file, uint64_t index, uint32_t pages) {
+  // Collect uncached, mapped pages after `index`, coalescing physically
+  // contiguous runs into single requests.
+  BlockId run_start = kInvalidBlock;
+  uint32_t run_len = 0;
+  auto flush_run = [&] {
+    if (run_len > 0) {
+      scheduler_->SubmitAsync(IoRequest{IoKind::kRead, run_start * fs_->sectors_per_block(),
+                                        run_len * fs_->sectors_per_block()});
+      run_start = kInvalidBlock;
+      run_len = 0;
+    }
+  };
+  for (uint64_t j = index + 1; j <= index + pages; ++j) {
+    const PageKey key{file.ino, j};
+    if (cache_.Contains(key)) {
+      continue;
+    }
+    // Pages resident in the flash tier are not worth a disk prefetch; they
+    // will be promoted at flash latency if actually referenced.
+    if (flash_ != nullptr && flash_->Contains(key)) {
+      continue;
+    }
+    MetaIo io;
+    const FsResult<BlockId> mapping = fs_->MapPage(file.ino, j, &io);
+    if (ProcessMetaIo(io) != FsStatus::kOk || !mapping.ok() ||
+        mapping.value == kInvalidBlock) {
+      break;  // hole or past EOF: stop the window
+    }
+    if (run_len > 0 && mapping.value == run_start + run_len) {
+      ++run_len;
+    } else {
+      flush_run();
+      run_start = mapping.value;
+      run_len = 1;
+    }
+    InsertPage(key, mapping.value, /*dirty=*/false);
+    ++stats_.readahead_pages;
+  }
+  flush_run();
+}
+
+FsResult<Bytes> Vfs::Read(int fd, Bytes offset, Bytes length) {
+  OpenFile* file = FileFor(fd);
+  if (file == nullptr) {
+    return FsResult<Bytes>::Error(FsStatus::kBadHandle);
+  }
+  ++stats_.reads;
+  ChargeCpu(config_.syscall_overhead + fs_->per_op_cpu_overhead());
+
+  MetaIo size_io;
+  const FsResult<FileAttr> attr = fs_->Stat(file->ino, &size_io);
+  if (!attr.ok()) {
+    return FsResult<Bytes>::Error(attr.status);
+  }
+  if (ProcessMetaIo(size_io) != FsStatus::kOk) {
+    return FsResult<Bytes>::Error(FsStatus::kIoError);
+  }
+  if (offset >= attr.value.size) {
+    return FsResult<Bytes>::Ok(0);
+  }
+  length = std::min<Bytes>(length, attr.value.size - offset);
+  if (length == 0) {
+    return FsResult<Bytes>::Ok(0);
+  }
+
+  const Bytes page_size = config_.page_size;
+  const uint64_t first_page = offset / page_size;
+  const uint64_t last_page = (offset + length - 1) / page_size;
+
+  for (uint64_t page = first_page; page <= last_page; ++page) {
+    const PageKey key{file->ino, page};
+    const uint32_t ra_pages = readahead_.OnAccess(file->readahead, page);
+    if (cache_.Lookup(key)) {
+      ++stats_.data_page_hits;
+      ChargeCpu(config_.page_copy_cost);
+      continue;
+    }
+    ++stats_.data_page_misses;
+    MetaIo io;
+    const FsResult<BlockId> mapping = fs_->MapPage(file->ino, page, &io);
+    if (!mapping.ok()) {
+      return FsResult<Bytes>::Error(mapping.status);
+    }
+    const FsStatus meta = ProcessMetaIo(io);
+    if (meta != FsStatus::kOk) {
+      return FsResult<Bytes>::Error(meta);
+    }
+    if (mapping.value == kInvalidBlock) {
+      // Hole: zero fill.
+      InsertPage(key, kInvalidBlock, /*dirty=*/false);
+      ChargeCpu(config_.page_copy_cost);
+      continue;
+    }
+    // Second-level tier: a flash hit promotes the page back into RAM at
+    // device latency - the "middle step" between RAM and disk.
+    if (flash_ != nullptr && flash_->LookupAndPromote(key)) {
+      ++stats_.flash_hits;
+      clock_->Advance(flash_->config().read_latency);
+      InsertPage(key, mapping.value, /*dirty=*/false);
+      ChargeCpu(config_.page_copy_cost);
+      if (ra_pages > 0) {
+        IssueReadahead(*file, page, ra_pages);
+      }
+      continue;
+    }
+    // Coalesce physically contiguous missing pages within the op range.
+    uint32_t batch = 1;
+    while (batch < config_.max_demand_batch && page + batch <= last_page) {
+      const PageKey next_key{file->ino, page + batch};
+      if (cache_.Contains(next_key)) {
+        break;
+      }
+      MetaIo next_io;
+      const FsResult<BlockId> next_map = fs_->MapPage(file->ino, page + batch, &next_io);
+      if (!next_map.ok() || next_map.value != mapping.value + batch) {
+        break;
+      }
+      if (ProcessMetaIo(next_io) != FsStatus::kOk) {
+        break;
+      }
+      ++batch;
+    }
+    const FsStatus read_status = DemandRead(mapping.value, batch);
+    if (read_status != FsStatus::kOk) {
+      return FsResult<Bytes>::Error(read_status);
+    }
+    for (uint32_t i = 0; i < batch; ++i) {
+      InsertPage(PageKey{file->ino, page + i}, mapping.value + i, /*dirty=*/false);
+      ChargeCpu(config_.page_copy_cost);
+    }
+    if (batch > 1) {
+      stats_.data_page_misses += batch - 1;
+      page += batch - 1;
+    }
+    if (ra_pages > 0) {
+      IssueReadahead(*file, page, ra_pages);
+    }
+  }
+
+  stats_.bytes_read += length;
+  JournalTick();
+  return FsResult<Bytes>::Ok(length);
+}
+
+FsResult<Bytes> Vfs::Write(int fd, Bytes offset, Bytes length) {
+  OpenFile* file = FileFor(fd);
+  if (file == nullptr) {
+    return FsResult<Bytes>::Error(FsStatus::kBadHandle);
+  }
+  if (length == 0) {
+    return FsResult<Bytes>::Ok(0);
+  }
+  ++stats_.writes;
+  ChargeCpu(config_.syscall_overhead + fs_->per_op_cpu_overhead());
+
+  MetaIo size_io;
+  const FsResult<FileAttr> attr = fs_->Stat(file->ino, &size_io);
+  if (!attr.ok()) {
+    return FsResult<Bytes>::Error(attr.status);
+  }
+  if (ProcessMetaIo(size_io) != FsStatus::kOk) {
+    return FsResult<Bytes>::Error(FsStatus::kIoError);
+  }
+  const Bytes old_size = attr.value.size;
+
+  const Bytes page_size = config_.page_size;
+  const uint64_t first_page = offset / page_size;
+  const uint64_t last_page = (offset + length - 1) / page_size;
+  Journal* journal = fs_->journal();
+
+  for (uint64_t page = first_page; page <= last_page; ++page) {
+    const PageKey key{file->ino, page};
+    // Partial first/last page within the old file size needs
+    // read-modify-write if not cached.
+    const Bytes page_start = page * page_size;
+    const bool partial = (page == first_page && offset > page_start) ||
+                         (page == last_page && offset + length < page_start + page_size);
+    if (cache_.Lookup(key)) {
+      ++stats_.data_page_hits;
+      cache_.MarkDirty(key);
+      ChargeCpu(config_.page_copy_cost);
+    } else {
+      ++stats_.data_page_misses;
+      MetaIo io;
+      if (partial && page_start < old_size) {
+        const FsResult<BlockId> mapping = fs_->MapPage(file->ino, page, &io);
+        if (!mapping.ok()) {
+          return FsResult<Bytes>::Error(mapping.status);
+        }
+        if (ProcessMetaIo(io) != FsStatus::kOk) {
+          return FsResult<Bytes>::Error(FsStatus::kIoError);
+        }
+        if (mapping.value != kInvalidBlock) {
+          const FsStatus read_status = DemandRead(mapping.value, 1);
+          if (read_status != FsStatus::kOk) {
+            return FsResult<Bytes>::Error(read_status);
+          }
+        }
+        io = MetaIo{};
+      }
+      const FsResult<BlockId> block = fs_->AllocatePage(file->ino, page, &io);
+      if (!block.ok()) {
+        return FsResult<Bytes>::Error(block.status);
+      }
+      if (ProcessMetaIo(io) != FsStatus::kOk) {
+        return FsResult<Bytes>::Error(FsStatus::kIoError);
+      }
+      InsertPage(key, block.value, /*dirty=*/true);
+      ChargeCpu(config_.page_copy_cost);
+      if (journal != nullptr) {
+        journal->LogDataBlock(block.value);
+      }
+    }
+  }
+
+  if (offset + length > old_size) {
+    MetaIo io;
+    const FsStatus status = fs_->SetSize(file->ino, offset + length, &io);
+    if (status != FsStatus::kOk) {
+      return FsResult<Bytes>::Error(status);
+    }
+    if (ProcessMetaIo(io) != FsStatus::kOk) {
+      return FsResult<Bytes>::Error(FsStatus::kIoError);
+    }
+  }
+
+  stats_.bytes_written += length;
+  MaybeWriteback();
+  JournalTick();
+  return FsResult<Bytes>::Ok(length);
+}
+
+FsStatus Vfs::CreateFile(const std::string& path) {
+  ChargeCpu(config_.syscall_overhead + fs_->per_op_cpu_overhead());
+  InodeId parent = kInvalidInode;
+  std::string leaf;
+  const FsResult<InodeId> parent_result = ResolvePath(path, &parent, &leaf);
+  if (!parent_result.ok()) {
+    return parent_result.status;
+  }
+  MetaIo io;
+  const FsResult<InodeId> created = fs_->Create(parent, leaf, FileType::kRegular, &io);
+  const FsStatus meta = ProcessMetaIo(io);
+  if (meta != FsStatus::kOk) {
+    return meta;
+  }
+  if (!created.ok()) {
+    return created.status;
+  }
+  ++stats_.creates;
+  MaybeWriteback();
+  JournalTick();
+  return FsStatus::kOk;
+}
+
+FsStatus Vfs::Mkdir(const std::string& path) {
+  ChargeCpu(config_.syscall_overhead + fs_->per_op_cpu_overhead());
+  InodeId parent = kInvalidInode;
+  std::string leaf;
+  const FsResult<InodeId> parent_result = ResolvePath(path, &parent, &leaf);
+  if (!parent_result.ok()) {
+    return parent_result.status;
+  }
+  MetaIo io;
+  const FsResult<InodeId> created = fs_->Create(parent, leaf, FileType::kDirectory, &io);
+  const FsStatus meta = ProcessMetaIo(io);
+  if (meta != FsStatus::kOk) {
+    return meta;
+  }
+  JournalTick();
+  return created.ok() ? FsStatus::kOk : created.status;
+}
+
+FsStatus Vfs::Unlink(const std::string& path) {
+  ChargeCpu(config_.syscall_overhead + fs_->per_op_cpu_overhead());
+  InodeId parent = kInvalidInode;
+  std::string leaf;
+  const FsResult<InodeId> parent_result = ResolvePath(path, &parent, &leaf);
+  if (!parent_result.ok()) {
+    return parent_result.status;
+  }
+  MetaIo io;
+  const FsStatus status = fs_->Unlink(parent, leaf, &io);
+  const FsStatus meta = ProcessMetaIo(io);
+  if (status != FsStatus::kOk) {
+    return status;
+  }
+  if (meta != FsStatus::kOk) {
+    return meta;
+  }
+  ++stats_.unlinks;
+  MaybeWriteback();
+  JournalTick();
+  return FsStatus::kOk;
+}
+
+FsResult<FileAttr> Vfs::Stat(const std::string& path) {
+  ++stats_.stats_calls;
+  ChargeCpu(config_.syscall_overhead + fs_->per_op_cpu_overhead());
+  const FsResult<InodeId> ino = ResolvePath(path, nullptr, nullptr);
+  if (!ino.ok()) {
+    return FsResult<FileAttr>::Error(ino.status);
+  }
+  MetaIo io;
+  const FsResult<FileAttr> attr = fs_->Stat(ino.value, &io);
+  const FsStatus meta = ProcessMetaIo(io);
+  if (meta != FsStatus::kOk) {
+    return FsResult<FileAttr>::Error(meta);
+  }
+  return attr;
+}
+
+FsResult<std::vector<std::string>> Vfs::ReadDir(const std::string& path) {
+  ChargeCpu(config_.syscall_overhead + fs_->per_op_cpu_overhead());
+  const FsResult<InodeId> ino = ResolvePath(path, nullptr, nullptr);
+  if (!ino.ok()) {
+    return FsResult<std::vector<std::string>>::Error(ino.status);
+  }
+  MetaIo io;
+  FsResult<std::vector<std::string>> entries = fs_->ReadDir(ino.value, &io);
+  const FsStatus meta = ProcessMetaIo(io);
+  if (meta != FsStatus::kOk) {
+    return FsResult<std::vector<std::string>>::Error(meta);
+  }
+  return entries;
+}
+
+FsStatus Vfs::Truncate(const std::string& path, Bytes new_size) {
+  ChargeCpu(config_.syscall_overhead + fs_->per_op_cpu_overhead());
+  const FsResult<InodeId> ino = ResolvePath(path, nullptr, nullptr);
+  if (!ino.ok()) {
+    return ino.status;
+  }
+  MetaIo io;
+  const FsStatus status = fs_->SetSize(ino.value, new_size, &io);
+  const FsStatus meta = ProcessMetaIo(io);
+  if (status != FsStatus::kOk) {
+    return status;
+  }
+  JournalTick();
+  return meta;
+}
+
+FsStatus Vfs::Fsync(int fd) {
+  OpenFile* file = FileFor(fd);
+  if (file == nullptr) {
+    return FsStatus::kBadHandle;
+  }
+  ++stats_.fsyncs;
+  ChargeCpu(config_.syscall_overhead);
+  // Flush everything dirty (per-file filtering would require a reverse
+  // index; sync semantics are preserved, just a little stricter).
+  std::vector<PageCache::Evicted> dirty = cache_.TakeDirty(cache_.capacity());
+  std::sort(dirty.begin(), dirty.end(),
+            [](const PageCache::Evicted& a, const PageCache::Evicted& b) {
+              return a.block < b.block;
+            });
+  for (const PageCache::Evicted& page : dirty) {
+    if (page.block == kInvalidBlock) {
+      continue;
+    }
+    scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
+                                      fs_->sectors_per_block()});
+    ++stats_.writeback_pages;
+  }
+  clock_->AdvanceTo(scheduler_->Drain());
+  if (Journal* journal = fs_->journal(); journal != nullptr) {
+    clock_->AdvanceTo(journal->CommitSync());
+  }
+  return FsStatus::kOk;
+}
+
+void Vfs::SyncAll() {
+  std::vector<PageCache::Evicted> dirty = cache_.TakeDirty(cache_.capacity());
+  std::sort(dirty.begin(), dirty.end(),
+            [](const PageCache::Evicted& a, const PageCache::Evicted& b) {
+              return a.block < b.block;
+            });
+  for (const PageCache::Evicted& page : dirty) {
+    if (page.block == kInvalidBlock) {
+      continue;
+    }
+    scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
+                                      fs_->sectors_per_block()});
+    ++stats_.writeback_pages;
+  }
+  clock_->AdvanceTo(scheduler_->Drain());
+  if (Journal* journal = fs_->journal(); journal != nullptr) {
+    clock_->AdvanceTo(journal->CommitSync());
+  }
+}
+
+FsStatus Vfs::MakeFile(const std::string& path, Bytes size) {
+  InodeId parent = kInvalidInode;
+  std::string leaf;
+  {
+    // Setup helper: resolve without charging time or touching the cache.
+    const std::vector<std::string> parts = SplitPath(path);
+    if (parts.empty()) {
+      return FsStatus::kInvalid;
+    }
+    InodeId current = kRootInode;
+    for (size_t i = 0; i + 1 < parts.size(); ++i) {
+      MetaIo io;
+      const FsResult<InodeId> next = fs_->Lookup(current, parts[i], &io);
+      if (!next.ok()) {
+        return next.status;
+      }
+      current = next.value;
+    }
+    parent = current;
+    leaf = parts.back();
+  }
+  MetaIo io;
+  const FsResult<InodeId> created = fs_->Create(parent, leaf, FileType::kRegular, &io);
+  if (!created.ok()) {
+    return created.status;
+  }
+  const uint64_t pages = CeilDiv(size, config_.page_size);
+  for (uint64_t page = 0; page < pages; ++page) {
+    MetaIo alloc_io;
+    const FsResult<BlockId> block = fs_->AllocatePage(created.value, page, &alloc_io);
+    if (!block.ok()) {
+      return block.status;
+    }
+  }
+  MetaIo size_io;
+  return fs_->SetSize(created.value, size, &size_io);
+}
+
+FsStatus Vfs::PrewarmFile(const std::string& path) {
+  const std::vector<std::string> parts = SplitPath(path);
+  InodeId current = kRootInode;
+  for (const std::string& part : parts) {
+    MetaIo io;
+    const FsResult<InodeId> next = fs_->Lookup(current, part, &io);
+    if (!next.ok()) {
+      return next.status;
+    }
+    current = next.value;
+  }
+  MetaIo stat_io;
+  const FsResult<FileAttr> attr = fs_->Stat(current, &stat_io);
+  if (!attr.ok()) {
+    return attr.status;
+  }
+  const uint64_t pages = CeilDiv(attr.value.size, config_.page_size);
+  for (uint64_t page = 0; page < pages; ++page) {
+    MetaIo io;
+    const FsResult<BlockId> mapping = fs_->MapPage(current, page, &io);
+    if (!mapping.ok()) {
+      return mapping.status;
+    }
+    // Meta pages are warmed too, without timing. Evictions demote into the
+    // flash tier (when present) so prewarm reproduces the steady tiering.
+    for (const MetaRef& ref : io.reads) {
+      cache_.Insert(PageKey{ref.ino, ref.index}, ref.block, /*dirty=*/false);
+    }
+    const auto evicted = cache_.Insert(PageKey{current, page}, mapping.value, /*dirty=*/false);
+    if (flash_ != nullptr) {
+      for (const PageCache::Evicted& victim : evicted) {
+        if (victim.block != kInvalidBlock) {
+          flash_->Insert(victim.key, victim.block);
+        }
+      }
+    }
+  }
+  return FsStatus::kOk;
+}
+
+void Vfs::DropCaches() {
+  cache_.Clear();
+  if (flash_ != nullptr) {
+    flash_->Clear();
+  }
+}
+
+}  // namespace fsbench

@@ -1,0 +1,172 @@
+// Virtual file system layer: ties the file system, page cache, readahead
+// policy and I/O scheduler together and is the single component that charges
+// virtual time.
+//
+// Cost model (matching the paper's testbed envelope; see DESIGN.md §4):
+//   - each call costs a syscall overhead (~3.5 us),
+//   - each page copied to/from the cache costs a copy charge (~0.5 us),
+//   - cache misses wait for the disk through the I/O scheduler,
+//   - readahead and writeback are asynchronous: they occupy the disk but do
+//     not block the calling operation.
+#ifndef SRC_SIM_VFS_H_
+#define SRC_SIM_VFS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/filesystem.h"
+#include "src/sim/flash_tier.h"
+#include "src/sim/io_scheduler.h"
+#include "src/sim/page_cache.h"
+#include "src/sim/readahead.h"
+#include "src/sim/types.h"
+
+namespace fsbench {
+
+struct VfsConfig {
+  Bytes page_size = 4 * kKiB;
+  size_t cache_capacity_pages = 104960;  // ~410 MiB: 512 MiB RAM minus OS
+  EvictionPolicyKind eviction = EvictionPolicyKind::kLru;
+  Nanos syscall_overhead = 3500;
+  Nanos page_copy_cost = 500;
+  // CPU cost of touching one meta-data page through the cache (dentry walk,
+  // buffer-head lookup); charged per MetaIo read/write, hit or miss.
+  Nanos meta_touch_cost = 250;
+  // Per-run CPU speed multiplier (machine jitter model); scales the two
+  // costs above.
+  double cpu_cost_multiplier = 1.0;
+  // Background writeback starts when dirty pages exceed this many pages
+  // (0 = tenth of the cache).
+  size_t dirty_limit_pages = 0;
+  size_t writeback_batch_pages = 256;
+  // Cap on pages read in one coalesced demand request.
+  uint32_t max_demand_batch = 32;
+  // Override the file system's readahead configuration (for ablations).
+  std::optional<ReadaheadConfig> readahead_override;
+};
+
+struct VfsStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t creates = 0;
+  uint64_t unlinks = 0;
+  uint64_t stats_calls = 0;
+  uint64_t opens = 0;
+  uint64_t fsyncs = 0;
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+  uint64_t data_page_hits = 0;
+  uint64_t data_page_misses = 0;   // includes flash hits (they missed RAM)
+  uint64_t flash_hits = 0;         // RAM misses served by the flash tier
+  uint64_t demand_requests = 0;
+  uint64_t readahead_pages = 0;
+  uint64_t writeback_pages = 0;
+  uint64_t io_errors = 0;
+};
+
+class Vfs {
+ public:
+  // `flash` is an optional second-level cache tier (may be null): RAM
+  // evictions are demoted into it and RAM misses probe it before disk.
+  Vfs(VirtualClock* clock, IoScheduler* scheduler, FileSystem* fs, const VfsConfig& config,
+      FlashTier* flash = nullptr);
+
+  // --- POSIX-ish surface (absolute paths, '/'-separated) ---
+
+  FsResult<int> Open(const std::string& path, bool create = false);
+  FsStatus Close(int fd);
+  FsResult<Bytes> Read(int fd, Bytes offset, Bytes length);
+  FsResult<Bytes> Write(int fd, Bytes offset, Bytes length);
+  FsStatus CreateFile(const std::string& path);
+  FsStatus Mkdir(const std::string& path);
+  FsStatus Unlink(const std::string& path);
+  FsResult<FileAttr> Stat(const std::string& path);
+  FsResult<std::vector<std::string>> ReadDir(const std::string& path);
+  FsStatus Truncate(const std::string& path, Bytes new_size);
+  FsStatus Fsync(int fd);
+  // Flushes all dirty pages and commits the journal; waits for idle disk.
+  void SyncAll();
+
+  // --- Experiment setup helpers: no virtual time is charged ---
+
+  // Creates `path` (parents must exist) and allocates `size` bytes of
+  // backing blocks without writing data — Filebench-style preallocation.
+  FsStatus MakeFile(const std::string& path, Bytes size);
+
+  // Loads the file's pages into the cache (ascending order, so under LRU the
+  // file's tail is most recent). Stops early if the cache is smaller than
+  // the file, having streamed it through once (keeps the *last* pages).
+  FsStatus PrewarmFile(const std::string& path);
+
+  // Drops the whole page cache (clean and dirty alike).
+  void DropCaches();
+
+  // --- Introspection ---
+
+  PageCache& cache() { return cache_; }
+  const PageCache& cache() const { return cache_; }
+  FileSystem& fs() { return *fs_; }
+  IoScheduler& scheduler() { return *scheduler_; }
+  const VfsStats& stats() const { return stats_; }
+  const VfsConfig& config() const { return config_; }
+  double DataHitRatio() const;
+
+ private:
+  struct OpenFile {
+    InodeId ino = kInvalidInode;
+    ReadaheadState readahead;
+  };
+
+  // Splits "/a/b/c" and walks Lookup; returns the final inode. When
+  // `parent_out` is non-null, resolves only up to the parent and stores the
+  // leaf name in `leaf_out`.
+  FsResult<InodeId> ResolvePath(const std::string& path, InodeId* parent_out,
+                                std::string* leaf_out);
+
+  // Charges CPU time scaled by the machine's jitter multiplier.
+  void ChargeCpu(Nanos cost);
+
+  // Executes the meta-data I/O plan: reads through the cache (sync disk
+  // reads on miss), dirties written pages (journaling them), drops
+  // invalidated entries. Returns kIoError on injected faults.
+  FsStatus ProcessMetaIo(const MetaIo& io);
+
+  // Reads `count` device blocks at `block` synchronously; advances the
+  // clock to completion.
+  FsStatus DemandRead(BlockId block, uint32_t count);
+
+  // Handles pages evicted by a cache insert: dirty ones are queued as async
+  // writes.
+  void HandleEvictions(const std::vector<PageCache::Evicted>& evicted);
+
+  // Inserts a page and processes evictions.
+  void InsertPage(const PageKey& key, BlockId block, bool dirty);
+
+  // Issues asynchronous readahead of up to `pages` pages after `index`.
+  void IssueReadahead(OpenFile& file, uint64_t index, uint32_t pages);
+
+  // Flushes dirty pages asynchronously if over the dirty limit.
+  void MaybeWriteback();
+
+  // Commits the journal if its periodic timer expired.
+  void JournalTick();
+
+  OpenFile* FileFor(int fd);
+
+  VirtualClock* clock_;
+  IoScheduler* scheduler_;
+  FileSystem* fs_;
+  FlashTier* flash_;
+  VfsConfig config_;
+  PageCache cache_;
+  ReadaheadPolicy readahead_;
+  std::vector<std::optional<OpenFile>> fd_table_;
+  size_t dirty_limit_;
+  VfsStats stats_;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_VFS_H_

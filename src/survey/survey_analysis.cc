@@ -1,0 +1,113 @@
+#include "src/survey/survey_analysis.h"
+
+#include <sstream>
+
+#include "src/util/ascii.h"
+
+namespace fsbench {
+
+std::map<std::string, int> CountUsage(const SurveyCorpus& corpus) {
+  std::map<std::string, int> counts;
+  for (const PaperRecord& paper : corpus.papers) {
+    for (const std::string& benchmark : paper.benchmarks) {
+      ++counts[benchmark];
+    }
+  }
+  return counts;
+}
+
+bool VerifyCorpusAgainstTable(const SurveyCorpus& corpus, std::string* error) {
+  const std::map<std::string, int> counts = CountUsage(corpus);
+  for (const BenchmarkInfo& row : Table1Benchmarks()) {
+    const auto it = counts.find(row.name);
+    const int counted = it == counts.end() ? 0 : it->second;
+    if (counted != row.used_2009_2010) {
+      if (error != nullptr) {
+        *error = row.name + ": corpus says " + std::to_string(counted) + ", table says " +
+                 std::to_string(row.used_2009_2010);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+SurveyHighlights ComputeHighlights(const SurveyCorpus& corpus) {
+  SurveyHighlights highlights;
+  highlights.papers_counted = static_cast<int>(corpus.papers.size());
+  for (const PaperRecord& paper : corpus.papers) {
+    highlights.total_benchmark_usages += static_cast<int>(paper.benchmarks.size());
+    for (const std::string& benchmark : paper.benchmarks) {
+      if (benchmark == "Ad-hoc") {
+        ++highlights.adhoc_usages;
+      }
+    }
+  }
+  if (highlights.papers_counted > 0) {
+    highlights.mean_benchmarks_per_paper =
+        static_cast<double>(highlights.total_benchmark_usages) / highlights.papers_counted;
+  }
+  if (highlights.total_benchmark_usages > 0) {
+    highlights.adhoc_share_pct =
+        100.0 * highlights.adhoc_usages / highlights.total_benchmark_usages;
+  }
+  bool dimension_isolated[kDimensionCount] = {};
+  for (const BenchmarkInfo& row : Table1Benchmarks()) {
+    bool isolates = false;
+    for (int d = 0; d < kDimensionCount; ++d) {
+      if (row.coverage[d] == Coverage::kIsolates) {
+        isolates = true;
+        dimension_isolated[d] = true;
+      }
+    }
+    if (isolates) {
+      ++highlights.isolating_benchmarks;
+    }
+  }
+  for (bool isolated : dimension_isolated) {
+    if (isolated) {
+      ++highlights.dimensions_with_isolation;
+    }
+  }
+  return highlights;
+}
+
+std::string RenderTable1() {
+  AsciiTable table;
+  table.SetHeader({"Benchmark", "I/O", "On-disk", "Caching", "Meta-data", "Scaling",
+                   "1999-2007", "2009-2010"});
+  for (const BenchmarkInfo& row : Table1Benchmarks()) {
+    table.AddRow({row.name, CoverageMark(row.coverage[0]), CoverageMark(row.coverage[1]),
+                  CoverageMark(row.coverage[2]), CoverageMark(row.coverage[3]),
+                  CoverageMark(row.coverage[4]), std::to_string(row.used_1999_2007),
+                  std::to_string(row.used_2009_2010)});
+  }
+  std::ostringstream out;
+  out << table.Render();
+  out << "  legend: '*' evaluates the dimension in isolation, 'o' exercises it without\n"
+         "  isolating it, 'x' depends on the trace / production workload.\n";
+  return out.str();
+}
+
+std::string RenderSurveyAnalysis(const SurveyCorpus& corpus) {
+  std::ostringstream out;
+  std::string error;
+  const bool verified = VerifyCorpusAgainstTable(corpus, &error);
+  out << "  corpus: " << corpus.papers_reviewed << " papers reviewed, "
+      << corpus.papers_eliminated << " eliminated (no relevant evaluation), "
+      << corpus.papers.size() << " counted\n";
+  out << "  recomputed usage column matches published Table 1: "
+      << (verified ? "yes" : "NO (" + error + ")") << "\n";
+  const SurveyHighlights highlights = ComputeHighlights(corpus);
+  out << "  benchmark usages: " << highlights.total_benchmark_usages << " ("
+      << FormatDouble(highlights.mean_benchmarks_per_paper, 2) << " per paper)\n";
+  out << "  ad-hoc benchmarks: " << highlights.adhoc_usages << " usages = "
+      << FormatDouble(highlights.adhoc_share_pct, 1)
+      << "% of all usages - by far the most common choice, as the paper reports\n";
+  out << "  benchmarks isolating at least one dimension: " << highlights.isolating_benchmarks
+      << " of " << Table1Benchmarks().size() << "; dimensions with any isolating benchmark: "
+      << highlights.dimensions_with_isolation << " of " << kDimensionCount << "\n";
+  return out.str();
+}
+
+}  // namespace fsbench

@@ -1,0 +1,41 @@
+// Analysis over the survey corpus: recomputes Table 1's usage column from
+// per-paper records (rather than hard-coding the rendered table), verifies
+// it against the published numbers, and derives the paper's headline
+// observations (ad-hoc dominance, lack of standardization).
+#ifndef SRC_SURVEY_SURVEY_ANALYSIS_H_
+#define SRC_SURVEY_SURVEY_ANALYSIS_H_
+
+#include <map>
+#include <string>
+
+#include "src/survey/survey_data.h"
+
+namespace fsbench {
+
+// Benchmark name -> number of 2009-2010 papers using it.
+std::map<std::string, int> CountUsage(const SurveyCorpus& corpus);
+
+// True when the recomputed counts equal each Table 1 row's published count.
+bool VerifyCorpusAgainstTable(const SurveyCorpus& corpus, std::string* error);
+
+struct SurveyHighlights {
+  int papers_counted = 0;
+  int total_benchmark_usages = 0;
+  double mean_benchmarks_per_paper = 0.0;
+  int adhoc_usages = 0;
+  double adhoc_share_pct = 0.0;        // of all usages
+  int isolating_benchmarks = 0;        // rows with at least one kIsolates
+  int dimensions_with_isolation = 0;   // dimensions some benchmark isolates
+};
+
+SurveyHighlights ComputeHighlights(const SurveyCorpus& corpus);
+
+// Renders Table 1 (marks + both period counts) with the paper's legend.
+std::string RenderTable1();
+
+// Renders the recomputed-usage cross-check and the highlights.
+std::string RenderSurveyAnalysis(const SurveyCorpus& corpus);
+
+}  // namespace fsbench
+
+#endif  // SRC_SURVEY_SURVEY_ANALYSIS_H_

@@ -1,0 +1,72 @@
+#include "src/survey/survey_data.h"
+
+namespace fsbench {
+
+namespace {
+
+constexpr Coverage kN = Coverage::kNone;
+constexpr Coverage kI = Coverage::kIsolates;
+constexpr Coverage kE = Coverage::kExercises;
+constexpr Coverage kD = Coverage::kDepends;
+
+}  // namespace
+
+const std::vector<BenchmarkInfo>& Table1Benchmarks() {
+  // Columns: I/O, On-disk, Caching, Meta-data, Scaling.
+  static const std::vector<BenchmarkInfo> kRows = {
+      {"IOmeter", {kI, kN, kN, kN, kN}, 2, 3},
+      {"Filebench", {kI, kE, kE, kE, kI}, 3, 5},
+      {"IOzone", {kE, kE, kI, kN, kN}, 0, 4},
+      {"Bonnie/Bonnie64/Bonnie++", {kE, kE, kN, kN, kN}, 2, 0},
+      {"Postmark", {kE, kE, kE, kI, kN}, 30, 17},
+      {"Linux compile", {kN, kN, kE, kE, kE}, 6, 3},
+      {"Compile (Apache, openssh, etc.)", {kN, kN, kE, kE, kE}, 38, 14},
+      {"DBench", {kN, kE, kE, kE, kN}, 1, 1},
+      {"SPECsfs", {kN, kE, kE, kE, kI}, 7, 1},
+      {"Sort", {kE, kE, kN, kN, kI}, 0, 5},
+      {"IOR: I/O Performance Benchmark", {kE, kE, kN, kN, kI}, 0, 1},
+      {"Production workloads", {kD, kD, kD, kD, kN}, 2, 2},
+      {"Ad-hoc", {kD, kD, kD, kD, kD}, 237, 67},
+      {"Trace-based custom", {kD, kD, kD, kD, kN}, 7, 18},
+      {"Trace-based standard", {kD, kD, kD, kD, kN}, 14, 17},
+      {"BLAST", {kE, kE, kN, kN, kN}, 0, 2},
+      {"Flexible FS Benchmark (FFSB)", {kN, kE, kE, kE, kI}, 0, 1},
+      {"Flexible I/O tester (fio)", {kE, kE, kE, kN, kI}, 0, 1},
+      {"Andrew", {kN, kN, kE, kE, kE}, 15, 1},
+  };
+  return kRows;
+}
+
+SurveyCorpus MakeSurveyCorpus2009_2010() {
+  SurveyCorpus corpus;
+  corpus.papers_reviewed = 100;
+  corpus.papers_eliminated = 13;
+  const int counted = corpus.papers_reviewed - corpus.papers_eliminated;  // 87
+
+  // Flatten the per-benchmark usage counts into one usage list, then deal
+  // usages round-robin over the counted papers so no paper receives the
+  // same benchmark twice (max per-benchmark count is 67 < 87).
+  std::vector<std::string> usages;
+  for (const BenchmarkInfo& row : Table1Benchmarks()) {
+    for (int i = 0; i < row.used_2009_2010; ++i) {
+      usages.push_back(row.name);
+    }
+  }
+
+  static const char* kVenues[] = {"FAST", "OSDI", "ATC", "HotStorage", "SOSP", "MSST"};
+  // The survey reviewed 32 papers from 2009 and 68 from 2010; after
+  // eliminating 13, we attribute 28 counted papers to 2009 and 59 to 2010.
+  for (int i = 0; i < counted; ++i) {
+    PaperRecord record;
+    record.id = "paper-" + std::to_string(i);
+    record.year = i < 28 ? 2009 : 2010;
+    record.venue = kVenues[i % 6];
+    corpus.papers.push_back(std::move(record));
+  }
+  for (size_t u = 0; u < usages.size(); ++u) {
+    corpus.papers[u % counted].benchmarks.push_back(usages[u]);
+  }
+  return corpus;
+}
+
+}  // namespace fsbench

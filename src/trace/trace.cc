@@ -1,0 +1,206 @@
+#include "src/trace/trace.h"
+
+#include <sstream>
+
+namespace fsbench {
+
+namespace {
+
+const char* OpToken(OpType op) {
+  switch (op) {
+    case OpType::kRead:
+      return "read";
+    case OpType::kWrite:
+      return "write";
+    case OpType::kCreate:
+      return "create";
+    case OpType::kUnlink:
+      return "unlink";
+    case OpType::kStat:
+      return "stat";
+    default:
+      return "other";
+  }
+}
+
+std::optional<OpType> ParseOpToken(const std::string& token) {
+  if (token == "read") {
+    return OpType::kRead;
+  }
+  if (token == "write") {
+    return OpType::kWrite;
+  }
+  if (token == "create") {
+    return OpType::kCreate;
+  }
+  if (token == "unlink") {
+    return OpType::kUnlink;
+  }
+  if (token == "stat") {
+    return OpType::kStat;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string Trace::Serialize() const {
+  std::ostringstream out;
+  for (const TraceRecord& record : records_) {
+    out << record.timestamp << ' ' << OpToken(record.op) << ' ' << record.path << ' '
+        << record.offset << ' ' << record.length << '\n';
+  }
+  return out.str();
+}
+
+std::optional<Trace> Trace::Parse(const std::string& text) {
+  Trace trace;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    TraceRecord record;
+    std::string op_token;
+    if (!(fields >> record.timestamp >> op_token >> record.path >> record.offset >>
+          record.length)) {
+      return std::nullopt;
+    }
+    const std::optional<OpType> op = ParseOpToken(op_token);
+    if (!op.has_value()) {
+      return std::nullopt;
+    }
+    record.op = *op;
+    trace.Append(std::move(record));
+  }
+  return trace;
+}
+
+Nanos TraceRecorder::Now() const { return clock_ != nullptr ? clock_->now() : 0; }
+
+int TraceRecorder::FdFor(const std::string& path) {
+  const auto it = fds_.find(path);
+  if (it != fds_.end()) {
+    return it->second;
+  }
+  const FsResult<int> fd = vfs_->Open(path);
+  if (!fd.ok()) {
+    return -1;
+  }
+  fds_[path] = fd.value;
+  return fd.value;
+}
+
+FsResult<Bytes> TraceRecorder::Read(const std::string& path, Bytes offset, Bytes length) {
+  trace_.Append(TraceRecord{Now(), OpType::kRead, path, offset, length});
+  const int fd = FdFor(path);
+  if (fd < 0) {
+    return FsResult<Bytes>::Error(FsStatus::kNotFound);
+  }
+  return vfs_->Read(fd, offset, length);
+}
+
+FsResult<Bytes> TraceRecorder::Write(const std::string& path, Bytes offset, Bytes length) {
+  trace_.Append(TraceRecord{Now(), OpType::kWrite, path, offset, length});
+  const int fd = FdFor(path);
+  if (fd < 0) {
+    return FsResult<Bytes>::Error(FsStatus::kNotFound);
+  }
+  return vfs_->Write(fd, offset, length);
+}
+
+FsStatus TraceRecorder::Create(const std::string& path) {
+  trace_.Append(TraceRecord{Now(), OpType::kCreate, path, 0, 0});
+  return vfs_->CreateFile(path);
+}
+
+FsStatus TraceRecorder::Unlink(const std::string& path) {
+  trace_.Append(TraceRecord{Now(), OpType::kUnlink, path, 0, 0});
+  const auto it = fds_.find(path);
+  if (it != fds_.end()) {
+    vfs_->Close(it->second);
+    fds_.erase(it);
+  }
+  return vfs_->Unlink(path);
+}
+
+FsResult<FileAttr> TraceRecorder::Stat(const std::string& path) {
+  trace_.Append(TraceRecord{Now(), OpType::kStat, path, 0, 0});
+  return vfs_->Stat(path);
+}
+
+ReplayResult TraceReplayer::Replay(Vfs& vfs, VirtualClock& clock, const Trace& trace,
+                                   bool paced) {
+  ReplayResult result;
+  if (trace.records().empty()) {
+    return result;
+  }
+  const Nanos start = clock.now();
+  const Nanos trace_epoch = trace.records().front().timestamp;
+  std::unordered_map<std::string, int> fds;
+  auto fd_for = [&](const std::string& path) {
+    const auto it = fds.find(path);
+    if (it != fds.end()) {
+      return it->second;
+    }
+    const FsResult<int> fd = vfs.Open(path, /*create=*/true);
+    if (!fd.ok()) {
+      return -1;
+    }
+    fds[path] = fd.value;
+    return fd.value;
+  };
+
+  for (const TraceRecord& record : trace.records()) {
+    if (paced) {
+      clock.AdvanceTo(start + (record.timestamp - trace_epoch));
+    }
+    bool ok = true;
+    switch (record.op) {
+      case OpType::kRead: {
+        const int fd = fd_for(record.path);
+        ok = fd >= 0 && vfs.Read(fd, record.offset, record.length).ok();
+        break;
+      }
+      case OpType::kWrite: {
+        const int fd = fd_for(record.path);
+        ok = fd >= 0 && vfs.Write(fd, record.offset, record.length).ok();
+        break;
+      }
+      case OpType::kCreate: {
+        const FsStatus status = vfs.CreateFile(record.path);
+        ok = status == FsStatus::kOk || status == FsStatus::kExists;
+        break;
+      }
+      case OpType::kUnlink: {
+        const auto it = fds.find(record.path);
+        if (it != fds.end()) {
+          vfs.Close(it->second);
+          fds.erase(it);
+        }
+        ok = vfs.Unlink(record.path) == FsStatus::kOk;
+        break;
+      }
+      case OpType::kStat:
+        ok = vfs.Stat(record.path).ok();
+        break;
+      default:
+        ok = false;
+        break;
+    }
+    ++result.ops;
+    if (!ok) {
+      ++result.errors;
+    }
+  }
+  result.replay_duration = clock.now() - start;
+  result.ops_per_second = result.replay_duration > 0
+                              ? static_cast<double>(result.ops) /
+                                    ToSeconds(result.replay_duration)
+                              : 0.0;
+  return result;
+}
+
+}  // namespace fsbench

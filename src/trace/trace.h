@@ -1,0 +1,88 @@
+// Trace recording and replay over the simulated VFS.
+//
+// §2 of the paper discusses trace-based evaluation at length (14 "standard"
+// traces, almost none widely available) and asks researchers to publish
+// traces in a usable form. This module provides the mechanism: a recorder
+// that captures a workload's operation stream in a line-oriented text
+// format, and a replayer that re-issues it against any file system —
+// either as-fast-as-possible or paced to the original timestamps.
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/sim/vfs.h"
+
+namespace fsbench {
+
+struct TraceRecord {
+  Nanos timestamp = 0;  // virtual time at operation start
+  OpType op = OpType::kOther;
+  std::string path;
+  Bytes offset = 0;
+  Bytes length = 0;
+};
+
+class Trace {
+ public:
+  void Append(TraceRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<TraceRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  // Line format: "<timestamp> <op> <path> <offset> <length>".
+  std::string Serialize() const;
+  static std::optional<Trace> Parse(const std::string& text);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+// Thin recording facade over a Vfs: forwards the data/namespace operations
+// used by trace-driven workloads and logs each one, stamped with the
+// virtual time at which it was issued (so paced replay can reproduce think
+// time).
+class TraceRecorder {
+ public:
+  TraceRecorder(Vfs* vfs, VirtualClock* clock) : vfs_(vfs), clock_(clock) {}
+
+  FsResult<Bytes> Read(const std::string& path, Bytes offset, Bytes length);
+  FsResult<Bytes> Write(const std::string& path, Bytes offset, Bytes length);
+  FsStatus Create(const std::string& path);
+  FsStatus Unlink(const std::string& path);
+  FsResult<FileAttr> Stat(const std::string& path);
+
+  const Trace& trace() const { return trace_; }
+  Trace TakeTrace() { return std::move(trace_); }
+
+ private:
+  int FdFor(const std::string& path);
+
+  Nanos Now() const;
+
+  Vfs* vfs_;
+  VirtualClock* clock_;
+  Trace trace_;
+  std::unordered_map<std::string, int> fds_;
+};
+
+struct ReplayResult {
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  Nanos replay_duration = 0;
+  double ops_per_second = 0.0;
+};
+
+class TraceReplayer {
+ public:
+  // `paced` honours inter-operation gaps from the trace timestamps
+  // (think-time-preserving replay); otherwise ops are issued back to back.
+  ReplayResult Replay(Vfs& vfs, VirtualClock& clock, const Trace& trace, bool paced);
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_TRACE_TRACE_H_

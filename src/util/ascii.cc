@@ -1,0 +1,121 @@
+#include "src/util/ascii.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace fsbench {
+
+namespace {
+const char kSeparatorSentinel[] = "\x01";
+}  // namespace
+
+void AsciiTable::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void AsciiTable::AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void AsciiTable::AddSeparator() { rows_.push_back({kSeparatorSentinel}); }
+
+std::string AsciiTable::Render(int indent) const {
+  const size_t columns = header_.size();
+  std::vector<size_t> widths(columns, 0);
+  for (size_t c = 0; c < columns; ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) {
+      continue;
+    }
+    for (size_t c = 0; c < row.size() && c < columns; ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << pad;
+    for (size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell << std::string(widths[c] - cell.size(), ' ');
+      if (c + 1 < columns) {
+        out << "  ";
+      }
+    }
+    out << '\n';
+  };
+  auto emit_separator = [&] {
+    out << pad;
+    for (size_t c = 0; c < columns; ++c) {
+      out << std::string(widths[c], '-');
+      if (c + 1 < columns) {
+        out << "  ";
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  emit_separator();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) {
+      emit_separator();
+    } else {
+      emit_row(row);
+    }
+  }
+  return out.str();
+}
+
+std::string AsciiBar(double value, double max_value, int width) {
+  if (value <= 0.0 || max_value <= 0.0 || width <= 0) {
+    return std::string();
+  }
+  int chars = static_cast<int>(value / max_value * width + 0.5);
+  chars = std::clamp(chars, 1, width);
+  return std::string(static_cast<size_t>(chars), '#');
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  constexpr uint64_t kKi = 1024;
+  constexpr uint64_t kMi = kKi * 1024;
+  constexpr uint64_t kGi = kMi * 1024;
+  char buf[64];
+  if (bytes >= kGi) {
+    const double v = static_cast<double>(bytes) / static_cast<double>(kGi);
+    std::snprintf(buf, sizeof(buf), v == static_cast<uint64_t>(v) ? "%.0fGiB" : "%.1fGiB", v);
+  } else if (bytes >= kMi) {
+    const double v = static_cast<double>(bytes) / static_cast<double>(kMi);
+    std::snprintf(buf, sizeof(buf), v == static_cast<uint64_t>(v) ? "%.0fMiB" : "%.1fMiB", v);
+  } else if (bytes >= kKi) {
+    const double v = static_cast<double>(bytes) / static_cast<double>(kKi);
+    std::snprintf(buf, sizeof(buf), v == static_cast<uint64_t>(v) ? "%.0fKiB" : "%.1fKiB", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatNanos(int64_t nanos) {
+  char buf[64];
+  const double ns = static_cast<double>(nanos);
+  if (nanos >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else if (nanos >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (nanos >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(nanos));
+  }
+  return buf;
+}
+
+}  // namespace fsbench

@@ -1,0 +1,50 @@
+// Minimal ASCII rendering primitives shared by the report module and the
+// bench binaries: aligned tables and horizontal bar strips.
+#ifndef SRC_UTIL_ASCII_H_
+#define SRC_UTIL_ASCII_H_
+
+#include <string>
+#include <vector>
+
+namespace fsbench {
+
+// Column-aligned text table. Cells are free-form strings; numeric formatting
+// is the caller's business. Rendering pads every column to its widest cell.
+class AsciiTable {
+ public:
+  // Sets the header row. Determines the column count; later rows may be
+  // shorter (missing cells render empty) but not longer.
+  void SetHeader(std::vector<std::string> header);
+
+  // Appends a data row.
+  void AddRow(std::vector<std::string> row);
+
+  // Appends a horizontal separator line.
+  void AddSeparator();
+
+  // Renders with `indent` leading spaces on every line.
+  std::string Render(int indent = 0) const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row with the single sentinel cell "\x01" renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders `value` as a bar of '#' characters scaled so `max_value` maps to
+// `width` characters. Values <= 0 render empty; a nonzero value renders at
+// least one character so small populations stay visible.
+std::string AsciiBar(double value, double max_value, int width);
+
+// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+// Formats a byte count using binary units (e.g. "64MiB", "1.5GiB").
+std::string FormatBytes(uint64_t bytes);
+
+// Formats a nanosecond duration with an adaptive unit (ns/us/ms/s).
+std::string FormatNanos(int64_t nanos);
+
+}  // namespace fsbench
+
+#endif  // SRC_UTIL_ASCII_H_

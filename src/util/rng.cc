@@ -1,0 +1,152 @@
+#include "src/util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fsbench {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = SplitMix64(sm);
+  }
+  // xoshiro's all-zero state is invalid; splitmix cannot produce four zero
+  // outputs from any seed, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) {
+    s_[0] = 1;
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound != 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  if (span == 0) {
+    return static_cast<int64_t>(NextU64());
+  }
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  // Avoid log(0).
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::NextExponential(double mean) {
+  assert(mean > 0.0);
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double theta) {
+  assert(n > 0);
+  assert(theta > 0.0 && theta <= 1.0);
+  if (n != zipf_n_ || theta != zipf_theta_) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    double zetan = 0.0;
+    // Exact zeta for small n; integral approximation for large n keeps setup
+    // O(1) while staying within ~1% of the exact distribution.
+    if (n <= 10000) {
+      for (uint64_t i = 1; i <= n; ++i) {
+        zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+      }
+    } else {
+      double zeta_head = 0.0;
+      for (uint64_t i = 1; i <= 10000; ++i) {
+        zeta_head += 1.0 / std::pow(static_cast<double>(i), theta);
+      }
+      const double tail = (std::pow(static_cast<double>(n), 1.0 - theta) -
+                           std::pow(10000.0, 1.0 - theta)) /
+                          (1.0 - theta);
+      zetan = zeta_head + tail;
+    }
+    zipf_zetan_ = zetan;
+    const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                (1.0 - zeta2 / zetan);
+  }
+  const double u = NextDouble();
+  const double uz = u * zipf_zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, zipf_theta_)) {
+    return 1;
+  }
+  const double rank = static_cast<double>(zipf_n_) *
+                      std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_);
+  auto result = static_cast<uint64_t>(rank);
+  if (result >= zipf_n_) {
+    result = zipf_n_ - 1;
+  }
+  return result;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace fsbench

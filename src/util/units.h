@@ -1,0 +1,45 @@
+// Common unit types and helpers for virtual time and storage sizes.
+//
+// All simulated time in fsbench is int64_t nanoseconds of *virtual* time;
+// all sizes are uint64_t bytes. These aliases and constants keep call sites
+// readable and conversions explicit.
+#ifndef SRC_UTIL_UNITS_H_
+#define SRC_UTIL_UNITS_H_
+
+#include <cstdint>
+
+namespace fsbench {
+
+// Virtual time, nanoseconds. Signed so durations and differences are natural.
+using Nanos = int64_t;
+
+// Storage size / offset, bytes.
+using Bytes = uint64_t;
+
+inline constexpr Nanos kMicrosecond = 1'000;
+inline constexpr Nanos kMillisecond = 1'000'000;
+inline constexpr Nanos kSecond = 1'000'000'000;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+// Converts a nanosecond duration to (fractional) seconds.
+constexpr double ToSeconds(Nanos ns) { return static_cast<double>(ns) / kSecond; }
+
+// Converts (fractional) seconds to nanoseconds, truncating toward zero.
+constexpr Nanos FromSeconds(double seconds) {
+  return static_cast<Nanos>(seconds * static_cast<double>(kSecond));
+}
+
+// Converts (fractional) milliseconds to nanoseconds, truncating toward zero.
+constexpr Nanos FromMillis(double millis) {
+  return static_cast<Nanos>(millis * static_cast<double>(kMillisecond));
+}
+
+// Integer ceiling division; used pervasively for page/block rounding.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace fsbench
+
+#endif  // SRC_UTIL_UNITS_H_

@@ -1,0 +1,96 @@
+#include "src/util/ascii.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbench {
+namespace {
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable table;
+  table.SetHeader({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = table.Render();
+  // Every line has the same width.
+  size_t width = 0;
+  size_t start = 0;
+  while (start < out.size()) {
+    const size_t end = out.find('\n', start);
+    const size_t len = end - start;
+    if (width == 0) {
+      width = len;
+    }
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+}
+
+TEST(AsciiTableTest, ShortRowsRenderEmptyCells) {
+  AsciiTable table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"x"});
+  EXPECT_NE(table.Render().find('x'), std::string::npos);
+}
+
+TEST(AsciiTableTest, SeparatorRendersDashes) {
+  AsciiTable table;
+  table.SetHeader({"col"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  const std::string out = table.Render();
+  // Header separator + explicit one.
+  size_t dashes = 0;
+  size_t pos = 0;
+  while ((pos = out.find("---", pos)) != std::string::npos) {
+    ++dashes;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(dashes, 2u);
+}
+
+TEST(AsciiTableTest, IndentPrefixesEveryLine) {
+  AsciiTable table;
+  table.SetHeader({"h"});
+  table.AddRow({"v"});
+  const std::string out = table.Render(4);
+  size_t start = 0;
+  while (start < out.size()) {
+    EXPECT_EQ(out.substr(start, 4), "    ");
+    const size_t end = out.find('\n', start);
+    start = end + 1;
+  }
+}
+
+TEST(AsciiBarTest, ScalesAndClamps) {
+  EXPECT_EQ(AsciiBar(0.0, 100.0, 10), "");
+  EXPECT_EQ(AsciiBar(-1.0, 100.0, 10), "");
+  EXPECT_EQ(AsciiBar(100.0, 100.0, 10).size(), 10u);
+  EXPECT_EQ(AsciiBar(50.0, 100.0, 10).size(), 5u);
+  // Small nonzero values still show one character.
+  EXPECT_EQ(AsciiBar(0.001, 100.0, 10).size(), 1u);
+}
+
+TEST(FormatDoubleTest, RespectsDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+}
+
+TEST(FormatBytesTest, PicksUnits) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(64ULL * 1024 * 1024), "64MiB");
+  EXPECT_EQ(FormatBytes(1024), "1KiB");
+  EXPECT_EQ(FormatBytes(25ULL * 1024 * 1024 * 1024), "25GiB");
+  EXPECT_EQ(FormatBytes(1536), "1.5KiB");
+}
+
+TEST(FormatNanosTest, PicksUnits) {
+  EXPECT_EQ(FormatNanos(500), "500ns");
+  EXPECT_EQ(FormatNanos(4100), "4.10us");
+  EXPECT_EQ(FormatNanos(8390000), "8.39ms");
+  EXPECT_EQ(FormatNanos(2500000000LL), "2.50s");
+}
+
+}  // namespace
+}  // namespace fsbench

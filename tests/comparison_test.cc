@@ -1,0 +1,83 @@
+#include "src/core/comparison.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbench {
+namespace {
+
+ExperimentResult MakeResult(const std::vector<double>& throughputs,
+                            const std::vector<Nanos>& latencies = {}) {
+  ExperimentResult result;
+  for (double t : throughputs) {
+    RunResult run;
+    run.ok = true;
+    run.ops_per_second = t;
+    for (Nanos latency : latencies) {
+      run.histogram.Add(latency);
+      result.merged_histogram.Add(latency);
+    }
+    result.runs.push_back(std::move(run));
+  }
+  result.throughput = Summarize(throughputs);
+  return result;
+}
+
+TEST(ComparisonTest, IdenticalSystemsTie) {
+  const ExperimentResult a = MakeResult({100.0, 101.0, 99.0, 100.5, 99.5});
+  const ComparisonReport report = CompareThroughput("ext2", a, "ext3", a);
+  EXPECT_EQ(report.verdict, "tie");
+  EXPECT_FALSE(report.welch.Significant());
+}
+
+TEST(ComparisonTest, ClearWinnerIsNamed) {
+  const ExperimentResult fast = MakeResult({1000.0, 1010.0, 990.0, 1005.0, 995.0});
+  const ExperimentResult slow = MakeResult({100.0, 101.0, 99.0, 100.5, 99.5});
+  const ComparisonReport report = CompareThroughput("xfs", fast, "ext2", slow);
+  EXPECT_EQ(report.verdict, "xfs");
+  const ComparisonReport reverse = CompareThroughput("ext2", slow, "xfs", fast);
+  EXPECT_EQ(reverse.verdict, "xfs");
+}
+
+TEST(ComparisonTest, BimodalLatencyGetsCaveat) {
+  std::vector<Nanos> bimodal;
+  for (int i = 0; i < 50; ++i) {
+    bimodal.push_back(4100);
+    bimodal.push_back(9'000'000);
+  }
+  const ExperimentResult a = MakeResult({1000.0, 1001.0, 999.0}, bimodal);
+  const ExperimentResult b = MakeResult({100.0, 101.0, 99.0});
+  const ComparisonReport report = CompareThroughput("a", a, "b", b);
+  bool found = false;
+  for (const std::string& caveat : report.caveats) {
+    if (caveat.find("multimodal") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ComparisonTest, HighVarianceGetsFragilityCaveat) {
+  // Relative stddev far above 10%: the paper's transition-region signature.
+  const ExperimentResult fragile = MakeResult({1000.0, 3000.0, 5000.0, 500.0, 4000.0});
+  const ExperimentResult stable = MakeResult({100.0, 101.0, 99.0, 100.0, 100.0});
+  const ComparisonReport report = CompareThroughput("fragile", fragile, "stable", stable);
+  bool found = false;
+  for (const std::string& caveat : report.caveats) {
+    if (caveat.find("fragile") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ComparisonTest, SummariesCarriedThrough) {
+  const ExperimentResult a = MakeResult({10.0, 12.0, 11.0});
+  const ExperimentResult b = MakeResult({20.0, 22.0, 21.0});
+  const ComparisonReport report = CompareThroughput("a", a, "b", b);
+  EXPECT_NEAR(report.a.mean, 11.0, 1e-9);
+  EXPECT_NEAR(report.b.mean, 21.0, 1e-9);
+  EXPECT_NEAR(report.welch.mean_diff, -10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fsbench

@@ -1,0 +1,152 @@
+#include "src/sim/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbench {
+namespace {
+
+DiskParams TestParams() {
+  DiskParams params;  // Maxtor-ish defaults
+  return params;
+}
+
+TEST(DiskModelTest, GeometryDerivation) {
+  DiskModel disk(TestParams(), 1);
+  EXPECT_EQ(disk.total_sectors(), TestParams().capacity / 512);
+  EXPECT_GT(disk.total_cylinders(), 100000u);
+  EXPECT_EQ(disk.revolution_time(), kSecond * 60 / 7200);
+}
+
+TEST(DiskModelTest, SeekTimeZeroForSameCylinder) {
+  DiskModel disk(TestParams(), 1);
+  EXPECT_EQ(disk.SeekTime(100, 100), 0);
+}
+
+TEST(DiskModelTest, SeekTimeMonotonicInDistance) {
+  DiskModel disk(TestParams(), 1);
+  Nanos last = 0;
+  for (uint64_t d = 1; d < disk.total_cylinders(); d *= 4) {
+    const Nanos t = disk.SeekTime(0, d);
+    EXPECT_GE(t, last) << "distance " << d;
+    last = t;
+  }
+}
+
+TEST(DiskModelTest, SeekTimeCappedAtFullStroke) {
+  const DiskParams params = TestParams();
+  DiskModel disk(params, 1);
+  EXPECT_LE(disk.SeekTime(0, disk.total_cylinders() - 1), params.full_stroke_seek);
+  EXPECT_GE(disk.SeekTime(0, 1), params.track_to_track_seek);
+}
+
+TEST(DiskModelTest, TransferTimeProportionalToSectors) {
+  DiskModel disk(TestParams(), 1);
+  const Nanos one = disk.TransferTime(8);
+  const Nanos four = disk.TransferTime(32);
+  EXPECT_NEAR(static_cast<double>(four), 4.0 * static_cast<double>(one),
+              static_cast<double>(one));
+}
+
+TEST(DiskModelTest, SequentialStreamingSkipsSeekAndRotation) {
+  DiskModel disk(TestParams(), 1);
+  const uint64_t lba = disk.total_sectors() / 2;
+  // Position the head.
+  ASSERT_TRUE(disk.Access({IoKind::kRead, lba, 8}).has_value());
+  // Streaming continuation should cost roughly command + transfer only.
+  const auto streaming = disk.Access({IoKind::kWrite, lba + 8, 8});
+  ASSERT_TRUE(streaming.has_value());
+  EXPECT_LT(*streaming, TestParams().command_overhead + disk.TransferTime(8) + 100000);
+  EXPECT_GE(disk.stats().sequential_hits, 1u);
+}
+
+TEST(DiskModelTest, RandomAccessCostsMechanicalTime) {
+  DiskModel disk(TestParams(), 1);
+  const uint64_t far_a = disk.total_sectors() / 10;
+  const uint64_t far_b = disk.total_sectors() / 2;
+  ASSERT_TRUE(disk.Access({IoKind::kRead, far_a, 8}).has_value());
+  const auto random = disk.Access({IoKind::kRead, far_b, 8});
+  ASSERT_TRUE(random.has_value());
+  // Must include a multi-ms seek.
+  EXPECT_GT(*random, FromMillis(2.0));
+}
+
+TEST(DiskModelTest, TrackBufferHitIsFast) {
+  DiskModel disk(TestParams(), 1);
+  const uint64_t lba = disk.total_sectors() / 3;
+  ASSERT_TRUE(disk.Access({IoKind::kRead, lba, 8}).has_value());
+  // Re-reading the same sectors hits the track buffer.
+  const auto hit = disk.Access({IoKind::kRead, lba, 8});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_LT(*hit, FromMillis(1.0));
+  EXPECT_EQ(disk.stats().buffer_hits, 1u);
+}
+
+TEST(DiskModelTest, WriteInvalidatesOverlappingBuffer) {
+  DiskModel disk(TestParams(), 1);
+  const uint64_t lba = disk.total_sectors() / 3;
+  ASSERT_TRUE(disk.Access({IoKind::kRead, lba, 8}).has_value());
+  ASSERT_TRUE(disk.Access({IoKind::kWrite, lba, 8}).has_value());
+  const auto reread = disk.Access({IoKind::kRead, lba, 8});
+  ASSERT_TRUE(reread.has_value());
+  EXPECT_EQ(disk.stats().buffer_hits, 0u);
+}
+
+TEST(DiskModelTest, DeterministicForSeed) {
+  DiskModel a(TestParams(), 42);
+  DiskModel b(TestParams(), 42);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t lba = rng.NextBelow(a.total_sectors() - 8);
+    const IoRequest req{IoKind::kRead, lba, 8};
+    EXPECT_EQ(a.Access(req), b.Access(req));
+  }
+}
+
+TEST(DiskModelTest, ErrorInjectionFailsOverlappingRequests) {
+  DiskModel disk(TestParams(), 1);
+  disk.InjectError(1000);
+  EXPECT_FALSE(disk.Access({IoKind::kRead, 996, 8}).has_value());
+  EXPECT_TRUE(disk.Access({IoKind::kRead, 1008, 8}).has_value());
+  EXPECT_EQ(disk.stats().errors, 1u);
+  disk.ClearErrors();
+  EXPECT_TRUE(disk.Access({IoKind::kRead, 996, 8}).has_value());
+}
+
+TEST(DiskModelTest, StatsAccumulate) {
+  DiskModel disk(TestParams(), 1);
+  ASSERT_TRUE(disk.Access({IoKind::kRead, 0, 8}).has_value());
+  ASSERT_TRUE(disk.Access({IoKind::kWrite, 100000, 16}).has_value());
+  EXPECT_EQ(disk.stats().reads, 1u);
+  EXPECT_EQ(disk.stats().writes, 1u);
+  EXPECT_EQ(disk.stats().sectors_read, 8u);
+  EXPECT_EQ(disk.stats().sectors_written, 16u);
+  EXPECT_GT(disk.stats().total_service_time, 0);
+}
+
+// Property: mean random 4KiB access time within a small span is in the
+// short-seek regime, and grows as the span grows.
+class DiskSpanSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DiskSpanSweep, MeanAccessTimeGrowsWithSpan) {
+  const uint64_t span_mib = GetParam();
+  DiskModel disk(TestParams(), 9);
+  Rng rng(11);
+  const uint64_t span_sectors = span_mib * 2048;
+  Nanos total = 0;
+  constexpr int kOps = 300;
+  for (int i = 0; i < kOps; ++i) {
+    const uint64_t lba = rng.NextBelow(span_sectors / 8) * 8;
+    const auto t = disk.Access({IoKind::kRead, lba, 8});
+    ASSERT_TRUE(t.has_value());
+    total += *t;
+  }
+  const double mean_ms = static_cast<double>(total) / kOps / 1e6;
+  // Bounded between rotation-only and full-stroke regimes.
+  EXPECT_GT(mean_ms, 3.0);
+  EXPECT_LT(mean_ms, 22.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spans, DiskSpanSweep, ::testing::Values(64, 1024, 25600, 102400));
+
+}  // namespace
+}  // namespace fsbench

@@ -1,0 +1,190 @@
+#include "src/sim/eviction_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/util/rng.h"
+
+namespace fsbench {
+namespace {
+
+PageKey Key(uint64_t index) { return PageKey{1, index}; }
+
+// --- Generic contract, swept over every policy kind ---
+
+class EvictionPolicySweep : public ::testing::TestWithParam<EvictionPolicyKind> {
+ protected:
+  static constexpr size_t kCapacity = 64;
+  std::unique_ptr<EvictionPolicy> policy_ = MakeEvictionPolicy(GetParam(), kCapacity);
+};
+
+TEST_P(EvictionPolicySweep, ResidentCountTracksInsertAndVictim) {
+  for (uint64_t i = 0; i < 10; ++i) {
+    policy_->OnInsert(Key(i));
+  }
+  EXPECT_EQ(policy_->resident_count(), 10u);
+  const PageKey victim = policy_->ChooseVictim();
+  EXPECT_EQ(policy_->resident_count(), 9u);
+  EXPECT_LT(victim.index, 10u);
+}
+
+TEST_P(EvictionPolicySweep, VictimIsAlwaysResident) {
+  std::unordered_set<uint64_t> resident;
+  Rng rng(42);
+  uint64_t next = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const double action = rng.NextDouble();
+    if (action < 0.5 || resident.empty()) {
+      policy_->OnInsert(Key(next));
+      resident.insert(next);
+      ++next;
+      if (resident.size() > kCapacity) {
+        const PageKey victim = policy_->ChooseVictim();
+        ASSERT_TRUE(resident.count(victim.index)) << "victim not resident";
+        resident.erase(victim.index);
+      }
+    } else if (action < 0.8) {
+      // Access a random resident key.
+      const uint64_t target = rng.NextBelow(next);
+      if (resident.count(target)) {
+        policy_->OnAccess(Key(target));
+      }
+    } else {
+      // Remove a random resident key.
+      const uint64_t target = rng.NextBelow(next);
+      if (resident.count(target)) {
+        policy_->OnRemove(Key(target));
+        resident.erase(target);
+      }
+    }
+    ASSERT_EQ(policy_->resident_count(), resident.size()) << "step " << step;
+  }
+}
+
+TEST_P(EvictionPolicySweep, RemoveOfAbsentKeyIsHarmless) {
+  policy_->OnInsert(Key(1));
+  policy_->OnRemove(Key(999));
+  EXPECT_EQ(policy_->resident_count(), 1u);
+}
+
+TEST_P(EvictionPolicySweep, DrainToEmpty) {
+  for (uint64_t i = 0; i < 8; ++i) {
+    policy_->OnInsert(Key(i));
+  }
+  std::set<uint64_t> victims;
+  for (int i = 0; i < 8; ++i) {
+    victims.insert(policy_->ChooseVictim().index);
+  }
+  EXPECT_EQ(victims.size(), 8u);  // every key evicted exactly once
+  EXPECT_EQ(policy_->resident_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, EvictionPolicySweep,
+                         ::testing::Values(EvictionPolicyKind::kLru, EvictionPolicyKind::kClock,
+                                           EvictionPolicyKind::kTwoQueue,
+                                           EvictionPolicyKind::kArc),
+                         [](const auto& info) { return EvictionPolicyKindName(info.param); });
+
+// --- Policy-specific behaviour ---
+
+TEST(LruPolicyTest, EvictsLeastRecentlyUsed) {
+  auto policy = MakeEvictionPolicy(EvictionPolicyKind::kLru, 4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    policy->OnInsert(Key(i));
+  }
+  policy->OnAccess(Key(0));  // 0 becomes MRU; 1 is now LRU
+  EXPECT_EQ(policy->ChooseVictim().index, 1u);
+  EXPECT_EQ(policy->ChooseVictim().index, 2u);
+  EXPECT_EQ(policy->ChooseVictim().index, 3u);
+  EXPECT_EQ(policy->ChooseVictim().index, 0u);
+}
+
+TEST(ClockPolicyTest, ReferencedPageGetsSecondChance) {
+  auto policy = MakeEvictionPolicy(EvictionPolicyKind::kClock, 4);
+  for (uint64_t i = 0; i < 3; ++i) {
+    policy->OnInsert(Key(i));
+  }
+  policy->OnAccess(Key(0));
+  // 0 is referenced: the hand should skip it and evict 1 or 2 first.
+  const PageKey victim = policy->ChooseVictim();
+  EXPECT_NE(victim.index, 0u);
+}
+
+TEST(TwoQueuePolicyTest, OneTouchScanDoesNotEvictHotSet) {
+  constexpr size_t kCapacity = 32;
+  auto policy = MakeEvictionPolicy(EvictionPolicyKind::kTwoQueue, kCapacity);
+  size_t resident = 0;
+  auto insert = [&](uint64_t i) {
+    policy->OnInsert(Key(i));
+    ++resident;
+    std::vector<uint64_t> evicted;
+    while (resident > kCapacity) {
+      evicted.push_back(policy->ChooseVictim().index);
+      --resident;
+    }
+    return evicted;
+  };
+  // Build a hot set that gets promoted into Am: keys 0..7, inserted,
+  // evicted out of A1in, then re-inserted (ghost hit -> Am).
+  for (uint64_t i = 0; i < 8; ++i) {
+    insert(i);
+  }
+  for (uint64_t i = 100; i < 100 + kCapacity; ++i) {
+    insert(i);  // push 0..7 out through A1in into the ghost
+  }
+  for (uint64_t i = 0; i < 8; ++i) {
+    insert(i);  // ghost hits: promoted to Am
+    policy->OnAccess(Key(i));
+  }
+  // A long one-touch scan must not evict the hot set.
+  std::set<uint64_t> evicted_hot;
+  for (uint64_t i = 1000; i < 1300; ++i) {
+    for (uint64_t victim : insert(i)) {
+      if (victim < 8) {
+        evicted_hot.insert(victim);
+      }
+    }
+  }
+  EXPECT_TRUE(evicted_hot.empty()) << "2Q evicted hot keys during a scan";
+}
+
+TEST(ArcPolicyTest, GhostHitPromotesToT2AndSurvivesScan) {
+  constexpr size_t kCapacity = 16;
+  auto policy = MakeEvictionPolicy(EvictionPolicyKind::kArc, kCapacity);
+  size_t resident = 0;
+  std::set<uint64_t> evicted_hot;
+  auto insert = [&](uint64_t i, uint64_t hot_below) {
+    policy->OnInsert(Key(i));
+    ++resident;
+    while (resident > kCapacity) {
+      const uint64_t victim = policy->ChooseVictim().index;
+      --resident;
+      if (victim < hot_below) {
+        evicted_hot.insert(victim);
+      }
+    }
+  };
+  // Hot keys accessed twice (resident hit -> T2).
+  for (uint64_t i = 0; i < 8; ++i) {
+    insert(i, 0);
+    policy->OnAccess(Key(i));
+  }
+  // Scan: many one-touch keys.
+  for (uint64_t i = 1000; i < 1200; ++i) {
+    insert(i, 8);
+  }
+  // ARC should strongly favour evicting the scan (T1) over the hot T2 set.
+  EXPECT_LE(evicted_hot.size(), 2u);
+}
+
+TEST(PolicyFactoryTest, NamesMatchKinds) {
+  EXPECT_STREQ(MakeEvictionPolicy(EvictionPolicyKind::kLru, 4)->name(), "lru");
+  EXPECT_STREQ(MakeEvictionPolicy(EvictionPolicyKind::kClock, 4)->name(), "clock");
+  EXPECT_STREQ(MakeEvictionPolicy(EvictionPolicyKind::kTwoQueue, 4)->name(), "2q");
+  EXPECT_STREQ(MakeEvictionPolicy(EvictionPolicyKind::kArc, 4)->name(), "arc");
+}
+
+}  // namespace
+}  // namespace fsbench

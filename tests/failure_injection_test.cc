@@ -1,0 +1,142 @@
+// Failure injection across the stack: injected device faults must surface
+// as EIO on synchronous paths, be counted (not fatal) on asynchronous
+// paths, and never corrupt file-system bookkeeping.
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/core/workloads/random_read.h"
+#include "src/sim/machine.h"
+
+namespace fsbench {
+namespace {
+
+std::unique_ptr<Machine> SmallMachine(FsKind kind = FsKind::kExt2, uint64_t seed = 1) {
+  MachineConfig config = PaperTestbedConfig();
+  config.seed = seed;
+  return std::make_unique<Machine>(kind, config);
+}
+
+// Device block backing page `page` of `path`.
+BlockId BlockOf(Machine& machine, const std::string& path, uint64_t page) {
+  const auto attr = machine.vfs().Stat(path);
+  EXPECT_TRUE(attr.ok());
+  MetaIo io;
+  const auto mapping = machine.fs().MapPage(attr.value.ino, page, &io);
+  EXPECT_TRUE(mapping.ok());
+  return mapping.value;
+}
+
+TEST(FailureInjectionTest, DemandReadFaultIsEio) {
+  auto machine = SmallMachine();
+  Vfs& vfs = machine->vfs();
+  ASSERT_EQ(vfs.MakeFile("/f", 64 * kKiB), FsStatus::kOk);
+  machine->disk().InjectError(BlockOf(*machine, "/f", 2) * machine->fs().sectors_per_block());
+  const auto fd = vfs.Open("/f");
+  ASSERT_TRUE(fd.ok());
+  // Page 2 faults on its demand read (issued first, before sequential
+  // readahead could prefetch it); other pages are fine.
+  EXPECT_EQ(vfs.Read(fd.value, 8 * kKiB, 4 * kKiB).status, FsStatus::kIoError);
+  EXPECT_TRUE(vfs.Read(fd.value, 0, 4 * kKiB).ok());
+  // Recovery after the fault clears.
+  machine->disk().ClearErrors();
+  EXPECT_TRUE(vfs.Read(fd.value, 8 * kKiB, 4 * kKiB).ok());
+}
+
+TEST(FailureInjectionTest, ReadaheadFaultDoesNotFailTheDemandRead) {
+  auto machine = SmallMachine();
+  Vfs& vfs = machine->vfs();
+  ASSERT_EQ(vfs.MakeFile("/f", 256 * kKiB), FsStatus::kOk);
+  // Poison a later page: sequential readahead will touch it asynchronously.
+  machine->disk().InjectError(BlockOf(*machine, "/f", 8) * machine->fs().sectors_per_block());
+  const auto fd = vfs.Open("/f");
+  ASSERT_TRUE(fd.ok());
+  // Sequential reads of the early pages trigger readahead over the poisoned
+  // block; the foreground reads themselves must not fail.
+  for (uint64_t page = 0; page < 6; ++page) {
+    EXPECT_TRUE(vfs.Read(fd.value, page * 4 * kKiB, 4 * kKiB).ok()) << "page " << page;
+  }
+  EXPECT_GE(machine->scheduler().stats().async_errors, 0u);
+}
+
+TEST(FailureInjectionTest, MetaReadFaultSurfacesOnColdLookup) {
+  auto machine = SmallMachine();
+  Vfs& vfs = machine->vfs();
+  ASSERT_EQ(vfs.MakeFile("/f", 16 * kMiB), FsStatus::kOk);
+  // Find an indirect meta block (ext2: pages >= 12 need one).
+  const auto attr = vfs.Stat("/f");
+  ASSERT_TRUE(attr.ok());
+  MetaIo io;
+  ASSERT_TRUE(machine->fs().MapPage(attr.value.ino, 100, &io).ok());
+  ASSERT_FALSE(io.reads.empty());
+  const BlockId meta_block = io.reads.back().block;
+  machine->disk().InjectError(meta_block * machine->fs().sectors_per_block());
+  vfs.DropCaches();
+  const auto fd = vfs.Open("/f");
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(vfs.Read(fd.value, 100 * 4 * kKiB, 4 * kKiB).status, FsStatus::kIoError);
+}
+
+TEST(FailureInjectionTest, ExperimentReportsFailedRunsInsteadOfCrashing) {
+  // A machine whose disk faults on a fixed LBA; some runs will trip it.
+  const MachineFactory faulty = [](uint64_t seed) {
+    MachineConfig config = PaperTestbedConfig();
+    config.seed = seed;
+    auto machine = std::make_unique<Machine>(FsKind::kExt2, config);
+    // Poison a swath of the data area used by the first file.
+    const uint64_t base = 256 * 8;  // first group's data start, in sectors
+    for (uint64_t i = 0; i < 64; ++i) {
+      machine->disk().InjectError(base + i * 8);
+    }
+    return machine;
+  };
+  ExperimentConfig config;
+  config.runs = 2;
+  config.duration = 5 * kSecond;
+  const ExperimentResult result = Experiment(config).Run(faulty, [] {
+    RandomReadConfig workload_config;
+    workload_config.file_size = 8 * kMiB;
+    return std::make_unique<RandomReadWorkload>(workload_config);
+  });
+  ASSERT_EQ(result.runs.size(), 2u);
+  for (const RunResult& run : result.runs) {
+    if (!run.ok) {
+      EXPECT_EQ(run.error, FsStatus::kIoError);
+    }
+  }
+  EXPECT_FALSE(result.AllOk());
+}
+
+TEST(FailureInjectionTest, FsConsistencySurvivesFaults) {
+  auto machine = SmallMachine();
+  Vfs& vfs = machine->vfs();
+  ASSERT_EQ(vfs.MakeFile("/f", 64 * kKiB), FsStatus::kOk);
+  machine->disk().InjectError(BlockOf(*machine, "/f", 0) * machine->fs().sectors_per_block());
+  const auto fd = vfs.Open("/f");
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(vfs.Read(fd.value, 0, 4 * kKiB).status, FsStatus::kIoError);
+  // The failure is an I/O error, not a bookkeeping corruption: fsck passes
+  // and the file can still be removed.
+  std::string error;
+  EXPECT_TRUE(machine->fs().CheckConsistency(&error)) << error;
+  EXPECT_EQ(vfs.Unlink("/f"), FsStatus::kOk);
+  EXPECT_TRUE(machine->fs().CheckConsistency(&error)) << error;
+}
+
+TEST(FailureInjectionTest, Ext3FsyncSurvivesJournalRegionFault) {
+  auto machine = SmallMachine(FsKind::kExt3);
+  Vfs& vfs = machine->vfs();
+  // Fault somewhere inside the journal region: commit writes hit it
+  // asynchronously; only the commit record is waited on.
+  auto* ext3 = dynamic_cast<Ext3Fs*>(&machine->fs());
+  ASSERT_NE(ext3, nullptr);
+  const Extent region = ext3->journal_region();
+  machine->disk().InjectError((region.start + 1) * machine->fs().sectors_per_block());
+  const auto fd = vfs.Open("/f", /*create=*/true);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs.Write(fd.value, 0, 16 * kKiB).ok());
+  // Fsync completes; the async journal-block error is counted, not fatal.
+  EXPECT_EQ(vfs.Fsync(fd.value), FsStatus::kOk);
+}
+
+}  // namespace
+}  // namespace fsbench

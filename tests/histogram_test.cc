@@ -1,0 +1,121 @@
+#include "src/core/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbench {
+namespace {
+
+TEST(HistogramTest, EmptyState) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.FirstBucket(), -1);
+  EXPECT_EQ(h.LastBucket(), -1);
+  EXPECT_EQ(h.ApproxPercentile(0.5), 0);
+  EXPECT_EQ(h.ApproxMean(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(LatencyHistogram::BucketFor(0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1), 0);
+  EXPECT_EQ(LatencyHistogram::BucketFor(2), 1);
+  EXPECT_EQ(LatencyHistogram::BucketFor(3), 1);
+  EXPECT_EQ(LatencyHistogram::BucketFor(4), 2);
+  EXPECT_EQ(LatencyHistogram::BucketFor(4095), 11);
+  EXPECT_EQ(LatencyHistogram::BucketFor(4096), 12);
+  EXPECT_EQ(LatencyHistogram::BucketFor(4097), 12);
+}
+
+TEST(HistogramTest, HugeLatencySaturatesLastBucket) {
+  LatencyHistogram h;
+  h.Add(INT64_MAX);
+  EXPECT_EQ(h.count(LatencyHistogram::kBuckets - 1), 1u);
+}
+
+TEST(HistogramTest, LowerBoundRoundTrip) {
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(LatencyHistogram::BucketFor(LatencyHistogram::BucketLowerBound(b)), b);
+  }
+}
+
+TEST(HistogramTest, SharesSumToHundred) {
+  LatencyHistogram h;
+  h.Add(100);
+  h.Add(5000);
+  h.Add(5000);
+  h.Add(9'000'000);
+  double total = 0.0;
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    total += h.SharePct(b);
+  }
+  EXPECT_NEAR(total, 100.0, 1e-9);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Add(10);
+  b.Add(10);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(LatencyHistogram::BucketFor(10)), 2u);
+  EXPECT_EQ(a.count(LatencyHistogram::BucketFor(1000)), 1u);
+}
+
+TEST(HistogramTest, FirstAndLastBucket) {
+  LatencyHistogram h;
+  h.Add(4100);       // bucket 12
+  h.Add(9'000'000);  // bucket 23
+  EXPECT_EQ(h.FirstBucket(), 12);
+  EXPECT_EQ(h.LastBucket(), 23);
+}
+
+TEST(HistogramTest, PercentileOrdersBuckets) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.Add(4100);  // fast mode
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Add(9'000'000);  // slow tail
+  }
+  EXPECT_LT(h.ApproxPercentile(0.5), 10'000);
+  EXPECT_GT(h.ApproxPercentile(0.95), 1'000'000);
+}
+
+TEST(HistogramTest, ApproxMeanBetweenModes) {
+  LatencyHistogram h;
+  h.Add(4100);
+  h.Add(9'000'000);
+  const double mean = h.ApproxMean();
+  EXPECT_GT(mean, 4100.0);
+  EXPECT_LT(mean, 9'000'000.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  LatencyHistogram h;
+  h.Add(100);
+  h.Clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.FirstBucket(), -1);
+}
+
+// Property sweep: for any value v in [2^k, 2^(k+1)), BucketFor(v) == k.
+class HistogramBucketSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramBucketSweep, AllValuesInBucketRangeMapToBucket) {
+  const int bucket = GetParam();
+  const Nanos lo = LatencyHistogram::BucketLowerBound(bucket);
+  const Nanos hi = bucket + 1 < LatencyHistogram::kBuckets
+                       ? LatencyHistogram::BucketLowerBound(bucket + 1)
+                       : lo * 2;
+  EXPECT_EQ(LatencyHistogram::BucketFor(lo), bucket);
+  EXPECT_EQ(LatencyHistogram::BucketFor(lo + (hi - lo) / 2), bucket);
+  EXPECT_EQ(LatencyHistogram::BucketFor(hi - 1), bucket);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, HistogramBucketSweep,
+                         ::testing::Range(1, LatencyHistogram::kBuckets - 1));
+
+}  // namespace
+}  // namespace fsbench

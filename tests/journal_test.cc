@@ -1,0 +1,119 @@
+#include "src/sim/journal.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbench {
+namespace {
+
+struct JournalFixture {
+  DiskParams params;
+  VirtualClock clock;
+  DiskModel disk;
+  IoScheduler scheduler;
+
+  JournalFixture() : disk(params, 1), scheduler(&disk, &clock) {}
+
+  Journal MakeJournal(JournalConfig config = {}) {
+    return Journal(&scheduler, &clock, Extent{1000, 8192}, config);
+  }
+};
+
+TEST(JournalTest, EmptyCommitIsFree) {
+  JournalFixture f;
+  Journal journal = f.MakeJournal();
+  const Nanos done = journal.CommitSync();
+  EXPECT_EQ(done, f.clock.now());
+  EXPECT_EQ(journal.stats().commits, 0u);
+}
+
+TEST(JournalTest, SyncCommitWaitsForTheCommitRecord) {
+  JournalFixture f;
+  Journal journal = f.MakeJournal();
+  journal.LogMetadataBlock(42);
+  journal.LogMetadataBlock(43);
+  const Nanos done = journal.CommitSync();
+  EXPECT_GT(done, f.clock.now());
+  EXPECT_EQ(journal.stats().commits, 1u);
+  EXPECT_EQ(journal.stats().sync_commits, 1u);
+  EXPECT_EQ(journal.stats().blocks_logged, 2u);
+  EXPECT_EQ(journal.pending_blocks(), 0u);
+}
+
+TEST(JournalTest, DuplicateBlocksCoalesceWithinTransaction) {
+  JournalFixture f;
+  Journal journal = f.MakeJournal();
+  journal.LogMetadataBlock(42);
+  journal.LogMetadataBlock(42);
+  journal.LogMetadataBlock(42);
+  EXPECT_EQ(journal.pending_blocks(), 1u);
+}
+
+TEST(JournalTest, OrderedModeIgnoresDataBlocks) {
+  JournalFixture f;
+  Journal journal = f.MakeJournal();
+  journal.LogDataBlock(99);
+  EXPECT_EQ(journal.pending_blocks(), 0u);
+  JournalConfig config;
+  config.mode = JournalMode::kJournaled;
+  Journal data_journal = f.MakeJournal(config);
+  data_journal.LogDataBlock(99);
+  EXPECT_EQ(data_journal.pending_blocks(), 1u);
+}
+
+TEST(JournalTest, PeriodicCommitFiresAfterInterval) {
+  JournalFixture f;
+  JournalConfig config;
+  config.commit_interval = 5 * kSecond;
+  Journal journal = f.MakeJournal(config);
+  journal.LogMetadataBlock(1);
+  journal.MaybePeriodicCommit();
+  EXPECT_EQ(journal.stats().commits, 0u);  // too early
+  f.clock.Advance(6 * kSecond);
+  journal.MaybePeriodicCommit();
+  EXPECT_EQ(journal.stats().commits, 1u);
+  EXPECT_EQ(journal.stats().sync_commits, 0u);
+}
+
+TEST(JournalTest, PeriodicTimerResetsAfterCommit) {
+  JournalFixture f;
+  JournalConfig config;
+  config.commit_interval = 5 * kSecond;
+  Journal journal = f.MakeJournal(config);
+  f.clock.Advance(6 * kSecond);
+  journal.LogMetadataBlock(1);
+  journal.MaybePeriodicCommit();
+  EXPECT_EQ(journal.stats().commits, 1u);
+  journal.LogMetadataBlock(2);
+  journal.MaybePeriodicCommit();
+  EXPECT_EQ(journal.stats().commits, 1u);  // timer restarted
+}
+
+TEST(JournalTest, JournalWritesAreSequentialOnDisk) {
+  JournalFixture f;
+  Journal journal = f.MakeJournal();
+  for (BlockId b = 0; b < 32; ++b) {
+    journal.LogMetadataBlock(5000 + b * 97);
+  }
+  journal.CommitSync();
+  // Sequential journal writes should mostly be streaming (no seeks beyond
+  // the first positioning).
+  EXPECT_GE(f.disk.stats().sequential_hits + f.disk.stats().buffer_hits,
+            f.disk.stats().writes - 2);
+}
+
+TEST(JournalTest, HeadWrapsAroundRegion) {
+  JournalFixture f;
+  JournalConfig config;
+  Journal journal = Journal(&f.scheduler, &f.clock, Extent{1000, 8}, config);
+  // Each commit writes pending + 2 blocks; several commits must wrap the
+  // 8-block region without issue.
+  for (int tx = 0; tx < 10; ++tx) {
+    journal.LogMetadataBlock(100 + tx);
+    journal.LogMetadataBlock(200 + tx);
+    journal.CommitSync();
+  }
+  EXPECT_EQ(journal.stats().commits, 10u);
+}
+
+}  // namespace
+}  // namespace fsbench

@@ -1,0 +1,80 @@
+#include "src/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbench {
+namespace {
+
+MetricsConfig Config(Nanos origin = 0) {
+  MetricsConfig config;
+  config.timeline_interval = kSecond;
+  config.histogram_slice = 2 * kSecond;
+  config.origin = origin;
+  return config;
+}
+
+TEST(MetricsTest, EmptyCollector) {
+  MetricsCollector metrics(Config());
+  EXPECT_EQ(metrics.total_ops(), 0u);
+  EXPECT_EQ(metrics.latency().count(), 0u);
+  EXPECT_EQ(metrics.histogram().total(), 0u);
+}
+
+TEST(MetricsTest, AggregatesAcrossOpTypes) {
+  MetricsCollector metrics(Config());
+  metrics.Record(OpType::kRead, 0, 4100);
+  metrics.Record(OpType::kRead, 100'000, 4100);
+  metrics.Record(OpType::kWrite, 200'000, 9'000'000);
+  EXPECT_EQ(metrics.total_ops(), 3u);
+  EXPECT_EQ(metrics.ops_for(OpType::kRead), 2u);
+  EXPECT_EQ(metrics.ops_for(OpType::kWrite), 1u);
+  EXPECT_EQ(metrics.ops_for(OpType::kStat), 0u);
+  EXPECT_EQ(metrics.latency().count(), 3u);
+  EXPECT_DOUBLE_EQ(metrics.latency_for(OpType::kRead).mean(), 4100.0);
+  EXPECT_DOUBLE_EQ(metrics.latency_for(OpType::kWrite).mean(), 9'000'000.0);
+}
+
+TEST(MetricsTest, HistogramMatchesRecordedLatencies) {
+  MetricsCollector metrics(Config());
+  metrics.Record(OpType::kRead, 0, 4100);
+  metrics.Record(OpType::kRead, 1, 9'000'000);
+  EXPECT_EQ(metrics.histogram().count(12), 1u);
+  EXPECT_EQ(metrics.histogram().count(23), 1u);
+}
+
+TEST(MetricsTest, TimelineBucketsByCompletion) {
+  MetricsCollector metrics(Config());
+  // Op starts at 0.9 s and takes 0.2 s: completes in interval 1.
+  metrics.Record(OpType::kRead, 900 * kMillisecond, 200 * kMillisecond);
+  ASSERT_EQ(metrics.timeline().interval_count(), 2u);
+  EXPECT_EQ(metrics.timeline().count(0), 0u);
+  EXPECT_EQ(metrics.timeline().count(1), 1u);
+  EXPECT_EQ(metrics.last_completion(), 1100 * kMillisecond);
+}
+
+TEST(MetricsTest, OriginDropsEarlierOps) {
+  MetricsCollector metrics(Config(/*origin=*/10 * kSecond));
+  metrics.Record(OpType::kRead, 5 * kSecond, 100);   // before origin: dropped
+  metrics.Record(OpType::kRead, 11 * kSecond, 100);  // counted
+  EXPECT_EQ(metrics.total_ops(), 1u);
+  EXPECT_EQ(metrics.histogram().total(), 1u);
+}
+
+TEST(MetricsTest, HistogramTimelineSlices) {
+  MetricsCollector metrics(Config());
+  metrics.Record(OpType::kRead, 0, 4100);                 // slice 0
+  metrics.Record(OpType::kRead, 3 * kSecond, 9'000'000);  // slice 1
+  ASSERT_EQ(metrics.histogram_timeline().slices().size(), 2u);
+  EXPECT_EQ(metrics.histogram_timeline().slices()[0].FirstBucket(), 12);
+  EXPECT_EQ(metrics.histogram_timeline().slices()[1].FirstBucket(), 23);
+}
+
+TEST(MetricsTest, OpTypeNamesAreStable) {
+  EXPECT_STREQ(OpTypeName(OpType::kRead), "read");
+  EXPECT_STREQ(OpTypeName(OpType::kUnlink), "unlink");
+  EXPECT_STREQ(OpTypeName(OpType::kReadDir), "readdir");
+  EXPECT_STREQ(OpTypeName(OpType::kOther), "other");
+}
+
+}  // namespace
+}  // namespace fsbench

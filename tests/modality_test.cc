@@ -1,0 +1,88 @@
+#include "src/core/modality.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbench {
+namespace {
+
+LatencyHistogram MakeHistogram(const std::vector<std::pair<Nanos, int>>& spec) {
+  LatencyHistogram h;
+  for (const auto& [latency, count] : spec) {
+    for (int i = 0; i < count; ++i) {
+      h.Add(latency);
+    }
+  }
+  return h;
+}
+
+TEST(ModalityTest, EmptyHistogramHasNoModes) {
+  LatencyHistogram h;
+  EXPECT_TRUE(DetectModes(h).empty());
+  EXPECT_FALSE(IsMultimodal(h));
+}
+
+TEST(ModalityTest, SinglePeakIsUnimodal) {
+  const LatencyHistogram h = MakeHistogram({{4100, 1000}});
+  const std::vector<Mode> modes = DetectModes(h);
+  ASSERT_EQ(modes.size(), 1u);
+  EXPECT_EQ(modes[0].peak_bucket, 12);
+  EXPECT_NEAR(modes[0].mass, 100.0, 1e-9);
+  EXPECT_FALSE(IsMultimodal(h));
+}
+
+TEST(ModalityTest, CacheVsDiskIsBimodal) {
+  // The paper's Figure 3(b): ~half hits at ~4us, half misses at ~8ms.
+  const LatencyHistogram h = MakeHistogram({{4100, 500}, {9'000'000, 500}});
+  const std::vector<Mode> modes = DetectModes(h);
+  ASSERT_EQ(modes.size(), 2u);
+  EXPECT_EQ(modes[0].peak_bucket, 12);
+  EXPECT_EQ(modes[1].peak_bucket, 23);
+  EXPECT_NEAR(modes[0].mass, 50.0, 1.0);
+  EXPECT_NEAR(modes[1].mass, 50.0, 1.0);
+  EXPECT_TRUE(IsMultimodal(h));
+}
+
+TEST(ModalityTest, TinySecondPeakBelowThresholdIsIgnored) {
+  // 2% of ops in the second peak: below the 5% default threshold.
+  const LatencyHistogram h = MakeHistogram({{4100, 980}, {9'000'000, 20}});
+  EXPECT_EQ(DetectModes(h).size(), 1u);
+}
+
+TEST(ModalityTest, SmallButRealSecondPeakIsFound) {
+  const LatencyHistogram h = MakeHistogram({{4100, 800}, {9'000'000, 200}});
+  EXPECT_EQ(DetectModes(h).size(), 2u);
+}
+
+TEST(ModalityTest, AdjacentBucketsMergeIntoOneMode) {
+  // Mass spread across adjacent buckets (disk latency straddling a power of
+  // two) must not be counted as two modes.
+  const LatencyHistogram h = MakeHistogram({{7'000'000, 400}, {9'000'000, 600}});
+  const std::vector<Mode> modes = DetectModes(h);
+  EXPECT_EQ(modes.size(), 1u);
+}
+
+TEST(ModalityTest, WellSeparatedThreeModes) {
+  const LatencyHistogram h =
+      MakeHistogram({{100, 300}, {100'000, 300}, {50'000'000, 400}});
+  const std::vector<Mode> modes = DetectModes(h);
+  EXPECT_EQ(modes.size(), 3u);
+}
+
+TEST(ModalityTest, ModeRegionsPartitionMass) {
+  const LatencyHistogram h = MakeHistogram({{4100, 600}, {9'000'000, 400}});
+  double total = 0.0;
+  for (const Mode& mode : DetectModes(h)) {
+    total += mode.mass;
+  }
+  EXPECT_NEAR(total, 100.0, 1e-6);
+}
+
+TEST(ModalityTest, ThresholdConfigurable) {
+  const LatencyHistogram h = MakeHistogram({{4100, 980}, {9'000'000, 20}});
+  ModalityConfig config;
+  config.min_peak_share = 0.5;
+  EXPECT_EQ(DetectModes(h, config).size(), 2u);
+}
+
+}  // namespace
+}  // namespace fsbench

@@ -1,0 +1,121 @@
+#include "src/core/nano_suite.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbench {
+namespace {
+
+MachineFactory PaperMachine(FsKind kind = FsKind::kExt2,
+                            EvictionPolicyKind eviction = EvictionPolicyKind::kLru) {
+  return [kind, eviction](uint64_t seed) {
+    MachineConfig config = PaperTestbedConfig();
+    config.seed = seed;
+    config.eviction = eviction;
+    return std::make_unique<Machine>(kind, config);
+  };
+}
+
+NanoSuiteConfig FastConfig() {
+  NanoSuiteConfig config;
+  config.runs = 2;
+  config.duration = 2 * kSecond;
+  config.io_span = 256 * kMiB;
+  config.ondisk_file = 480 * kMiB;
+  config.warmup_file = 64 * kMiB;
+  config.metadata_files = 200;
+  return config;
+}
+
+TEST(NanoSuiteTest, IoSequentialBandwidthIsMediaRate) {
+  const NanoResult result = NanoSuite(FastConfig()).IoSequentialBandwidth(PaperMachine());
+  EXPECT_EQ(result.dimension, Dimension::kIo);
+  // 1024 sectors/track at 7200 RPM -> ~60 MiB/s media rate.
+  EXPECT_GT(result.value, 30.0);
+  EXPECT_LT(result.value, 120.0);
+}
+
+TEST(NanoSuiteTest, IoRandomLatencyIsMilliseconds) {
+  const NanoResult result = NanoSuite(FastConfig()).IoRandomReadLatency(PaperMachine());
+  EXPECT_EQ(result.dimension, Dimension::kIo);
+  EXPECT_GT(result.value, 3.0);   // ms
+  EXPECT_LT(result.value, 20.0);  // ms
+}
+
+TEST(NanoSuiteTest, CacheHitLatencyIsMicroseconds) {
+  const NanoResult result = NanoSuite(FastConfig()).CacheHitLatency(PaperMachine());
+  EXPECT_EQ(result.dimension, Dimension::kCaching);
+  EXPECT_GT(result.value, 1.0);    // us
+  EXPECT_LT(result.value, 10.0);   // us
+}
+
+TEST(NanoSuiteTest, OnDiskRandomReadIsDiskBound) {
+  const NanoResult result = NanoSuite(FastConfig()).OnDiskRandomRead(PaperMachine());
+  EXPECT_EQ(result.dimension, Dimension::kOnDisk);
+  EXPECT_GT(result.value, 30.0);
+  EXPECT_LT(result.value, 1000.0);
+}
+
+TEST(NanoSuiteTest, OnDiskSequentialBeatsRandomByOrders) {
+  NanoSuite suite(FastConfig());
+  const NanoResult seq = suite.OnDiskSequentialRead(PaperMachine());
+  const NanoResult rand = suite.OnDiskRandomRead(PaperMachine());
+  // Sequential MiB/s vs random ops/s*4KiB: compare as bandwidth.
+  const double random_mib_s = rand.value * 4096.0 / (1024.0 * 1024.0);
+  EXPECT_GT(seq.value, 10.0 * random_mib_s);
+}
+
+TEST(NanoSuiteTest, EvictionQualityDistinguishesPolicies) {
+  NanoSuiteConfig config = FastConfig();
+  config.runs = 1;
+  config.duration = 3 * kSecond;
+  NanoSuite suite(config);
+  const NanoResult lru =
+      suite.CacheEvictionQuality(PaperMachine(FsKind::kExt2, EvictionPolicyKind::kLru));
+  const NanoResult arc =
+      suite.CacheEvictionQuality(PaperMachine(FsKind::kExt2, EvictionPolicyKind::kArc));
+  // Both are hit ratios in percent.
+  EXPECT_GT(lru.value, 10.0);
+  EXPECT_LT(lru.value, 100.0);
+  EXPECT_GT(arc.value, 10.0);
+  EXPECT_LT(arc.value, 100.0);
+}
+
+TEST(NanoSuiteTest, MetadataRatesArePositive) {
+  NanoSuite suite(FastConfig());
+  const NanoResult create = suite.MetadataCreateRate(PaperMachine());
+  EXPECT_EQ(create.dimension, Dimension::kMetadata);
+  EXPECT_GT(create.value, 10.0);
+  const NanoResult stat = suite.MetadataStatHot(PaperMachine());
+  EXPECT_GT(stat.value, 1000.0);  // warm namespace: near memory speed
+}
+
+TEST(NanoSuiteTest, ScalingEfficiencyBelowIdeal) {
+  NanoSuiteConfig config = FastConfig();
+  config.runs = 1;
+  const NanoResult result = NanoSuite(config).ScalingEfficiency(PaperMachine());
+  EXPECT_EQ(result.dimension, Dimension::kScaling);
+  // Disk-bound streams share one spindle: efficiency must be well below
+  // 100% but positive.
+  EXPECT_GT(result.value, 5.0);
+  EXPECT_LT(result.value, 110.0);
+}
+
+TEST(NanoSuiteTest, RunAllCoversEveryDimension) {
+  NanoSuiteConfig config = FastConfig();
+  config.runs = 1;
+  config.duration = 1 * kSecond;
+  const std::vector<NanoResult> results = NanoSuite(config).RunAll(PaperMachine());
+  EXPECT_EQ(results.size(), 10u);
+  bool seen[kDimensionCount] = {};
+  for (const NanoResult& result : results) {
+    seen[static_cast<int>(result.dimension)] = true;
+    EXPECT_FALSE(result.name.empty());
+    EXPECT_FALSE(result.unit.empty());
+  }
+  for (int d = 0; d < kDimensionCount; ++d) {
+    EXPECT_TRUE(seen[d]) << DimensionName(static_cast<Dimension>(d));
+  }
+}
+
+}  // namespace
+}  // namespace fsbench

@@ -1,0 +1,164 @@
+#include "src/sim/page_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace fsbench {
+namespace {
+
+PageKey Key(InodeId ino, uint64_t index) { return PageKey{ino, index}; }
+
+TEST(PageCacheTest, MissThenHit) {
+  PageCache cache(8, EvictionPolicyKind::kLru);
+  EXPECT_FALSE(cache.Lookup(Key(1, 0)));
+  cache.Insert(Key(1, 0), 100, false);
+  EXPECT_TRUE(cache.Lookup(Key(1, 0)));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PageCacheTest, ContainsDoesNotTouchStats) {
+  PageCache cache(8, EvictionPolicyKind::kLru);
+  cache.Insert(Key(1, 0), 100, false);
+  EXPECT_TRUE(cache.Contains(Key(1, 0)));
+  EXPECT_FALSE(cache.Contains(Key(1, 1)));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(PageCacheTest, CapacityIsEnforced) {
+  PageCache cache(4, EvictionPolicyKind::kLru);
+  for (uint64_t i = 0; i < 10; ++i) {
+    cache.Insert(Key(1, i), 100 + i, false);
+    EXPECT_LE(cache.size(), 4u);
+    EXPECT_TRUE(cache.CheckInvariants());
+  }
+  EXPECT_EQ(cache.stats().evictions, 6u);
+}
+
+TEST(PageCacheTest, LruEvictionOrder) {
+  PageCache cache(3, EvictionPolicyKind::kLru);
+  cache.Insert(Key(1, 0), 0, false);
+  cache.Insert(Key(1, 1), 1, false);
+  cache.Insert(Key(1, 2), 2, false);
+  ASSERT_TRUE(cache.Lookup(Key(1, 0)));  // refresh 0
+  const auto evicted = cache.Insert(Key(1, 3), 3, false);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].key.index, 1u);  // 1 was LRU
+}
+
+TEST(PageCacheTest, EvictedDirtyPagesCarryBlock) {
+  PageCache cache(1, EvictionPolicyKind::kLru);
+  cache.Insert(Key(1, 0), 777, true);
+  const auto evicted = cache.Insert(Key(1, 1), 888, false);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_TRUE(evicted[0].dirty);
+  EXPECT_EQ(evicted[0].block, 777u);
+  EXPECT_EQ(cache.stats().dirty_evictions, 1u);
+  EXPECT_EQ(cache.dirty_count(), 0u);
+}
+
+TEST(PageCacheTest, InsertExistingRefreshesAndMergesDirty) {
+  PageCache cache(4, EvictionPolicyKind::kLru);
+  cache.Insert(Key(1, 0), 10, false);
+  EXPECT_EQ(cache.dirty_count(), 0u);
+  cache.Insert(Key(1, 0), 10, true);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.dirty_count(), 1u);
+  // Inserting clean over dirty keeps it dirty.
+  cache.Insert(Key(1, 0), 10, false);
+  EXPECT_EQ(cache.dirty_count(), 1u);
+}
+
+TEST(PageCacheTest, MarkDirtyAndTakeDirty) {
+  PageCache cache(8, EvictionPolicyKind::kLru);
+  cache.Insert(Key(1, 0), 10, false);
+  cache.Insert(Key(1, 1), 11, false);
+  EXPECT_TRUE(cache.MarkDirty(Key(1, 0)));
+  EXPECT_FALSE(cache.MarkDirty(Key(2, 0)));
+  EXPECT_EQ(cache.dirty_count(), 1u);
+  const auto dirty = cache.TakeDirty(10);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0].block, 10u);
+  EXPECT_EQ(cache.dirty_count(), 0u);
+  // Pages stay resident after TakeDirty.
+  EXPECT_TRUE(cache.Contains(Key(1, 0)));
+}
+
+TEST(PageCacheTest, TakeDirtyHonoursLimit) {
+  PageCache cache(16, EvictionPolicyKind::kLru);
+  for (uint64_t i = 0; i < 8; ++i) {
+    cache.Insert(Key(1, i), i, true);
+  }
+  EXPECT_EQ(cache.TakeDirty(3).size(), 3u);
+  EXPECT_EQ(cache.dirty_count(), 5u);
+}
+
+TEST(PageCacheTest, RemoveFileDropsAllItsPages) {
+  PageCache cache(16, EvictionPolicyKind::kLru);
+  for (uint64_t i = 0; i < 4; ++i) {
+    cache.Insert(Key(1, i), i, i % 2 == 0);
+    cache.Insert(Key(2, i), 100 + i, false);
+  }
+  cache.RemoveFile(1);
+  EXPECT_EQ(cache.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(cache.Contains(Key(1, i)));
+    EXPECT_TRUE(cache.Contains(Key(2, i)));
+  }
+  EXPECT_EQ(cache.dirty_count(), 0u);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(PageCacheTest, ClearEmptiesEverything) {
+  PageCache cache(16, EvictionPolicyKind::kLru);
+  for (uint64_t i = 0; i < 8; ++i) {
+    cache.Insert(Key(1, i), i, true);
+  }
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.dirty_count(), 0u);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(PageCacheTest, MetaAndDataKeysCoexist) {
+  PageCache cache(8, EvictionPolicyKind::kLru);
+  cache.Insert(Key(kMetaInode, 500), 500, false);
+  cache.Insert(Key(1, 500), 900, false);
+  EXPECT_TRUE(cache.Contains(Key(kMetaInode, 500)));
+  EXPECT_TRUE(cache.Contains(Key(1, 500)));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+class PageCachePolicySweep : public ::testing::TestWithParam<EvictionPolicyKind> {};
+
+TEST_P(PageCachePolicySweep, RandomWorkloadKeepsInvariants) {
+  PageCache cache(32, GetParam());
+  Rng rng(123);
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t index = rng.NextBelow(100);
+    if (!cache.Lookup(Key(1, index))) {
+      cache.Insert(Key(1, index), index, rng.NextDouble() < 0.3);
+    }
+    if (step % 1000 == 0) {
+      ASSERT_TRUE(cache.CheckInvariants()) << "step " << step;
+    }
+  }
+  EXPECT_TRUE(cache.CheckInvariants());
+  // Uniform over 100 pages with 32-page cache: hit ratio should be near
+  // 32/100 for any sane policy.
+  const double hit_ratio = static_cast<double>(cache.stats().hits) /
+                           (cache.stats().hits + cache.stats().misses);
+  EXPECT_GT(hit_ratio, 0.22);
+  EXPECT_LT(hit_ratio, 0.45);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PageCachePolicySweep,
+                         ::testing::Values(EvictionPolicyKind::kLru, EvictionPolicyKind::kClock,
+                                           EvictionPolicyKind::kTwoQueue,
+                                           EvictionPolicyKind::kArc),
+                         [](const auto& info) { return EvictionPolicyKindName(info.param); });
+
+}  // namespace
+}  // namespace fsbench

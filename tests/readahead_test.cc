@@ -1,0 +1,75 @@
+#include "src/sim/readahead.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbench {
+namespace {
+
+TEST(ReadaheadTest, NonePolicyNeverPrefetches) {
+  ReadaheadPolicy policy(ReadaheadConfig{ReadaheadKind::kNone, 8, 4, 32, 2});
+  ReadaheadState state;
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy.OnAccess(state, i), 0u);
+  }
+}
+
+TEST(ReadaheadTest, FixedPolicyAlwaysPrefetchesSameAmount) {
+  ReadaheadPolicy policy(ReadaheadConfig{ReadaheadKind::kFixed, 8, 4, 32, 2});
+  ReadaheadState state;
+  EXPECT_EQ(policy.OnAccess(state, 0), 8u);
+  EXPECT_EQ(policy.OnAccess(state, 100), 8u);
+  EXPECT_EQ(policy.OnAccess(state, 101), 8u);
+}
+
+TEST(ReadaheadTest, AdaptiveRandomAccessUsesCluster) {
+  ReadaheadPolicy policy(ReadaheadConfig{ReadaheadKind::kAdaptive, 8, 4, 32, 2});
+  ReadaheadState state;
+  EXPECT_EQ(policy.OnAccess(state, 50), 2u);
+  EXPECT_EQ(policy.OnAccess(state, 10), 2u);
+  EXPECT_EQ(policy.OnAccess(state, 99), 2u);
+}
+
+TEST(ReadaheadTest, AdaptiveSequentialWindowRampsAndSaturates) {
+  ReadaheadPolicy policy(ReadaheadConfig{ReadaheadKind::kAdaptive, 8, 4, 32, 2});
+  ReadaheadState state;
+  policy.OnAccess(state, 0);  // first access: no history
+  // First sequential access continues the cluster; from streak 2 the window
+  // ramps 4 -> 8 -> 16 -> 32 -> 32 ...
+  EXPECT_EQ(policy.OnAccess(state, 1), 2u);
+  EXPECT_EQ(policy.OnAccess(state, 2), 4u);
+  EXPECT_EQ(policy.OnAccess(state, 3), 8u);
+  EXPECT_EQ(policy.OnAccess(state, 4), 16u);
+  EXPECT_EQ(policy.OnAccess(state, 5), 32u);
+  EXPECT_EQ(policy.OnAccess(state, 6), 32u);
+}
+
+TEST(ReadaheadTest, AdaptiveResetsOnSeek) {
+  ReadaheadPolicy policy(ReadaheadConfig{ReadaheadKind::kAdaptive, 8, 4, 32, 2});
+  ReadaheadState state;
+  for (uint64_t i = 0; i < 6; ++i) {
+    policy.OnAccess(state, i);
+  }
+  EXPECT_GT(state.window, 0u);
+  // A random jump resets the streak and window.
+  EXPECT_EQ(policy.OnAccess(state, 1000), 2u);
+  EXPECT_EQ(state.streak, 0u);
+  EXPECT_EQ(state.window, 0u);
+  // Ramping starts over.
+  EXPECT_EQ(policy.OnAccess(state, 1001), 2u);
+  EXPECT_EQ(policy.OnAccess(state, 1002), 4u);
+}
+
+TEST(ReadaheadTest, PerFileStateIsIndependent) {
+  ReadaheadPolicy policy(ReadaheadConfig{ReadaheadKind::kAdaptive, 8, 4, 32, 2});
+  ReadaheadState a;
+  ReadaheadState b;
+  for (uint64_t i = 0; i < 5; ++i) {
+    policy.OnAccess(a, i);
+  }
+  // b has no history: random-access behaviour.
+  EXPECT_EQ(policy.OnAccess(b, 0), 2u);
+  EXPECT_GT(a.window, b.window);
+}
+
+}  // namespace
+}  // namespace fsbench

@@ -1,0 +1,190 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace fsbench {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 42;
+  uint64_t s2 = 42;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  uint64_t s1 = 1;
+  uint64_t s2 = 2;
+  EXPECT_NE(SplitMix64(s1), SplitMix64(s2));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, SeedsProduceDistinctStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBelow(kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.05) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.NextExponential(5.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.1);
+}
+
+TEST(RngTest, ZipfStaysInRangeAndSkews) {
+  Rng rng(31);
+  constexpr uint64_t kN = 1000;
+  std::vector<int> counts(kN, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t v = rng.NextZipf(kN, 0.9);
+    ASSERT_LT(v, kN);
+    ++counts[v];
+  }
+  // Rank 0 must dominate, and the head must hold far more than its uniform
+  // share.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[100]);
+  int head = 0;
+  for (int i = 0; i < 10; ++i) {
+    head += counts[i];
+  }
+  EXPECT_GT(head, kSamples / 5);  // 1% of ranks, >20% of mass
+}
+
+TEST(RngTest, ZipfThetaCacheHandlesParameterChange) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.NextZipf(10, 0.5), 10u);
+    EXPECT_LT(rng.NextZipf(100000, 0.99), 100000u);
+  }
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng a(41);
+  Rng b(41);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(fa.NextU64(), fb.NextU64());
+  }
+  // The fork differs from the parent's continued stream.
+  Rng c(41);
+  Rng fc = c.Fork();
+  EXPECT_NE(fc.NextU64(), c.NextU64());
+}
+
+class RngBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundSweep, MeanIsNearHalfBound) {
+  const uint64_t bound = GetParam();
+  Rng rng(bound);
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.NextBelow(bound));
+  }
+  const double expected = static_cast<double>(bound - 1) / 2.0;
+  EXPECT_NEAR(sum / kSamples, expected, std::max(1.0, expected * 0.03));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(2, 3, 7, 64, 1000, 4096, 1000000));
+
+}  // namespace
+}  // namespace fsbench

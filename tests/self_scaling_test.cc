@@ -1,0 +1,84 @@
+#include "src/core/self_scaling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fsbench {
+namespace {
+
+TEST(SelfScalingTest, FindsAStepFunctionCliff) {
+  // Step at 417.3: high plateau before, low after (the Fig 1 shape).
+  const auto metric = [](double x) { return x < 417.3 ? 9700.0 : 170.0; };
+  SelfScalingProbe::Options options;
+  options.coarse_steps = 8;
+  options.resolution = 1.0;
+  const TransitionResult result = SelfScalingProbe::FindTransition(metric, 384, 448, options);
+  ASSERT_TRUE(result.found);
+  EXPECT_LE(result.param_lo, 417.3);
+  EXPECT_GE(result.param_hi, 417.3);
+  EXPECT_LE(result.width(), 1.0);
+  EXPECT_NEAR(result.drop_factor, 9700.0 / 170.0, 1.0);
+}
+
+TEST(SelfScalingTest, MonotoneFlatHasNoTransition) {
+  const auto metric = [](double) { return 100.0; };
+  const TransitionResult result =
+      SelfScalingProbe::FindTransition(metric, 0, 100, {8, 1.0, 64});
+  EXPECT_FALSE(result.found);
+}
+
+TEST(SelfScalingTest, GentleSlopeBelowThresholdIgnored) {
+  const auto metric = [](double x) { return 100.0 - 0.01 * x; };
+  const TransitionResult result =
+      SelfScalingProbe::FindTransition(metric, 0, 100, {8, 1.0, 64});
+  EXPECT_FALSE(result.found);
+}
+
+TEST(SelfScalingTest, IncreasingMetricHasNoDownwardTransition) {
+  const auto metric = [](double x) { return 10.0 + x * x; };
+  const TransitionResult result =
+      SelfScalingProbe::FindTransition(metric, 1, 100, {8, 1.0, 64});
+  EXPECT_FALSE(result.found);
+}
+
+TEST(SelfScalingTest, SigmoidTransitionBracketsMidpoint) {
+  // Smooth transition centered at 50 with width ~4.
+  const auto metric = [](double x) { return 1000.0 / (1.0 + std::exp((x - 50.0) / 2.0)) + 10.0; };
+  const TransitionResult result =
+      SelfScalingProbe::FindTransition(metric, 0, 100, {11, 2.0, 64});
+  ASSERT_TRUE(result.found);
+  EXPECT_GT(result.param_hi, 40.0);
+  EXPECT_LT(result.param_lo, 60.0);
+  // Across a ~2-wide bracket of a smooth sigmoid the local factor is
+  // modest; the knee must still register.
+  EXPECT_GT(result.drop_factor, 1.2);
+}
+
+TEST(SelfScalingTest, SamplesAreRecorded) {
+  const auto metric = [](double x) { return x < 50 ? 100.0 : 1.0; };
+  const TransitionResult result =
+      SelfScalingProbe::FindTransition(metric, 0, 100, {5, 0.5, 64});
+  ASSERT_TRUE(result.found);
+  EXPECT_GE(result.samples.size(), 5u);
+  // Bisection evaluations beyond the grid.
+  EXPECT_GT(result.samples.size(), 5u);
+}
+
+TEST(SelfScalingTest, EvaluationCapRespected) {
+  int evaluations = 0;
+  const auto metric = [&evaluations](double x) {
+    ++evaluations;
+    return x < 50 ? 100.0 : 1.0;
+  };
+  SelfScalingProbe::Options options;
+  options.coarse_steps = 4;
+  options.resolution = 1e-9;  // would bisect forever
+  options.max_evaluations = 12;
+  const TransitionResult result = SelfScalingProbe::FindTransition(metric, 0, 100, options);
+  EXPECT_TRUE(result.found);
+  EXPECT_LE(evaluations, 12);
+}
+
+}  // namespace
+}  // namespace fsbench

@@ -1,0 +1,193 @@
+#include "src/core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace fsbench {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesClosedForm) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombinedStream) {
+  Rng rng(3);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble() * 100.0;
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.Add(5.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.mean(), 5.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(RunningStatsTest, RelativeStddev) {
+  RunningStats stats;
+  stats.Add(90.0);
+  stats.Add(110.0);
+  // mean 100, stddev sqrt(200) ~ 14.14 -> 14.14%
+  EXPECT_NEAR(stats.rel_stddev_pct(), 14.142, 0.01);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 1.0 / 3.0), 20.0);
+}
+
+TEST(SummarizeTest, BasicFields) {
+  const Summary s = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_GT(s.ci95_half_width, 0.0);
+}
+
+TEST(SummarizeTest, EmptyAndSingle) {
+  EXPECT_EQ(Summarize({}).count, 0u);
+  const Summary one = Summarize({7.0});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_EQ(one.mean, 7.0);
+  EXPECT_EQ(one.ci95_half_width, 0.0);
+}
+
+TEST(TDistributionTest, CdfSymmetry) {
+  for (double t : {0.5, 1.0, 2.0}) {
+    for (double df : {1.0, 5.0, 30.0}) {
+      EXPECT_NEAR(StudentTCdf(t, df) + StudentTCdf(-t, df), 1.0, 1e-10);
+    }
+  }
+  EXPECT_NEAR(StudentTCdf(0.0, 7.0), 0.5, 1e-12);
+}
+
+TEST(TDistributionTest, CriticalValuesMatchTables) {
+  // Standard two-sided 95% critical values.
+  EXPECT_NEAR(TCritical(1), 12.706, 0.01);
+  EXPECT_NEAR(TCritical(2), 4.303, 0.005);
+  EXPECT_NEAR(TCritical(5), 2.571, 0.005);
+  EXPECT_NEAR(TCritical(9), 2.262, 0.005);
+  EXPECT_NEAR(TCritical(10), 2.228, 0.005);
+  EXPECT_NEAR(TCritical(30), 2.042, 0.005);
+  EXPECT_NEAR(TCritical(1000), 1.962, 0.005);
+}
+
+TEST(TDistributionTest, Confidence99) {
+  EXPECT_NEAR(TCritical(10, 0.99), 3.169, 0.01);
+}
+
+TEST(WelchTest, IdenticalSamplesAreNotSignificant) {
+  const std::vector<double> a{10.0, 11.0, 9.0, 10.5, 9.5};
+  const WelchResult r = WelchTTest(a, a);
+  EXPECT_NEAR(r.t, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+  EXPECT_FALSE(r.Significant());
+}
+
+TEST(WelchTest, WellSeparatedSamplesAreSignificant) {
+  const std::vector<double> a{100.0, 101.0, 99.0, 100.5, 99.5};
+  const std::vector<double> b{10.0, 11.0, 9.0, 10.5, 9.5};
+  const WelchResult r = WelchTTest(a, b);
+  EXPECT_TRUE(r.Significant(0.001));
+  EXPECT_NEAR(r.mean_diff, 90.0, 1e-9);
+  EXPECT_GT(r.ci95_lo, 80.0);
+  EXPECT_LT(r.ci95_hi, 100.0);
+}
+
+TEST(WelchTest, KnownExample) {
+  // Classic Welch example with unequal variances.
+  const std::vector<double> a{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1,
+                              19.6, 19.0, 21.7, 21.4};
+  const std::vector<double> b{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9,
+                              22.1, 22.9, 30.5};
+  const WelchResult r = WelchTTest(a, b);
+  // Reference values computed independently (Welch formulas, double
+  // precision): t = -2.70778, df = 26.9527.
+  EXPECT_NEAR(r.t, -2.70778, 0.0002);
+  EXPECT_NEAR(r.df, 26.9527, 0.002);
+  EXPECT_LT(r.p_value, 0.05);
+}
+
+TEST(WelchTest, TooFewSamples) {
+  const WelchResult r = WelchTTest({1.0}, {2.0, 3.0});
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(RunsForPrecisionTest, ScalesWithVariance) {
+  Summary noisy;
+  noisy.count = 5;
+  noisy.mean = 100.0;
+  noisy.stddev = 30.0;
+  Summary quiet = noisy;
+  quiet.stddev = 3.0;
+  EXPECT_GT(RunsForRelativePrecision(noisy, 0.05), RunsForRelativePrecision(quiet, 0.05));
+  EXPECT_GE(RunsForRelativePrecision(quiet, 0.05), 2u);
+}
+
+class SummaryPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SummaryPropertySweep, CiShrinksWithSampleSize) {
+  Rng rng(GetParam());
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 10; ++i) {
+    small.push_back(rng.NextGaussian() * 10.0 + 100.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    large.push_back(rng.NextGaussian() * 10.0 + 100.0);
+  }
+  EXPECT_LT(Summarize(large).ci95_half_width, Summarize(small).ci95_half_width);
+  // The sample mean of 1000 gaussians (sigma 10) is within ~5 standard
+  // errors of the true mean for any reasonable seed.
+  const Summary s = Summarize(large);
+  EXPECT_NEAR(s.mean, 100.0, 1.6);
+  EXPECT_LT(s.ci95_half_width, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummaryPropertySweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace fsbench

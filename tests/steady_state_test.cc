@@ -1,0 +1,80 @@
+#include "src/core/steady_state.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbench {
+namespace {
+
+TEST(SteadyStateTest, FlatSeriesIsSteadyFromStart) {
+  const std::vector<double> rates(20, 100.0);
+  const SteadyStateReport report = AnalyzeSteadyState(rates);
+  EXPECT_TRUE(report.reached);
+  EXPECT_EQ(report.steady_start_interval, 0u);
+  EXPECT_DOUBLE_EQ(report.steady_mean, 100.0);
+  EXPECT_DOUBLE_EQ(report.warmup_fraction, 0.0);
+}
+
+TEST(SteadyStateTest, RampThenFlatFindsTheKnee) {
+  std::vector<double> rates;
+  for (int i = 0; i < 10; ++i) {
+    rates.push_back(10.0 * (i + 1));  // 10..100
+  }
+  for (int i = 0; i < 10; ++i) {
+    rates.push_back(100.0);
+  }
+  const SteadyStateReport report = AnalyzeSteadyState(rates);
+  ASSERT_TRUE(report.reached);
+  EXPECT_GE(report.steady_start_interval, 8u);
+  EXPECT_LE(report.steady_start_interval, 10u);
+  EXPECT_NEAR(report.steady_mean, 100.0, 2.0);
+  EXPECT_GT(report.warmup_fraction, 0.3);
+}
+
+TEST(SteadyStateTest, NoisyTailWithinToleranceIsSteady) {
+  std::vector<double> rates;
+  for (int i = 0; i < 20; ++i) {
+    rates.push_back(100.0 + (i % 2 == 0 ? 2.0 : -2.0));  // 4% spread
+  }
+  SteadyStateConfig config;
+  config.tolerance = 0.05;
+  EXPECT_TRUE(AnalyzeSteadyState(rates, config).reached);
+  config.tolerance = 0.01;
+  EXPECT_FALSE(AnalyzeSteadyState(rates, config).reached);
+}
+
+TEST(SteadyStateTest, EverGrowingSeriesNeverSteady) {
+  std::vector<double> rates;
+  for (int i = 0; i < 30; ++i) {
+    rates.push_back(100.0 * (i + 1));
+  }
+  EXPECT_FALSE(AnalyzeSteadyState(rates).reached);
+}
+
+TEST(SteadyStateTest, ShortSeriesNotSteady) {
+  EXPECT_FALSE(AnalyzeSteadyState({1.0, 1.0}).reached);
+}
+
+TEST(SteadyStateTest, LateDisturbanceBreaksSteadiness) {
+  std::vector<double> rates(20, 100.0);
+  rates[18] = 10.0;  // crash near the end
+  const SteadyStateReport report = AnalyzeSteadyState(rates);
+  EXPECT_FALSE(report.reached);
+}
+
+TEST(SteadyStateTest, WarmupDurationScalesWithInterval) {
+  std::vector<double> rates;
+  for (int i = 0; i < 10; ++i) {
+    rates.push_back(10.0 * (i + 1));
+  }
+  for (int i = 0; i < 10; ++i) {
+    rates.push_back(100.0);
+  }
+  const auto duration = WarmupDuration(rates, 10 * kSecond);
+  ASSERT_TRUE(duration.has_value());
+  EXPECT_GE(*duration, 80 * kSecond);
+  EXPECT_LE(*duration, 100 * kSecond);
+  EXPECT_FALSE(WarmupDuration({1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}, kSecond).has_value());
+}
+
+}  // namespace
+}  // namespace fsbench

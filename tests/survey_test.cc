@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "src/survey/survey_analysis.h"
+#include "src/survey/survey_data.h"
+
+namespace fsbench {
+namespace {
+
+TEST(SurveyDataTest, TableHasNineteenRows) {
+  EXPECT_EQ(Table1Benchmarks().size(), 19u);
+}
+
+TEST(SurveyDataTest, PublishedCountsMatchThePaper) {
+  // Spot-check the paper's exact numbers.
+  const auto& rows = Table1Benchmarks();
+  auto find = [&rows](const std::string& name) -> const BenchmarkInfo& {
+    for (const auto& row : rows) {
+      if (row.name == name) {
+        return row;
+      }
+    }
+    ADD_FAILURE() << "missing row " << name;
+    return rows.front();
+  };
+  EXPECT_EQ(find("Postmark").used_1999_2007, 30);
+  EXPECT_EQ(find("Postmark").used_2009_2010, 17);
+  EXPECT_EQ(find("Ad-hoc").used_1999_2007, 237);
+  EXPECT_EQ(find("Ad-hoc").used_2009_2010, 67);
+  EXPECT_EQ(find("Filebench").used_2009_2010, 5);
+  EXPECT_EQ(find("Andrew").used_1999_2007, 15);
+  EXPECT_EQ(find("Compile (Apache, openssh, etc.)").used_1999_2007, 38);
+}
+
+TEST(SurveyDataTest, CorpusShapeMatchesPaper) {
+  const SurveyCorpus corpus = MakeSurveyCorpus2009_2010();
+  EXPECT_EQ(corpus.papers_reviewed, 100);
+  EXPECT_EQ(corpus.papers_eliminated, 13);
+  EXPECT_EQ(corpus.papers.size(), 87u);
+  int from_2009 = 0;
+  for (const PaperRecord& paper : corpus.papers) {
+    EXPECT_TRUE(paper.year == 2009 || paper.year == 2010);
+    EXPECT_FALSE(paper.venue.empty());
+    if (paper.year == 2009) {
+      ++from_2009;
+    }
+  }
+  EXPECT_EQ(from_2009, 28);
+}
+
+TEST(SurveyDataTest, NoPaperUsesTheSameBenchmarkTwice) {
+  const SurveyCorpus corpus = MakeSurveyCorpus2009_2010();
+  for (const PaperRecord& paper : corpus.papers) {
+    std::set<std::string> unique(paper.benchmarks.begin(), paper.benchmarks.end());
+    EXPECT_EQ(unique.size(), paper.benchmarks.size()) << paper.id;
+  }
+}
+
+TEST(SurveyAnalysisTest, RecomputedCountsMatchTable) {
+  const SurveyCorpus corpus = MakeSurveyCorpus2009_2010();
+  std::string error;
+  EXPECT_TRUE(VerifyCorpusAgainstTable(corpus, &error)) << error;
+}
+
+TEST(SurveyAnalysisTest, CorruptedCorpusIsDetected) {
+  SurveyCorpus corpus = MakeSurveyCorpus2009_2010();
+  corpus.papers[0].benchmarks.push_back("Postmark-not-a-benchmark");
+  corpus.papers[1].benchmarks.clear();
+  std::string error;
+  EXPECT_FALSE(VerifyCorpusAgainstTable(corpus, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SurveyAnalysisTest, HighlightsMatchPaperClaims) {
+  const SurveyHighlights highlights = ComputeHighlights(MakeSurveyCorpus2009_2010());
+  EXPECT_EQ(highlights.papers_counted, 87);
+  EXPECT_EQ(highlights.adhoc_usages, 67);
+  // "Ad-hoc ... was, by far, the most common choice": > a third of usages.
+  EXPECT_GT(highlights.adhoc_share_pct, 33.0);
+  EXPECT_GT(highlights.mean_benchmarks_per_paper, 1.0);
+  // Few benchmarks isolate any dimension -- the paper's core complaint.
+  EXPECT_LT(highlights.isolating_benchmarks, 10);
+}
+
+TEST(SurveyAnalysisTest, RenderTable1ContainsAllBenchmarks) {
+  const std::string table = RenderTable1();
+  for (const BenchmarkInfo& row : Table1Benchmarks()) {
+    EXPECT_NE(table.find(row.name), std::string::npos) << row.name;
+  }
+  EXPECT_NE(table.find("1999-2007"), std::string::npos);
+  EXPECT_NE(table.find("legend"), std::string::npos);
+}
+
+TEST(SurveyAnalysisTest, RenderAnalysisMentionsVerification) {
+  const std::string analysis = RenderSurveyAnalysis(MakeSurveyCorpus2009_2010());
+  EXPECT_NE(analysis.find("matches published Table 1: yes"), std::string::npos);
+  EXPECT_NE(analysis.find("ad-hoc"), std::string::npos);
+}
+
+TEST(DimensionsTest, NamesAndMarks) {
+  EXPECT_STREQ(DimensionName(Dimension::kIo), "I/O");
+  EXPECT_STREQ(DimensionName(Dimension::kScaling), "Scaling");
+  EXPECT_STREQ(CoverageMark(Coverage::kIsolates), "*");
+  EXPECT_STREQ(CoverageMark(Coverage::kExercises), "o");
+  EXPECT_STREQ(CoverageMark(Coverage::kDepends), "x");
+  EXPECT_STREQ(CoverageMark(Coverage::kNone), " ");
+}
+
+}  // namespace
+}  // namespace fsbench

@@ -1,0 +1,94 @@
+#include "src/core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/workloads/random_read.h"
+
+namespace fsbench {
+namespace {
+
+MachineFactory PaperMachine() {
+  return [](uint64_t seed) {
+    MachineConfig config = PaperTestbedConfig();
+    config.seed = seed;
+    return std::make_unique<Machine>(FsKind::kExt2, config);
+  };
+}
+
+SweepMatrixResult SmallSweep() {
+  SweepMatrix matrix("file MiB", {32, 64}, "io KiB", {4, 16, 64});
+  ExperimentConfig config;
+  config.runs = 2;
+  config.duration = 1 * kSecond;
+  config.prewarm = true;
+  return matrix.Run(config, PaperMachine(), [](double file, double io) {
+    RandomReadConfig workload_config;
+    workload_config.file_size = static_cast<Bytes>(file) * kMiB;
+    workload_config.io_size = static_cast<Bytes>(io) * kKiB;
+    return std::make_unique<RandomReadWorkload>(workload_config);
+  });
+}
+
+TEST(SweepMatrixTest, RunsEveryCell) {
+  const SweepMatrixResult result = SmallSweep();
+  ASSERT_EQ(result.cells.size(), 6u);
+  for (const SweepCell& cell : result.cells) {
+    EXPECT_TRUE(cell.ok);
+    EXPECT_GT(cell.throughput.mean, 0.0);
+    EXPECT_EQ(cell.throughput.count, 2u);
+  }
+}
+
+TEST(SweepMatrixTest, CellsIndexedRowMajor) {
+  const SweepMatrixResult result = SmallSweep();
+  EXPECT_EQ(result.at(0, 0).row_param, 32.0);
+  EXPECT_EQ(result.at(0, 2).col_param, 64.0);
+  EXPECT_EQ(result.at(1, 0).row_param, 64.0);
+}
+
+TEST(SweepMatrixTest, LargerIoMeansFewerOps) {
+  // Per-op cost grows with pages copied: 64 KiB ops must be slower in
+  // ops/s than 4 KiB ops on a fully cached file.
+  const SweepMatrixResult result = SmallSweep();
+  EXPECT_GT(result.at(0, 0).throughput.mean, result.at(0, 2).throughput.mean);
+}
+
+TEST(SweepMatrixTest, FailedCellsMarkedNotOk) {
+  SweepMatrix matrix("file GiB", {500.0}, "io KiB", {4});  // file > device
+  ExperimentConfig config;
+  config.runs = 1;
+  config.duration = 1 * kSecond;
+  const SweepMatrixResult result =
+      matrix.Run(config, PaperMachine(), [](double file, double io) {
+        RandomReadConfig workload_config;
+        workload_config.file_size = static_cast<Bytes>(file) * kGiB;
+        workload_config.io_size = static_cast<Bytes>(io) * kKiB;
+        return std::make_unique<RandomReadWorkload>(workload_config);
+      });
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_FALSE(result.cells[0].ok);
+  EXPECT_NE(RenderSweepMatrix(result).find("FAIL"), std::string::npos);
+}
+
+TEST(SweepMatrixTest, RenderShowsParamsAndFragileFlag) {
+  SweepMatrixResult result;
+  result.row_label = "rows";
+  result.col_label = "cols";
+  result.row_params = {1.0};
+  result.col_params = {2.0};
+  SweepCell cell;
+  cell.ok = true;
+  cell.row_param = 1.0;
+  cell.col_param = 2.0;
+  cell.throughput = Summarize({100.0, 300.0, 200.0});  // very noisy
+  result.cells.push_back(cell);
+  const std::string out = RenderSweepMatrix(result, 10.0);
+  EXPECT_NE(out.find("rows \\ cols"), std::string::npos);
+  EXPECT_NE(out.find("200!"), std::string::npos);  // flagged fragile
+  const std::string csv = CsvSweepMatrix(result);
+  EXPECT_NE(csv.find("rows,cols"), std::string::npos);
+  EXPECT_NE(csv.find("1.00,2.00,200.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsbench

@@ -1,0 +1,82 @@
+#include "src/core/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbench {
+namespace {
+
+TEST(ThroughputTimelineTest, BucketsByInterval) {
+  ThroughputTimeline timeline(kSecond);
+  timeline.RecordOp(100);             // interval 0
+  timeline.RecordOp(kSecond - 1);     // interval 0
+  timeline.RecordOp(kSecond);         // interval 1
+  timeline.RecordOp(3 * kSecond + 5); // interval 3
+  ASSERT_EQ(timeline.interval_count(), 4u);
+  EXPECT_EQ(timeline.count(0), 2u);
+  EXPECT_EQ(timeline.count(1), 1u);
+  EXPECT_EQ(timeline.count(2), 0u);
+  EXPECT_EQ(timeline.count(3), 1u);
+}
+
+TEST(ThroughputTimelineTest, OpsPerSecondScalesByInterval) {
+  ThroughputTimeline timeline(10 * kSecond);
+  for (int i = 0; i < 50; ++i) {
+    timeline.RecordOp(i);
+  }
+  const std::vector<double> rates = timeline.OpsPerSecond();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);  // 50 ops over 10 s
+}
+
+TEST(ThroughputTimelineTest, OriginShiftsAndDropsEarlierOps) {
+  ThroughputTimeline timeline(kSecond, 5 * kSecond);
+  timeline.RecordOp(4 * kSecond);  // before origin: dropped
+  timeline.RecordOp(5 * kSecond);  // interval 0
+  timeline.RecordOp(6 * kSecond + 1);
+  ASSERT_EQ(timeline.interval_count(), 2u);
+  EXPECT_EQ(timeline.count(0), 1u);
+  EXPECT_EQ(timeline.count(1), 1u);
+}
+
+TEST(ThroughputTimelineTest, MeanRateOverWindow) {
+  ThroughputTimeline timeline(kSecond);
+  // 10 ops in interval 0, 20 in interval 1, 30 in interval 2.
+  for (int i = 0; i < 10; ++i) {
+    timeline.RecordOp(1);
+  }
+  for (int i = 0; i < 20; ++i) {
+    timeline.RecordOp(kSecond + 1);
+  }
+  for (int i = 0; i < 30; ++i) {
+    timeline.RecordOp(2 * kSecond + 1);
+  }
+  EXPECT_DOUBLE_EQ(timeline.MeanRate(0, 3), 20.0);
+  EXPECT_DOUBLE_EQ(timeline.MeanRate(1, 3), 25.0);
+  EXPECT_DOUBLE_EQ(timeline.MeanRate(2, 3), 30.0);
+  // Out-of-range windows are safe.
+  EXPECT_DOUBLE_EQ(timeline.MeanRate(5, 9), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.MeanRate(2, 2), 0.0);
+}
+
+TEST(HistogramTimelineTest, SlicesByTime) {
+  HistogramTimeline timeline(10 * kSecond);
+  timeline.Record(1 * kSecond, 4100);
+  timeline.Record(9 * kSecond, 4100);
+  timeline.Record(15 * kSecond, 9'000'000);
+  ASSERT_EQ(timeline.slices().size(), 2u);
+  EXPECT_EQ(timeline.slices()[0].total(), 2u);
+  EXPECT_EQ(timeline.slices()[1].total(), 1u);
+  EXPECT_EQ(timeline.slices()[0].FirstBucket(), 12);
+  EXPECT_EQ(timeline.slices()[1].FirstBucket(), 23);
+}
+
+TEST(HistogramTimelineTest, OriginRespected) {
+  HistogramTimeline timeline(kSecond, 100 * kSecond);
+  timeline.Record(50 * kSecond, 100);  // dropped
+  EXPECT_TRUE(timeline.slices().empty());
+  timeline.Record(100 * kSecond, 100);
+  EXPECT_EQ(timeline.slices().size(), 1u);
+}
+
+}  // namespace
+}  // namespace fsbench

@@ -1,0 +1,137 @@
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/machine.h"
+
+namespace fsbench {
+namespace {
+
+std::unique_ptr<Machine> SmallMachine(uint64_t seed = 1) {
+  MachineConfig config = PaperTestbedConfig();
+  config.seed = seed;
+  return std::make_unique<Machine>(FsKind::kExt2, config);
+}
+
+TEST(TraceTest, SerializeParseRoundTrip) {
+  Trace trace;
+  trace.Append({0, OpType::kCreate, "/a", 0, 0});
+  trace.Append({1000, OpType::kWrite, "/a", 0, 4096});
+  trace.Append({2000, OpType::kRead, "/a", 0, 4096});
+  trace.Append({3000, OpType::kStat, "/a", 0, 0});
+  trace.Append({4000, OpType::kUnlink, "/a", 0, 0});
+  const std::string text = trace.Serialize();
+  const auto parsed = Trace::Parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed->records()[i].timestamp, trace.records()[i].timestamp);
+    EXPECT_EQ(parsed->records()[i].op, trace.records()[i].op);
+    EXPECT_EQ(parsed->records()[i].path, trace.records()[i].path);
+    EXPECT_EQ(parsed->records()[i].offset, trace.records()[i].offset);
+    EXPECT_EQ(parsed->records()[i].length, trace.records()[i].length);
+  }
+}
+
+TEST(TraceTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Trace::Parse("not a trace line").has_value());
+  EXPECT_FALSE(Trace::Parse("0 explode /a 0 0").has_value());
+  EXPECT_FALSE(Trace::Parse("x read /a 0 0").has_value());
+}
+
+TEST(TraceTest, ParseSkipsBlankLines) {
+  const auto parsed = Trace::Parse("0 create /a 0 0\n\n1 stat /a 0 0\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(TraceRecorderTest, RecordsWhileForwarding) {
+  auto machine = SmallMachine();
+  TraceRecorder recorder(&machine->vfs(), &machine->clock());
+  ASSERT_EQ(recorder.Create("/f"), FsStatus::kOk);
+  ASSERT_TRUE(recorder.Write("/f", 0, 8192).ok());
+  ASSERT_TRUE(recorder.Read("/f", 0, 4096).ok());
+  ASSERT_TRUE(recorder.Stat("/f").ok());
+  ASSERT_EQ(recorder.Unlink("/f"), FsStatus::kOk);
+  const Trace& trace = recorder.trace();
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace.records()[0].op, OpType::kCreate);
+  EXPECT_EQ(trace.records()[1].op, OpType::kWrite);
+  EXPECT_EQ(trace.records()[2].op, OpType::kRead);
+  EXPECT_EQ(trace.records()[3].op, OpType::kStat);
+  EXPECT_EQ(trace.records()[4].op, OpType::kUnlink);
+  // The operations really happened.
+  EXPECT_EQ(machine->vfs().Stat("/f").status, FsStatus::kNotFound);
+  // Timestamps are monotonically non-decreasing virtual times.
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace.records()[i].timestamp, trace.records()[i - 1].timestamp);
+  }
+}
+
+TEST(TraceReplayerTest, ReplaysOntoFreshMachine) {
+  // Record on one machine...
+  auto source = SmallMachine(1);
+  TraceRecorder recorder(&source->vfs(), &source->clock());
+  ASSERT_EQ(recorder.Create("/data"), FsStatus::kOk);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(recorder.Write("/data", static_cast<Bytes>(i) * 4096, 4096).ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(recorder.Read("/data", static_cast<Bytes>(i) * 4096, 4096).ok());
+  }
+  const Trace trace = recorder.TakeTrace();
+
+  // ...replay on another (different FS even).
+  MachineConfig config = PaperTestbedConfig();
+  config.seed = 2;
+  Machine target(FsKind::kXfs, config);
+  TraceReplayer replayer;
+  const ReplayResult result =
+      replayer.Replay(target.vfs(), target.clock(), trace, /*paced=*/false);
+  EXPECT_EQ(result.ops, trace.size());
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_GT(result.ops_per_second, 0.0);
+  const auto attr = target.vfs().Stat("/data");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value.size, 8u * 4096);
+}
+
+TEST(TraceReplayerTest, PacedReplayHonoursTimestamps) {
+  Trace trace;
+  trace.Append({0, OpType::kCreate, "/x", 0, 0});
+  trace.Append({10 * kSecond, OpType::kStat, "/x", 0, 0});
+  trace.Append({20 * kSecond, OpType::kStat, "/x", 0, 0});
+  auto machine = SmallMachine();
+  TraceReplayer replayer;
+  const ReplayResult paced =
+      replayer.Replay(machine->vfs(), machine->clock(), trace, /*paced=*/true);
+  EXPECT_GE(paced.replay_duration, 20 * kSecond);
+  auto fast_machine = SmallMachine();
+  const ReplayResult fast =
+      replayer.Replay(fast_machine->vfs(), fast_machine->clock(), trace, /*paced=*/false);
+  EXPECT_LT(fast.replay_duration, kSecond);
+}
+
+TEST(TraceReplayerTest, ErrorsAreCountedNotFatal) {
+  Trace trace;
+  trace.Append({0, OpType::kUnlink, "/missing", 0, 0});
+  trace.Append({1, OpType::kCreate, "/ok", 0, 0});
+  auto machine = SmallMachine();
+  TraceReplayer replayer;
+  const ReplayResult result =
+      replayer.Replay(machine->vfs(), machine->clock(), trace, /*paced=*/false);
+  EXPECT_EQ(result.ops, 2u);
+  EXPECT_EQ(result.errors, 1u);
+  EXPECT_TRUE(machine->vfs().Stat("/ok").ok());
+}
+
+TEST(TraceReplayerTest, EmptyTraceIsNoop) {
+  auto machine = SmallMachine();
+  TraceReplayer replayer;
+  const ReplayResult result =
+      replayer.Replay(machine->vfs(), machine->clock(), Trace{}, /*paced=*/true);
+  EXPECT_EQ(result.ops, 0u);
+}
+
+}  // namespace
+}  // namespace fsbench

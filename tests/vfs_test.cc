@@ -1,0 +1,343 @@
+#include "src/sim/vfs.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/ext2fs.h"
+#include "src/sim/ext3fs.h"
+#include "src/sim/xfsfs.h"
+
+namespace fsbench {
+namespace {
+
+constexpr Bytes kDevice = 4 * kGiB;
+
+struct VfsFixture {
+  DiskParams disk_params;
+  VirtualClock clock;
+  DiskModel disk;
+  IoScheduler scheduler;
+  std::unique_ptr<FileSystem> fs;
+  std::unique_ptr<Vfs> vfs;
+
+  explicit VfsFixture(FsKind kind = FsKind::kExt2, VfsConfig config = {})
+      : disk(disk_params, 1), scheduler(&disk, &clock) {
+    switch (kind) {
+      case FsKind::kExt2:
+        fs = std::make_unique<Ext2Fs>(kDevice, FsLayoutParams{}, &clock);
+        break;
+      case FsKind::kExt3: {
+        auto ext3 = std::make_unique<Ext3Fs>(kDevice, FsLayoutParams{}, &clock);
+        ext3->AttachJournal(std::make_unique<Journal>(&scheduler, &clock,
+                                                      ext3->journal_region(), JournalConfig{}));
+        fs = std::move(ext3);
+        break;
+      }
+      case FsKind::kXfs:
+        fs = std::make_unique<XfsFs>(kDevice, FsLayoutParams{}, &clock);
+        break;
+    }
+    vfs = std::make_unique<Vfs>(&clock, &scheduler, fs.get(), config);
+  }
+};
+
+TEST(VfsTest, OpenMissingFileFails) {
+  VfsFixture f;
+  EXPECT_EQ(f.vfs->Open("/nope").status, FsStatus::kNotFound);
+}
+
+TEST(VfsTest, OpenWithCreateMakesTheFile) {
+  VfsFixture f;
+  const auto fd = f.vfs->Open("/new", /*create=*/true);
+  ASSERT_TRUE(fd.ok());
+  const auto attr = f.vfs->Stat("/new");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value.size, 0u);
+}
+
+TEST(VfsTest, CloseInvalidFdFails) {
+  VfsFixture f;
+  EXPECT_EQ(f.vfs->Close(42), FsStatus::kBadHandle);
+  EXPECT_EQ(f.vfs->Read(42, 0, 10).status, FsStatus::kBadHandle);
+}
+
+TEST(VfsTest, FdSlotsAreReused) {
+  VfsFixture f;
+  const auto a = f.vfs->Open("/a", true);
+  ASSERT_TRUE(a.ok());
+  ASSERT_EQ(f.vfs->Close(a.value), FsStatus::kOk);
+  const auto b = f.vfs->Open("/b", true);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value, b.value);
+}
+
+TEST(VfsTest, ReadPastEofReturnsZero) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->MakeFile("/file", 8 * kKiB), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/file");
+  ASSERT_TRUE(fd.ok());
+  const auto read = f.vfs->Read(fd.value, 8 * kKiB, 100);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value, 0u);
+}
+
+TEST(VfsTest, ReadClampsToFileSize) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->MakeFile("/file", 10 * kKiB), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/file");
+  ASSERT_TRUE(fd.ok());
+  const auto read = f.vfs->Read(fd.value, 8 * kKiB, 100 * kKiB);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value, 2 * kKiB);
+}
+
+TEST(VfsTest, ReadAdvancesVirtualTime) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->MakeFile("/file", 64 * kKiB), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/file");
+  ASSERT_TRUE(fd.ok());
+  const Nanos before = f.clock.now();
+  ASSERT_TRUE(f.vfs->Read(fd.value, 0, 4 * kKiB).ok());
+  EXPECT_GT(f.clock.now(), before);
+}
+
+TEST(VfsTest, ColdReadIsSlowWarmReadIsFast) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->MakeFile("/file", 64 * kKiB), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/file");
+  ASSERT_TRUE(fd.ok());
+  const Nanos t0 = f.clock.now();
+  ASSERT_TRUE(f.vfs->Read(fd.value, 0, 4 * kKiB).ok());
+  const Nanos cold = f.clock.now() - t0;
+  const Nanos t1 = f.clock.now();
+  ASSERT_TRUE(f.vfs->Read(fd.value, 0, 4 * kKiB).ok());
+  const Nanos warm = f.clock.now() - t1;
+  EXPECT_GT(cold, FromMillis(0.2));    // had to hit the disk (>= command overhead)
+  EXPECT_LT(warm, 20 * kMicrosecond);  // pure cache hit
+}
+
+TEST(VfsTest, MultiPageReadsCountAllPages) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->MakeFile("/file", 64 * kKiB), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/file");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(f.vfs->Read(fd.value, 0, 16 * kKiB).ok());
+  EXPECT_EQ(f.vfs->stats().data_page_hits + f.vfs->stats().data_page_misses, 4u);
+}
+
+TEST(VfsTest, WriteExtendsFile) {
+  VfsFixture f;
+  const auto fd = f.vfs->Open("/file", true);
+  ASSERT_TRUE(fd.ok());
+  const auto written = f.vfs->Write(fd.value, 0, 10 * kKiB);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(written.value, 10 * kKiB);
+  const auto attr = f.vfs->Stat("/file");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value.size, 10 * kKiB);
+  EXPECT_GT(f.vfs->cache().dirty_count(), 0u);
+}
+
+TEST(VfsTest, SparseWriteLeavesHolesReadableAsZeroFill) {
+  VfsFixture f;
+  const auto fd = f.vfs->Open("/sparse", true);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(f.vfs->Write(fd.value, 100 * kKiB, 4 * kKiB).ok());
+  // Reading the hole must succeed without disk I/O for the hole pages.
+  const uint64_t demand_before = f.vfs->stats().demand_requests;
+  const auto read = f.vfs->Read(fd.value, 0, 4 * kKiB);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value, 4 * kKiB);
+  EXPECT_EQ(f.vfs->stats().demand_requests, demand_before);
+}
+
+TEST(VfsTest, PartialOverwriteTriggersReadModifyWrite) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->MakeFile("/file", 8 * kKiB), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/file");
+  ASSERT_TRUE(fd.ok());
+  const uint64_t demand_before = f.vfs->stats().demand_requests;
+  // Unaligned 1 KiB write into an uncached page of existing data.
+  ASSERT_TRUE(f.vfs->Write(fd.value, 512, 1024).ok());
+  EXPECT_GT(f.vfs->stats().demand_requests, demand_before);
+}
+
+TEST(VfsTest, FsyncCleansDirtyPagesAndWaits) {
+  VfsFixture f(FsKind::kExt3);
+  const auto fd = f.vfs->Open("/file", true);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(f.vfs->Write(fd.value, 0, 64 * kKiB).ok());
+  ASSERT_GT(f.vfs->cache().dirty_count(), 0u);
+  const Nanos before = f.clock.now();
+  ASSERT_EQ(f.vfs->Fsync(fd.value), FsStatus::kOk);
+  EXPECT_EQ(f.vfs->cache().dirty_count(), 0u);
+  EXPECT_GT(f.clock.now(), before);
+  EXPECT_GE(f.fs->journal()->stats().sync_commits, 1u);
+}
+
+TEST(VfsTest, UnlinkInvalidatesCachedPages) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->MakeFile("/file", 16 * kKiB), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/file");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(f.vfs->Read(fd.value, 0, 16 * kKiB).ok());
+  const size_t cached = f.vfs->cache().size();
+  ASSERT_EQ(f.vfs->Unlink("/file"), FsStatus::kOk);
+  EXPECT_LT(f.vfs->cache().size(), cached);
+  EXPECT_EQ(f.vfs->Stat("/file").status, FsStatus::kNotFound);
+}
+
+TEST(VfsTest, MkdirAndNestedPaths) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->Mkdir("/a"), FsStatus::kOk);
+  ASSERT_EQ(f.vfs->Mkdir("/a/b"), FsStatus::kOk);
+  ASSERT_EQ(f.vfs->CreateFile("/a/b/c"), FsStatus::kOk);
+  const auto attr = f.vfs->Stat("/a/b/c");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value.type, FileType::kRegular);
+  const auto entries = f.vfs->ReadDir("/a/b");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value.size(), 1u);
+  EXPECT_EQ(entries.value[0], "c");
+  // Paths through missing components fail.
+  EXPECT_EQ(f.vfs->CreateFile("/a/x/y"), FsStatus::kNotFound);
+}
+
+TEST(VfsTest, TruncateShrinksAndReadsPastEndReturnZero) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->MakeFile("/file", 32 * kKiB), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/file");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(f.vfs->Read(fd.value, 0, 32 * kKiB).ok());
+  ASSERT_EQ(f.vfs->Truncate("/file", 4 * kKiB), FsStatus::kOk);
+  const auto attr = f.vfs->Stat("/file");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value.size, 4 * kKiB);
+  const auto read = f.vfs->Read(fd.value, 8 * kKiB, 4 * kKiB);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value, 0u);
+}
+
+TEST(VfsTest, MakeFileAndPrewarmChargeNoTime) {
+  VfsFixture f;
+  const Nanos before = f.clock.now();
+  ASSERT_EQ(f.vfs->MakeFile("/big", 4 * kMiB), FsStatus::kOk);
+  ASSERT_EQ(f.vfs->PrewarmFile("/big"), FsStatus::kOk);
+  EXPECT_EQ(f.clock.now(), before);
+  const auto fd = f.vfs->Open("/big");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(f.vfs->Read(fd.value, 0, 4 * kKiB).ok());
+  EXPECT_EQ(f.vfs->stats().data_page_misses, 0u);
+}
+
+TEST(VfsTest, DropCachesForcesMisses) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->MakeFile("/file", 16 * kKiB), FsStatus::kOk);
+  ASSERT_EQ(f.vfs->PrewarmFile("/file"), FsStatus::kOk);
+  f.vfs->DropCaches();
+  const auto fd = f.vfs->Open("/file");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(f.vfs->Read(fd.value, 0, 4 * kKiB).ok());
+  EXPECT_GT(f.vfs->stats().data_page_misses, 0u);
+}
+
+TEST(VfsTest, SequentialReadTriggersReadahead) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->MakeFile("/seq", 1 * kMiB), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/seq");
+  ASSERT_TRUE(fd.ok());
+  for (Bytes offset = 0; offset < 512 * kKiB; offset += 4 * kKiB) {
+    ASSERT_TRUE(f.vfs->Read(fd.value, offset, 4 * kKiB).ok());
+  }
+  EXPECT_GT(f.vfs->stats().readahead_pages, 0u);
+  // Readahead means far fewer demand requests than pages read.
+  EXPECT_LT(f.vfs->stats().demand_requests, 128u);
+}
+
+TEST(VfsTest, ReadaheadOverrideDisablesPrefetch) {
+  VfsConfig config;
+  config.readahead_override = ReadaheadConfig{ReadaheadKind::kNone, 0, 0, 0, 0};
+  VfsFixture f(FsKind::kExt2, config);
+  ASSERT_EQ(f.vfs->MakeFile("/seq", 256 * kKiB), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/seq");
+  ASSERT_TRUE(fd.ok());
+  for (Bytes offset = 0; offset < 256 * kKiB; offset += 4 * kKiB) {
+    ASSERT_TRUE(f.vfs->Read(fd.value, offset, 4 * kKiB).ok());
+  }
+  EXPECT_EQ(f.vfs->stats().readahead_pages, 0u);
+}
+
+TEST(VfsTest, InjectedDiskErrorSurfacesAsIoError) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->MakeFile("/file", 16 * kKiB), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/file");
+  ASSERT_TRUE(fd.ok());
+  // Learn the data block's location, poison it, drop caches, re-read.
+  ASSERT_TRUE(f.vfs->Read(fd.value, 0, 4 * kKiB).ok());
+  MetaIo io;
+  const auto mapping = f.fs->MapPage(f.vfs->Stat("/file").value.ino, 0, &io);
+  ASSERT_TRUE(mapping.ok());
+  f.disk.InjectError(mapping.value * f.fs->sectors_per_block());
+  f.vfs->DropCaches();
+  EXPECT_EQ(f.vfs->Read(fd.value, 0, 4 * kKiB).status, FsStatus::kIoError);
+  EXPECT_GT(f.vfs->stats().io_errors, 0u);
+}
+
+TEST(VfsTest, StatsCountersTrackOperations) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->CreateFile("/x"), FsStatus::kOk);
+  ASSERT_TRUE(f.vfs->Stat("/x").ok());
+  ASSERT_EQ(f.vfs->Unlink("/x"), FsStatus::kOk);
+  EXPECT_EQ(f.vfs->stats().creates, 1u);
+  EXPECT_EQ(f.vfs->stats().stats_calls, 1u);
+  EXPECT_EQ(f.vfs->stats().unlinks, 1u);
+}
+
+TEST(VfsTest, HitRatioReflectsCacheBehaviour) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->MakeFile("/file", 64 * kKiB), FsStatus::kOk);
+  ASSERT_EQ(f.vfs->PrewarmFile("/file"), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/file");
+  ASSERT_TRUE(fd.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f.vfs->Read(fd.value, (i % 16) * 4 * kKiB, 4 * kKiB).ok());
+  }
+  EXPECT_DOUBLE_EQ(f.vfs->DataHitRatio(), 1.0);
+}
+
+class VfsFsSweep : public ::testing::TestWithParam<FsKind> {};
+
+TEST_P(VfsFsSweep, EndToEndChurnStaysConsistent) {
+  VfsFixture f(GetParam());
+  ASSERT_EQ(f.vfs->Mkdir("/work"), FsStatus::kOk);
+  Rng rng(77);
+  std::vector<std::string> live;
+  for (int step = 0; step < 300; ++step) {
+    if (rng.NextDouble() < 0.5 || live.empty()) {
+      const std::string path = "/work/f" + std::to_string(step);
+      ASSERT_EQ(f.vfs->CreateFile(path), FsStatus::kOk);
+      const auto fd = f.vfs->Open(path);
+      ASSERT_TRUE(fd.ok());
+      ASSERT_TRUE(f.vfs->Write(fd.value, 0, rng.NextBelow(8) * 4 * kKiB + 1024).ok());
+      ASSERT_EQ(f.vfs->Close(fd.value), FsStatus::kOk);
+      live.push_back(path);
+    } else {
+      const size_t idx = rng.NextBelow(live.size());
+      ASSERT_EQ(f.vfs->Unlink(live[idx]), FsStatus::kOk);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  f.vfs->SyncAll();
+  std::string error;
+  EXPECT_TRUE(f.fs->CheckConsistency(&error)) << error;
+  EXPECT_TRUE(f.vfs->cache().CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFs, VfsFsSweep,
+                         ::testing::Values(FsKind::kExt2, FsKind::kExt3, FsKind::kXfs),
+                         [](const auto& info) { return FsKindName(info.param); });
+
+}  // namespace
+}  // namespace fsbench

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/core/workloads/create_delete.h"
+#include "src/core/workloads/metadata_mix.h"
+#include "src/core/workloads/personality.h"
+#include "src/core/workloads/postmark_like.h"
+#include "src/core/workloads/random_read.h"
+#include "src/core/workloads/sequential.h"
+
+namespace fsbench {
+namespace {
+
+std::unique_ptr<Machine> SmallMachine(uint64_t seed = 1) {
+  MachineConfig config = PaperTestbedConfig();
+  config.seed = seed;
+  return std::make_unique<Machine>(FsKind::kExt2, config);
+}
+
+TEST(RandomReadWorkloadTest, SetupCreatesTheFile) {
+  auto machine = SmallMachine();
+  WorkloadContext ctx(machine.get(), 1);
+  RandomReadConfig config;
+  config.file_size = 8 * kMiB;
+  RandomReadWorkload workload(config);
+  ASSERT_EQ(workload.Setup(ctx), FsStatus::kOk);
+  const auto attr = machine->vfs().Stat("/bigfile");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value.size, 8 * kMiB);
+}
+
+TEST(RandomReadWorkloadTest, StepsReadAlignedPages) {
+  auto machine = SmallMachine();
+  WorkloadContext ctx(machine.get(), 1);
+  RandomReadConfig config;
+  config.file_size = 8 * kMiB;
+  RandomReadWorkload workload(config);
+  ASSERT_EQ(workload.Setup(ctx), FsStatus::kOk);
+  ASSERT_EQ(workload.Prewarm(ctx), FsStatus::kOk);
+  for (int i = 0; i < 200; ++i) {
+    const auto op = workload.Step(ctx);
+    ASSERT_TRUE(op.ok());
+    EXPECT_EQ(op.value, OpType::kRead);
+  }
+  EXPECT_EQ(machine->vfs().stats().reads, 200u);
+  EXPECT_EQ(machine->vfs().stats().bytes_read, 200u * 4 * kKiB);
+  EXPECT_DOUBLE_EQ(machine->vfs().DataHitRatio(), 1.0);
+}
+
+TEST(RandomReadWorkloadTest, ZipfSkewsTowardHotPages) {
+  auto machine = SmallMachine();
+  WorkloadContext ctx(machine.get(), 1);
+  RandomReadConfig config;
+  config.file_size = 8 * kMiB;
+  config.zipf_theta = 0.99;
+  RandomReadWorkload workload(config);
+  ASSERT_EQ(workload.Setup(ctx), FsStatus::kOk);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(workload.Step(ctx).ok());
+  }
+  const size_t zipf_unique = machine->vfs().cache().size();
+
+  auto uniform_machine = SmallMachine(2);
+  WorkloadContext uniform_ctx(uniform_machine.get(), 2);
+  config.zipf_theta = 0.0;
+  RandomReadWorkload uniform(config);
+  ASSERT_EQ(uniform.Setup(uniform_ctx), FsStatus::kOk);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(uniform.Step(uniform_ctx).ok());
+  }
+  // Strong skew touches far fewer unique pages than uniform access.
+  EXPECT_LT(zipf_unique, uniform_machine->vfs().cache().size() * 2 / 3);
+}
+
+TEST(SequentialReadWorkloadTest, WrapsAroundFile) {
+  auto machine = SmallMachine();
+  WorkloadContext ctx(machine.get(), 1);
+  SequentialConfig config;
+  config.file_size = 256 * kKiB;
+  config.io_size = 64 * kKiB;
+  SequentialReadWorkload workload(config);
+  ASSERT_EQ(workload.Setup(ctx), FsStatus::kOk);
+  for (int i = 0; i < 10; ++i) {  // 2.5 laps
+    const auto op = workload.Step(ctx);
+    ASSERT_TRUE(op.ok());
+    EXPECT_EQ(op.value, OpType::kRead);
+  }
+  EXPECT_EQ(machine->vfs().stats().bytes_read, 10u * 64 * kKiB);
+}
+
+TEST(SequentialWriteWorkloadTest, OverwriteKeepsSizeConstant) {
+  auto machine = SmallMachine();
+  WorkloadContext ctx(machine.get(), 1);
+  SequentialConfig config;
+  config.file_size = 256 * kKiB;
+  config.io_size = 64 * kKiB;
+  SequentialWriteWorkload workload(config, /*overwrite=*/true);
+  ASSERT_EQ(workload.Setup(ctx), FsStatus::kOk);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(workload.Step(ctx).ok());
+  }
+  const auto attr = machine->vfs().Stat("/seqfile");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value.size, 256 * kKiB);
+}
+
+TEST(SequentialWriteWorkloadTest, AppendGrowsThenWraps) {
+  auto machine = SmallMachine();
+  WorkloadContext ctx(machine.get(), 1);
+  SequentialConfig config;
+  config.file_size = 128 * kKiB;
+  config.io_size = 64 * kKiB;
+  SequentialWriteWorkload workload(config, /*overwrite=*/false);
+  ASSERT_EQ(workload.Setup(ctx), FsStatus::kOk);
+  ASSERT_TRUE(workload.Step(ctx).ok());
+  ASSERT_TRUE(workload.Step(ctx).ok());
+  EXPECT_EQ(machine->vfs().Stat("/seqfile").value.size, 128 * kKiB);
+  ASSERT_TRUE(workload.Step(ctx).ok());  // wrap: truncate + write at 0
+  EXPECT_EQ(machine->vfs().Stat("/seqfile").value.size, 64 * kKiB);
+}
+
+TEST(CreateDeleteWorkloadTest, AlternatesAndMaintainsPopulation) {
+  auto machine = SmallMachine();
+  WorkloadContext ctx(machine.get(), 1);
+  CreateDeleteConfig config;
+  config.working_set = 50;
+  CreateDeleteWorkload workload(config);
+  ASSERT_EQ(workload.Setup(ctx), FsStatus::kOk);
+  const auto initial = machine->vfs().ReadDir("/cd");
+  ASSERT_TRUE(initial.ok());
+  EXPECT_EQ(initial.value.size(), 50u);
+  std::set<OpType> seen;
+  for (int i = 0; i < 40; ++i) {
+    const auto op = workload.Step(ctx);
+    ASSERT_TRUE(op.ok());
+    seen.insert(op.value);
+  }
+  EXPECT_TRUE(seen.count(OpType::kCreate));
+  EXPECT_TRUE(seen.count(OpType::kUnlink));
+  const auto after = machine->vfs().ReadDir("/cd");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value.size(), 50u);  // alternation keeps the population
+  std::string error;
+  EXPECT_TRUE(machine->fs().CheckConsistency(&error)) << error;
+}
+
+TEST(MetadataMixWorkloadTest, BuildsTreeAndMixesOps) {
+  auto machine = SmallMachine();
+  WorkloadContext ctx(machine.get(), 1);
+  MetadataMixConfig config;
+  config.dirs = 4;
+  config.files_per_dir = 20;
+  MetadataMixWorkload workload(config);
+  ASSERT_EQ(workload.Setup(ctx), FsStatus::kOk);
+  std::set<OpType> seen;
+  for (int i = 0; i < 300; ++i) {
+    const auto op = workload.Step(ctx);
+    ASSERT_TRUE(op.ok());
+    seen.insert(op.value);
+  }
+  EXPECT_GE(seen.size(), 4u);  // stat/open/readdir/create-unlink all appear
+  std::string error;
+  EXPECT_TRUE(machine->fs().CheckConsistency(&error)) << error;
+}
+
+TEST(PostmarkLikeWorkloadTest, TransactionsKeepPoolAlive) {
+  auto machine = SmallMachine();
+  WorkloadContext ctx(machine.get(), 1);
+  PostmarkConfig config;
+  config.initial_files = 100;
+  PostmarkLikeWorkload workload(config);
+  ASSERT_EQ(workload.Setup(ctx), FsStatus::kOk);
+  std::set<OpType> seen;
+  for (int i = 0; i < 400; ++i) {
+    const auto op = workload.Step(ctx);
+    ASSERT_TRUE(op.ok()) << "step " << i << ": " << FsStatusName(op.status);
+    seen.insert(op.value);
+  }
+  EXPECT_TRUE(seen.count(OpType::kRead));
+  EXPECT_TRUE(seen.count(OpType::kWrite));
+  EXPECT_TRUE(seen.count(OpType::kCreate));
+  EXPECT_TRUE(seen.count(OpType::kUnlink));
+  EXPECT_GT(workload.live_files(), 0u);
+  std::string error;
+  EXPECT_TRUE(machine->fs().CheckConsistency(&error)) << error;
+}
+
+class PersonalitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PersonalitySweep, PresetRunsCleanly) {
+  PersonalityConfig config;
+  switch (GetParam()) {
+    case 0:
+      config = FileServerPersonality();
+      break;
+    case 1:
+      config = WebServerPersonality();
+      break;
+    default:
+      config = VarmailPersonality();
+      break;
+  }
+  // Shrink the populations so the test stays fast.
+  config.file_count = 50;
+  auto machine = SmallMachine();
+  WorkloadContext ctx(machine.get(), 1);
+  PersonalityWorkload workload(config);
+  ASSERT_EQ(workload.Setup(ctx), FsStatus::kOk);
+  for (int i = 0; i < 200; ++i) {
+    const auto op = workload.Step(ctx);
+    ASSERT_TRUE(op.ok()) << "step " << i << ": " << FsStatusName(op.status);
+  }
+  std::string error;
+  EXPECT_TRUE(machine->fs().CheckConsistency(&error)) << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, PersonalitySweep, ::testing::Values(0, 1, 2),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case 0:
+                               return "fileserver";
+                             case 1:
+                               return "webserver";
+                             default:
+                               return "varmail";
+                           }
+                         });
+
+}  // namespace
+}  // namespace fsbench
