@@ -45,7 +45,11 @@ Nanos LatencyHistogram::ApproxPercentile(double q) const {
     return 0;
   }
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<uint64_t>(q * static_cast<double>(total_));
+  // Ceiling rank, floored at 1: the quantile is the latency of the k-th
+  // smallest sample with k = max(1, ceil(q*n)). A truncating rank let small
+  // nonzero q (and q=0) stop on empty bucket 0 and report its midpoint.
+  const auto target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total_))));
   uint64_t cumulative = 0;
   for (int i = 0; i < kBuckets; ++i) {
     cumulative += counts_[i];

@@ -83,6 +83,41 @@ TEST(HistogramTest, PercentileOrdersBuckets) {
   EXPECT_GT(h.ApproxPercentile(0.95), 1'000'000);
 }
 
+// Regression: a truncating rank (floor(q*n)) let q=0 and small nonzero q
+// stop on empty bucket 0 and report its midpoint instead of a real sample's.
+TEST(HistogramTest, PercentileExtremeQuantilesLandOnOccupiedBuckets) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.Add(4100);  // bucket 12
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Add(9'000'000);  // bucket 23
+  }
+  const Nanos fast_lo = LatencyHistogram::BucketLowerBound(12);
+  const Nanos fast_hi = LatencyHistogram::BucketLowerBound(13);
+  const Nanos slow_lo = LatencyHistogram::BucketLowerBound(23);
+  const Nanos slow_hi = LatencyHistogram::BucketLowerBound(24);
+  // q=0 and q just above 0 must resolve to the first occupied bucket.
+  EXPECT_GE(h.ApproxPercentile(0.0), fast_lo);
+  EXPECT_LT(h.ApproxPercentile(0.0), fast_hi);
+  EXPECT_GE(h.ApproxPercentile(1e-9), fast_lo);
+  EXPECT_LT(h.ApproxPercentile(1e-9), fast_hi);
+  // q=1 must resolve to the last occupied bucket.
+  EXPECT_GE(h.ApproxPercentile(1.0), slow_lo);
+  EXPECT_LT(h.ApproxPercentile(1.0), slow_hi);
+}
+
+TEST(HistogramTest, PercentileSingleSample) {
+  LatencyHistogram h;
+  h.Add(4100);  // bucket 12
+  const Nanos lo = LatencyHistogram::BucketLowerBound(12);
+  const Nanos hi = LatencyHistogram::BucketLowerBound(13);
+  for (double q : {0.0, 1e-9, 0.5, 1.0}) {
+    EXPECT_GE(h.ApproxPercentile(q), lo) << "q=" << q;
+    EXPECT_LT(h.ApproxPercentile(q), hi) << "q=" << q;
+  }
+}
+
 TEST(HistogramTest, ApproxMeanBetweenModes) {
   LatencyHistogram h;
   h.Add(4100);

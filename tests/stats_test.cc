@@ -76,6 +76,38 @@ TEST(PercentileTest, InterpolatesLinearly) {
   EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 1.0 / 3.0), 20.0);
 }
 
+// Boundary behavior: empty input, single element, q outside [0,1], and
+// interpolation between exactly two elements.
+TEST(PercentileTest, EmptyInputReturnsZero) {
+  EXPECT_DOUBLE_EQ(PercentileSorted({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted({}, 1.0), 0.0);
+}
+
+TEST(PercentileTest, SingleElementForAnyQuantile) {
+  const std::vector<double> sorted{7.5};
+  for (double q : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(PercentileSorted(sorted, q), 7.5) << "q=" << q;
+  }
+}
+
+TEST(PercentileTest, EndpointsAndOutOfRangeClamp) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, -0.5), 10.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 2.0), 30.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenTwoElements) {
+  const std::vector<double> sorted{100.0, 200.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.25), 125.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.5), 150.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.75), 175.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 1.0), 200.0);
+}
+
 TEST(SummarizeTest, BasicFields) {
   const Summary s = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
   EXPECT_EQ(s.count, 5u);
