@@ -76,35 +76,80 @@ void BM_MetricsRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsRecord);
 
-void BM_PageCacheHit(benchmark::State& state) {
+void BM_PageCacheLookupHit(benchmark::State& state) {
   PageCache cache(/*capacity_pages=*/65536, EvictionPolicyKind::kLru);
   for (uint64_t i = 0; i < 65536; ++i) {
-    cache.Insert(PageKey{1, i}, i, false);
+    cache.Insert(PageKey{1, i}, i, false, nullptr);
   }
   Rng rng(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.Lookup(PageKey{1, rng.NextBelow(65536)}));
   }
 }
-BENCHMARK(BM_PageCacheHit);
+BENCHMARK(BM_PageCacheLookupHit);
 
-void BM_PageCacheMissEvict(benchmark::State& state) {
+void BM_PageCacheInsertEvict(benchmark::State& state) {
   PageCache cache(/*capacity_pages=*/4096, EvictionPolicyKind::kLru);
+  PageCache::EvictedBatch evicted;
   uint64_t next = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.Insert(PageKey{1, next++}, next, false));
+    cache.Insert(PageKey{1, next++}, next, false, &evicted);
+    benchmark::DoNotOptimize(evicted);
   }
 }
-BENCHMARK(BM_PageCacheMissEvict);
+BENCHMARK(BM_PageCacheInsertEvict);
 
-void BM_PageCacheArcMissEvict(benchmark::State& state) {
+void BM_PageCacheArcInsertEvict(benchmark::State& state) {
   PageCache cache(/*capacity_pages=*/4096, EvictionPolicyKind::kArc);
+  PageCache::EvictedBatch evicted;
   uint64_t next = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.Insert(PageKey{1, next++}, next, false));
+    cache.Insert(PageKey{1, next++}, next, false, &evicted);
+    benchmark::DoNotOptimize(evicted);
   }
 }
-BENCHMARK(BM_PageCacheArcMissEvict);
+BENCHMARK(BM_PageCacheArcInsertEvict);
+
+void BM_PageCacheRemoveFile(benchmark::State& state) {
+  // A 64-page file created and dropped against a 64k-page resident
+  // background — the create/delete pattern where the old implementation
+  // scanned the whole table per unlink.
+  PageCache cache(/*capacity_pages=*/131072, EvictionPolicyKind::kLru);
+  for (InodeId ino = 1; ino <= 1024; ++ino) {
+    for (uint64_t i = 0; i < 64; ++i) {
+      cache.Insert(PageKey{ino, i}, ino * 64 + i, false, nullptr);
+    }
+  }
+  InodeId next_ino = 1'000'000;
+  for (auto _ : state) {
+    for (uint64_t i = 0; i < 64; ++i) {
+      cache.Insert(PageKey{next_ino, i}, i, false, nullptr);
+    }
+    cache.RemoveFile(next_ino);
+    ++next_ino;
+  }
+  benchmark::DoNotOptimize(cache.size());
+}
+BENCHMARK(BM_PageCacheRemoveFile);
+
+void BM_PageCacheTakeDirty(benchmark::State& state) {
+  // 256 pages dirtied and drained per iteration out of 64k resident pages;
+  // the old implementation walked the table from the start every call.
+  PageCache cache(/*capacity_pages=*/65536, EvictionPolicyKind::kLru);
+  for (uint64_t i = 0; i < 65536; ++i) {
+    cache.Insert(PageKey{1, i}, i, false, nullptr);
+  }
+  std::vector<PageCache::Evicted> scratch;
+  uint64_t cursor = 0;
+  for (auto _ : state) {
+    for (uint64_t i = 0; i < 256; ++i) {
+      cache.MarkDirty(PageKey{1, (cursor + i * 17) % 65536});
+    }
+    cursor += 256 * 17;
+    benchmark::DoNotOptimize(cache.TakeDirty(256, &scratch));
+  }
+}
+BENCHMARK(BM_PageCacheTakeDirty);
 
 void BM_DiskModelRandomAccess(benchmark::State& state) {
   DiskParams params;

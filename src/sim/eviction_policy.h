@@ -1,26 +1,24 @@
-// Pluggable page-cache eviction policies.
+// Eviction-policy vocabulary for the slab-based page cache.
 //
 // The paper asks (§2): "How are elements evicted from the cache? To the best
 // of our knowledge, none of the existing benchmarks consider these
-// questions." fsbench makes the policy a first-class, swappable component so
-// the caching dimension can be benchmarked in isolation (see
-// bench/ablation_eviction). Implemented: LRU, CLOCK, simplified 2Q
-// (Johnson & Shasha, VLDB'94) and ARC (Megiddo & Modha, FAST'03).
+// questions." fsbench makes the policy a first-class, swappable dimension so
+// caching can be benchmarked in isolation (see bench/ablation_eviction).
+// Implemented: LRU, CLOCK, simplified 2Q (Johnson & Shasha, VLDB'94) and ARC
+// (Megiddo & Modha, FAST'03).
 //
-// Contract: the policy tracks exactly the set of *resident* keys the cache
-// holds. PageCache calls OnInsert when a page becomes resident, OnAccess on
-// a hit, OnRemove on explicit invalidation, and ChooseVictim when it must
-// evict; ChooseVictim returns a currently resident key and removes it from
-// the policy's resident bookkeeping (ghost lists may retain it).
+// All four policies are specified over a handful of queues (LRU stacks,
+// CLOCK's ring, 2Q's A1in/A1out/Am, ARC's T1/T2/B1/B2). Rather than a
+// virtual policy object keeping its own key->iterator maps next to the
+// cache's key->entry map, the cache stores every page — resident and ghost —
+// as one slab node tagged with the CacheListId of the intrusive list it
+// currently lives on. This header defines that shared vocabulary; the slab
+// itself and the policy transition rules live in src/sim/page_cache.{h,cc}.
 #ifndef SRC_SIM_EVICTION_POLICY_H_
 #define SRC_SIM_EVICTION_POLICY_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <list>
-#include <memory>
-#include <unordered_map>
 
 #include "src/sim/types.h"
 
@@ -41,6 +39,15 @@ struct PageKeyHash {
   size_t operator()(const PageKey& key) const {
     uint64_t h = key.ino * 0x9e3779b97f4a7c15ULL;
     h ^= key.index + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    // murmur3 finalizer: without it the low bits are affine in `index` for a
+    // fixed inode, and sequential pages of one file fill contiguous runs of
+    // an open-addressed table — harmless under chaining, pathological for
+    // linear probing (backward-shift deletes crawl the whole run).
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
     return static_cast<size_t>(h);
   }
 };
@@ -49,21 +56,51 @@ enum class EvictionPolicyKind : uint8_t { kLru, kClock, kTwoQueue, kArc };
 
 const char* EvictionPolicyKindName(EvictionPolicyKind kind);
 
-class EvictionPolicy {
- public:
-  virtual ~EvictionPolicy() = default;
-  virtual const char* name() const = 0;
-  virtual void OnInsert(const PageKey& key) = 0;
-  virtual void OnAccess(const PageKey& key) = 0;
-  virtual PageKey ChooseVictim() = 0;
-  virtual void OnRemove(const PageKey& key) = 0;
-  // Number of resident keys tracked; must equal the cache's size.
-  virtual size_t resident_count() const = 0;
+// Which intrusive list a slab node is linked on. Which ids a cache uses
+// depends on its policy:
+//   LRU   : kLruList  (resident LRU stack)
+//   CLOCK : kClockRing (resident ring; per-node referenced bit)
+//   2Q    : kA1in (resident FIFO), kAm (resident LRU), kA1out (ghost FIFO)
+//   ARC   : kT1/kT2 (resident), kB1/kB2 (ghosts)
+// Ghost lists hold identities only: no block, never dirty, off the per-inode
+// and dirty chains, invisible to Lookup/Contains.
+enum class CacheListId : uint8_t {
+  kNone = 0,  // free slab node
+  kLruList,
+  kClockRing,
+  kA1in,
+  kAm,
+  kA1out,
+  kT1,
+  kT2,
+  kB1,
+  kB2,
 };
 
-// Factory. `capacity_pages` sizes internal queues/ghost lists where the
-// policy needs it (2Q, ARC); LRU and CLOCK ignore it.
-std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionPolicyKind kind, size_t capacity_pages);
+inline constexpr size_t kNumCacheLists = 10;
+
+const char* CacheListIdName(CacheListId id);
+
+inline constexpr bool IsGhostList(CacheListId id) {
+  return id == CacheListId::kA1out || id == CacheListId::kB1 || id == CacheListId::kB2;
+}
+
+inline constexpr bool IsResidentList(CacheListId id) {
+  return id != CacheListId::kNone && !IsGhostList(id);
+}
+
+// Sizing derived from (kind, capacity): 2Q's A1in threshold and A1out bound,
+// ARC's c, and the worst-case number of live (resident + ghost) slab nodes.
+// The cache pre-sizes its slab and hash table from max_live_nodes so the
+// steady state never allocates or rehashes.
+struct PolicyGeometry {
+  size_t kin = 0;             // 2Q: prefer evicting A1in while |A1in| > kin
+  size_t kout = 0;            // 2Q: A1out ghost-list bound
+  size_t arc_c = 0;           // ARC: cache size c
+  size_t max_live_nodes = 0;  // slab bound, including eviction-time transients
+
+  static PolicyGeometry For(EvictionPolicyKind kind, size_t capacity_pages);
+};
 
 }  // namespace fsbench
 

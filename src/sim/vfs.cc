@@ -2,25 +2,39 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string_view>
 
 namespace fsbench {
 
 namespace {
 
-// Splits an absolute path into components; empty components collapse.
-std::vector<std::string> SplitPath(const std::string& path) {
-  std::vector<std::string> parts;
-  size_t start = 0;
-  while (start < path.size()) {
-    const size_t slash = path.find('/', start);
-    const size_t end = slash == std::string::npos ? path.size() : slash;
-    if (end > start) {
-      parts.push_back(path.substr(start, end - start));
+// Walks the '/'-separated components of a path in place; empty components
+// collapse. Replaces the old SplitPath's per-call vector<string> so path
+// resolution does no per-lookup heap traffic.
+class PathCursor {
+ public:
+  explicit PathCursor(std::string_view path) : path_(path) {}
+
+  // Advances to the next component; returns false at the end.
+  bool Next(std::string_view* component) {
+    while (pos_ < path_.size() && path_[pos_] == '/') {
+      ++pos_;
     }
-    start = end + 1;
+    if (pos_ >= path_.size()) {
+      return false;
+    }
+    const size_t start = pos_;
+    while (pos_ < path_.size() && path_[pos_] != '/') {
+      ++pos_;
+    }
+    *component = path_.substr(start, pos_ - start);
+    return true;
   }
-  return parts;
-}
+
+ private:
+  std::string_view path_;
+  size_t pos_ = 0;
+};
 
 }  // namespace
 
@@ -59,7 +73,7 @@ FsStatus Vfs::DemandRead(BlockId block, uint32_t count) {
   return FsStatus::kOk;
 }
 
-void Vfs::HandleEvictions(const std::vector<PageCache::Evicted>& evicted) {
+void Vfs::HandleEvictions(const PageCache::EvictedBatch& evicted) {
   for (const PageCache::Evicted& page : evicted) {
     if (page.dirty && page.block != kInvalidBlock) {
       scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
@@ -75,7 +89,11 @@ void Vfs::HandleEvictions(const std::vector<PageCache::Evicted>& evicted) {
 }
 
 void Vfs::InsertPage(const PageKey& key, BlockId block, bool dirty) {
-  HandleEvictions(cache_.Insert(key, block, dirty));
+  PageCache::EvictedBatch evicted;
+  cache_.Insert(key, block, dirty, &evicted);
+  if (!evicted.empty()) {
+    HandleEvictions(evicted);
+  }
 }
 
 FsStatus Vfs::ProcessMetaIo(const MetaIo& io) {
@@ -113,17 +131,14 @@ FsStatus Vfs::ProcessMetaIo(const MetaIo& io) {
   return FsStatus::kOk;
 }
 
-void Vfs::MaybeWriteback() {
-  if (cache_.dirty_count() <= dirty_limit_) {
-    return;
-  }
-  std::vector<PageCache::Evicted> dirty = cache_.TakeDirty(config_.writeback_batch_pages);
+void Vfs::WritebackDirty(size_t max_pages) {
+  cache_.TakeDirty(max_pages, &writeback_scratch_);
   // Sort by device block so the elevator sees sequential runs.
-  std::sort(dirty.begin(), dirty.end(),
+  std::sort(writeback_scratch_.begin(), writeback_scratch_.end(),
             [](const PageCache::Evicted& a, const PageCache::Evicted& b) {
               return a.block < b.block;
             });
-  for (const PageCache::Evicted& page : dirty) {
+  for (const PageCache::Evicted& page : writeback_scratch_) {
     if (page.block == kInvalidBlock) {
       continue;
     }
@@ -131,6 +146,13 @@ void Vfs::MaybeWriteback() {
                                       fs_->sectors_per_block()});
     ++stats_.writeback_pages;
   }
+}
+
+void Vfs::MaybeWriteback() {
+  if (cache_.dirty_count() <= dirty_limit_) {
+    return;
+  }
+  WritebackDirty(config_.writeback_batch_pages);
 }
 
 void Vfs::JournalTick() {
@@ -148,15 +170,27 @@ Vfs::OpenFile* Vfs::FileFor(int fd) {
 
 FsResult<InodeId> Vfs::ResolvePath(const std::string& path, InodeId* parent_out,
                                    std::string* leaf_out) {
-  const std::vector<std::string> parts = SplitPath(path);
-  if (parent_out != nullptr && parts.empty()) {
-    return FsResult<InodeId>::Error(FsStatus::kInvalid);
-  }
+  PathCursor cursor(path);
+  std::string_view component;
   InodeId current = kRootInode;
-  const size_t walk_to = parent_out != nullptr ? parts.size() - 1 : parts.size();
-  for (size_t i = 0; i < walk_to; ++i) {
+  if (!cursor.Next(&component)) {
+    if (parent_out != nullptr) {
+      return FsResult<InodeId>::Error(FsStatus::kInvalid);
+    }
+    return FsResult<InodeId>::Ok(current);
+  }
+  for (;;) {
+    std::string_view next_component;
+    const bool has_next = cursor.Next(&next_component);
+    if (!has_next && parent_out != nullptr) {
+      // Parent resolution stops one component early; `component` is the leaf.
+      *parent_out = current;
+      leaf_out->assign(component);
+      return FsResult<InodeId>::Ok(current);
+    }
+    name_buf_.assign(component);
     MetaIo io;
-    const FsResult<InodeId> next = fs_->Lookup(current, parts[i], &io);
+    const FsResult<InodeId> next = fs_->Lookup(current, name_buf_, &io);
     const FsStatus meta = ProcessMetaIo(io);
     if (meta != FsStatus::kOk) {
       return FsResult<InodeId>::Error(meta);
@@ -165,12 +199,11 @@ FsResult<InodeId> Vfs::ResolvePath(const std::string& path, InodeId* parent_out,
       return next;
     }
     current = next.value;
+    if (!has_next) {
+      return FsResult<InodeId>::Ok(current);
+    }
+    component = next_component;
   }
-  if (parent_out != nullptr) {
-    *parent_out = current;
-    *leaf_out = parts.back();
-  }
-  return FsResult<InodeId>::Ok(current);
 }
 
 FsResult<int> Vfs::Open(const std::string& path, bool create) {
@@ -569,19 +602,7 @@ FsStatus Vfs::Fsync(int fd) {
   ChargeCpu(config_.syscall_overhead);
   // Flush everything dirty (per-file filtering would require a reverse
   // index; sync semantics are preserved, just a little stricter).
-  std::vector<PageCache::Evicted> dirty = cache_.TakeDirty(cache_.capacity());
-  std::sort(dirty.begin(), dirty.end(),
-            [](const PageCache::Evicted& a, const PageCache::Evicted& b) {
-              return a.block < b.block;
-            });
-  for (const PageCache::Evicted& page : dirty) {
-    if (page.block == kInvalidBlock) {
-      continue;
-    }
-    scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
-                                      fs_->sectors_per_block()});
-    ++stats_.writeback_pages;
-  }
+  WritebackDirty(cache_.capacity());
   clock_->AdvanceTo(scheduler_->Drain());
   if (Journal* journal = fs_->journal(); journal != nullptr) {
     clock_->AdvanceTo(journal->CommitSync());
@@ -590,19 +611,7 @@ FsStatus Vfs::Fsync(int fd) {
 }
 
 void Vfs::SyncAll() {
-  std::vector<PageCache::Evicted> dirty = cache_.TakeDirty(cache_.capacity());
-  std::sort(dirty.begin(), dirty.end(),
-            [](const PageCache::Evicted& a, const PageCache::Evicted& b) {
-              return a.block < b.block;
-            });
-  for (const PageCache::Evicted& page : dirty) {
-    if (page.block == kInvalidBlock) {
-      continue;
-    }
-    scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
-                                      fs_->sectors_per_block()});
-    ++stats_.writeback_pages;
-  }
+  WritebackDirty(cache_.capacity());
   clock_->AdvanceTo(scheduler_->Drain());
   if (Journal* journal = fs_->journal(); journal != nullptr) {
     clock_->AdvanceTo(journal->CommitSync());
@@ -614,21 +623,25 @@ FsStatus Vfs::MakeFile(const std::string& path, Bytes size) {
   std::string leaf;
   {
     // Setup helper: resolve without charging time or touching the cache.
-    const std::vector<std::string> parts = SplitPath(path);
-    if (parts.empty()) {
+    PathCursor cursor(path);
+    std::string_view component;
+    if (!cursor.Next(&component)) {
       return FsStatus::kInvalid;
     }
     InodeId current = kRootInode;
-    for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    std::string_view next_component;
+    while (cursor.Next(&next_component)) {
+      name_buf_.assign(component);
       MetaIo io;
-      const FsResult<InodeId> next = fs_->Lookup(current, parts[i], &io);
+      const FsResult<InodeId> next = fs_->Lookup(current, name_buf_, &io);
       if (!next.ok()) {
         return next.status;
       }
       current = next.value;
+      component = next_component;
     }
     parent = current;
-    leaf = parts.back();
+    leaf = component;
   }
   MetaIo io;
   const FsResult<InodeId> created = fs_->Create(parent, leaf, FileType::kRegular, &io);
@@ -648,11 +661,13 @@ FsStatus Vfs::MakeFile(const std::string& path, Bytes size) {
 }
 
 FsStatus Vfs::PrewarmFile(const std::string& path) {
-  const std::vector<std::string> parts = SplitPath(path);
+  PathCursor cursor(path);
+  std::string_view component;
   InodeId current = kRootInode;
-  for (const std::string& part : parts) {
+  while (cursor.Next(&component)) {
+    name_buf_.assign(component);
     MetaIo io;
-    const FsResult<InodeId> next = fs_->Lookup(current, part, &io);
+    const FsResult<InodeId> next = fs_->Lookup(current, name_buf_, &io);
     if (!next.ok()) {
       return next.status;
     }
@@ -673,9 +688,10 @@ FsStatus Vfs::PrewarmFile(const std::string& path) {
     // Meta pages are warmed too, without timing. Evictions demote into the
     // flash tier (when present) so prewarm reproduces the steady tiering.
     for (const MetaRef& ref : io.reads) {
-      cache_.Insert(PageKey{ref.ino, ref.index}, ref.block, /*dirty=*/false);
+      cache_.Insert(PageKey{ref.ino, ref.index}, ref.block, /*dirty=*/false, nullptr);
     }
-    const auto evicted = cache_.Insert(PageKey{current, page}, mapping.value, /*dirty=*/false);
+    PageCache::EvictedBatch evicted;
+    cache_.Insert(PageKey{current, page}, mapping.value, /*dirty=*/false, &evicted);
     if (flash_ != nullptr) {
       for (const PageCache::Evicted& victim : evicted) {
         if (victim.block != kInvalidBlock) {

@@ -139,7 +139,11 @@ class Vfs {
 
   // Handles pages evicted by a cache insert: dirty ones are queued as async
   // writes.
-  void HandleEvictions(const std::vector<PageCache::Evicted>& evicted);
+  void HandleEvictions(const PageCache::EvictedBatch& evicted);
+
+  // Pops up to `max_pages` dirty pages and queues them as async writes in
+  // device-block order (so the elevator sees sequential runs).
+  void WritebackDirty(size_t max_pages);
 
   // Inserts a page and processes evictions.
   void InsertPage(const PageKey& key, BlockId block, bool dirty);
@@ -165,6 +169,10 @@ class Vfs {
   std::vector<std::optional<OpenFile>> fd_table_;
   size_t dirty_limit_;
   VfsStats stats_;
+  // Reused scratch buffers: path-component name for FileSystem calls and the
+  // writeback batch, so the per-op steady state stays allocation-free.
+  std::string name_buf_;
+  std::vector<PageCache::Evicted> writeback_scratch_;
 };
 
 }  // namespace fsbench

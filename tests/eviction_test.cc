@@ -1,10 +1,13 @@
-#include "src/sim/eviction_policy.h"
-
+// Policy behaviour tests, driven through the slab PageCache (the policies
+// have no standalone object anymore — they are transition rules over the
+// cache's intrusive lists). Decision-level equivalence with the pre-slab
+// implementations is covered separately by cache_differential_test.cc.
 #include <gtest/gtest.h>
 
 #include <set>
 #include <unordered_set>
 
+#include "src/sim/page_cache.h"
 #include "src/util/rng.h"
 
 namespace fsbench {
@@ -17,68 +20,74 @@ PageKey Key(uint64_t index) { return PageKey{1, index}; }
 class EvictionPolicySweep : public ::testing::TestWithParam<EvictionPolicyKind> {
  protected:
   static constexpr size_t kCapacity = 64;
-  std::unique_ptr<EvictionPolicy> policy_ = MakeEvictionPolicy(GetParam(), kCapacity);
 };
 
-TEST_P(EvictionPolicySweep, ResidentCountTracksInsertAndVictim) {
-  for (uint64_t i = 0; i < 10; ++i) {
-    policy_->OnInsert(Key(i));
+TEST_P(EvictionPolicySweep, EvictionStartsExactlyAtCapacity) {
+  PageCache cache(kCapacity, GetParam());
+  for (uint64_t i = 0; i < kCapacity; ++i) {
+    EXPECT_TRUE(cache.Insert(Key(i), i, false).empty()) << "premature eviction at " << i;
   }
-  EXPECT_EQ(policy_->resident_count(), 10u);
-  const PageKey victim = policy_->ChooseVictim();
-  EXPECT_EQ(policy_->resident_count(), 9u);
-  EXPECT_LT(victim.index, 10u);
+  EXPECT_EQ(cache.size(), kCapacity);
+  const PageCache::EvictedBatch evicted = cache.Insert(Key(kCapacity), kCapacity, false);
+  EXPECT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(cache.size(), kCapacity);
+  EXPECT_TRUE(cache.CheckInvariants());
 }
 
 TEST_P(EvictionPolicySweep, VictimIsAlwaysResident) {
+  PageCache cache(kCapacity, GetParam());
   std::unordered_set<uint64_t> resident;
   Rng rng(42);
   uint64_t next = 0;
   for (int step = 0; step < 5000; ++step) {
     const double action = rng.NextDouble();
     if (action < 0.5 || resident.empty()) {
-      policy_->OnInsert(Key(next));
+      const PageCache::EvictedBatch evicted = cache.Insert(Key(next), next, false);
       resident.insert(next);
       ++next;
-      if (resident.size() > kCapacity) {
-        const PageKey victim = policy_->ChooseVictim();
-        ASSERT_TRUE(resident.count(victim.index)) << "victim not resident";
-        resident.erase(victim.index);
+      for (const PageCache::Evicted& victim : evicted) {
+        ASSERT_TRUE(resident.count(victim.key.index)) << "victim not resident";
+        resident.erase(victim.key.index);
       }
     } else if (action < 0.8) {
-      // Access a random resident key.
+      // Access a random key; only resident ones may hit.
       const uint64_t target = rng.NextBelow(next);
-      if (resident.count(target)) {
-        policy_->OnAccess(Key(target));
-      }
+      ASSERT_EQ(cache.Lookup(Key(target)), resident.count(target) != 0) << "step " << step;
     } else {
-      // Remove a random resident key.
+      // Remove a random key (absent removes must be harmless).
       const uint64_t target = rng.NextBelow(next);
-      if (resident.count(target)) {
-        policy_->OnRemove(Key(target));
-        resident.erase(target);
-      }
+      cache.Remove(Key(target));
+      resident.erase(target);
     }
-    ASSERT_EQ(policy_->resident_count(), resident.size()) << "step " << step;
+    ASSERT_EQ(cache.size(), resident.size()) << "step " << step;
   }
+  EXPECT_TRUE(cache.CheckInvariants());
 }
 
 TEST_P(EvictionPolicySweep, RemoveOfAbsentKeyIsHarmless) {
-  policy_->OnInsert(Key(1));
-  policy_->OnRemove(Key(999));
-  EXPECT_EQ(policy_->resident_count(), 1u);
+  PageCache cache(kCapacity, GetParam());
+  cache.Insert(Key(1), 1, false);
+  cache.Remove(Key(999));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.CheckInvariants());
 }
 
-TEST_P(EvictionPolicySweep, DrainToEmpty) {
+TEST_P(EvictionPolicySweep, EveryResidentKeyEvictedExactlyOnce) {
+  PageCache cache(8, GetParam());
   for (uint64_t i = 0; i < 8; ++i) {
-    policy_->OnInsert(Key(i));
+    cache.Insert(Key(i), i, false);
   }
   std::set<uint64_t> victims;
-  for (int i = 0; i < 8; ++i) {
-    victims.insert(policy_->ChooseVictim().index);
+  for (uint64_t i = 100; i < 108; ++i) {
+    const PageCache::EvictedBatch evicted = cache.Insert(Key(i), i, false);
+    ASSERT_EQ(evicted.size(), 1u);
+    victims.insert(evicted[0].key.index);
   }
-  EXPECT_EQ(victims.size(), 8u);  // every key evicted exactly once
-  EXPECT_EQ(policy_->resident_count(), 0u);
+  // Eight never-accessed keys displaced by eight fresh ones: under every
+  // policy the originals go first, each evicted exactly once.
+  EXPECT_EQ(victims, (std::set<uint64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_TRUE(cache.CheckInvariants());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, EvictionPolicySweep,
@@ -90,100 +99,114 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, EvictionPolicySweep,
 // --- Policy-specific behaviour ---
 
 TEST(LruPolicyTest, EvictsLeastRecentlyUsed) {
-  auto policy = MakeEvictionPolicy(EvictionPolicyKind::kLru, 4);
+  PageCache cache(4, EvictionPolicyKind::kLru);
   for (uint64_t i = 0; i < 4; ++i) {
-    policy->OnInsert(Key(i));
+    cache.Insert(Key(i), i, false);
   }
-  policy->OnAccess(Key(0));  // 0 becomes MRU; 1 is now LRU
-  EXPECT_EQ(policy->ChooseVictim().index, 1u);
-  EXPECT_EQ(policy->ChooseVictim().index, 2u);
-  EXPECT_EQ(policy->ChooseVictim().index, 3u);
-  EXPECT_EQ(policy->ChooseVictim().index, 0u);
+  ASSERT_TRUE(cache.Lookup(Key(0)));  // 0 becomes MRU; 1 is now LRU
+  EXPECT_EQ(cache.Insert(Key(10), 10, false)[0].key.index, 1u);
+  EXPECT_EQ(cache.Insert(Key(11), 11, false)[0].key.index, 2u);
+  EXPECT_EQ(cache.Insert(Key(12), 12, false)[0].key.index, 3u);
+  EXPECT_EQ(cache.Insert(Key(13), 13, false)[0].key.index, 0u);
 }
 
 TEST(ClockPolicyTest, ReferencedPageGetsSecondChance) {
-  auto policy = MakeEvictionPolicy(EvictionPolicyKind::kClock, 4);
+  PageCache cache(3, EvictionPolicyKind::kClock);
   for (uint64_t i = 0; i < 3; ++i) {
-    policy->OnInsert(Key(i));
+    cache.Insert(Key(i), i, false);
   }
-  policy->OnAccess(Key(0));
-  // 0 is referenced: the hand should skip it and evict 1 or 2 first.
-  const PageKey victim = policy->ChooseVictim();
-  EXPECT_NE(victim.index, 0u);
+  ASSERT_TRUE(cache.Lookup(Key(0)));
+  // 0 is referenced: the hand must skip it and evict 1 or 2 first.
+  const PageCache::EvictedBatch evicted = cache.Insert(Key(10), 10, false);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_NE(evicted[0].key.index, 0u);
 }
 
 TEST(TwoQueuePolicyTest, OneTouchScanDoesNotEvictHotSet) {
   constexpr size_t kCapacity = 32;
-  auto policy = MakeEvictionPolicy(EvictionPolicyKind::kTwoQueue, kCapacity);
-  size_t resident = 0;
-  auto insert = [&](uint64_t i) {
-    policy->OnInsert(Key(i));
-    ++resident;
-    std::vector<uint64_t> evicted;
-    while (resident > kCapacity) {
-      evicted.push_back(policy->ChooseVictim().index);
-      --resident;
-    }
-    return evicted;
-  };
+  PageCache cache(kCapacity, EvictionPolicyKind::kTwoQueue);
   // Build a hot set that gets promoted into Am: keys 0..7, inserted,
   // evicted out of A1in, then re-inserted (ghost hit -> Am).
   for (uint64_t i = 0; i < 8; ++i) {
-    insert(i);
+    cache.Insert(Key(i), i, false);
   }
   for (uint64_t i = 100; i < 100 + kCapacity; ++i) {
-    insert(i);  // push 0..7 out through A1in into the ghost
+    cache.Insert(Key(i), i, false);  // push 0..7 out through A1in into the ghost
   }
   for (uint64_t i = 0; i < 8; ++i) {
-    insert(i);  // ghost hits: promoted to Am
-    policy->OnAccess(Key(i));
+    cache.Insert(Key(i), i, false);  // ghost hits: promoted to Am
+    cache.Lookup(Key(i));
   }
   // A long one-touch scan must not evict the hot set.
   std::set<uint64_t> evicted_hot;
   for (uint64_t i = 1000; i < 1300; ++i) {
-    for (uint64_t victim : insert(i)) {
-      if (victim < 8) {
-        evicted_hot.insert(victim);
+    for (const PageCache::Evicted& victim : cache.Insert(Key(i), i, false)) {
+      if (victim.key.index < 8) {
+        evicted_hot.insert(victim.key.index);
       }
     }
   }
   EXPECT_TRUE(evicted_hot.empty()) << "2Q evicted hot keys during a scan";
+  EXPECT_TRUE(cache.CheckInvariants());
 }
 
-TEST(ArcPolicyTest, GhostHitPromotesToT2AndSurvivesScan) {
+TEST(ArcPolicyTest, ResidentHitsPromoteToT2AndSurviveScan) {
   constexpr size_t kCapacity = 16;
-  auto policy = MakeEvictionPolicy(EvictionPolicyKind::kArc, kCapacity);
-  size_t resident = 0;
+  PageCache cache(kCapacity, EvictionPolicyKind::kArc);
   std::set<uint64_t> evicted_hot;
-  auto insert = [&](uint64_t i, uint64_t hot_below) {
-    policy->OnInsert(Key(i));
-    ++resident;
-    while (resident > kCapacity) {
-      const uint64_t victim = policy->ChooseVictim().index;
-      --resident;
-      if (victim < hot_below) {
-        evicted_hot.insert(victim);
-      }
-    }
-  };
   // Hot keys accessed twice (resident hit -> T2).
   for (uint64_t i = 0; i < 8; ++i) {
-    insert(i, 0);
-    policy->OnAccess(Key(i));
+    cache.Insert(Key(i), i, false);
+    cache.Lookup(Key(i));
   }
   // Scan: many one-touch keys.
   for (uint64_t i = 1000; i < 1200; ++i) {
-    insert(i, 8);
+    for (const PageCache::Evicted& victim : cache.Insert(Key(i), i, false)) {
+      if (victim.key.index < 8) {
+        evicted_hot.insert(victim.key.index);
+      }
+    }
   }
   // ARC should strongly favour evicting the scan (T1) over the hot T2 set.
   EXPECT_LE(evicted_hot.size(), 2u);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(ArcPolicyTest, GhostHitsAdaptTargetT1) {
+  constexpr size_t kCapacity = 8;
+  PageCache cache(kCapacity, EvictionPolicyKind::kArc);
+  EXPECT_EQ(cache.arc_target_t1(), 0.0);
+  // Promote the working set to T2 (sequential one-touch inserts would keep
+  // T1+B1 at capacity, and ARC's trim would retire each ghost immediately).
+  for (uint64_t i = 0; i < kCapacity; ++i) {
+    cache.Insert(Key(i), i, false);
+    cache.Lookup(Key(i));
+  }
+  cache.Insert(Key(100), 100, false);  // evicts a T2 page into B2; 100 -> T1
+  ASSERT_GT(cache.ghost_count(), 0u);
+  cache.Insert(Key(101), 101, false);  // evicts 100 from T1 into B1
+  cache.Insert(Key(100), 100, false);  // B1 ghost hit: p must grow
+  EXPECT_GT(cache.arc_target_t1(), 0.0);
+  EXPECT_TRUE(cache.CheckInvariants());
 }
 
 TEST(PolicyFactoryTest, NamesMatchKinds) {
-  EXPECT_STREQ(MakeEvictionPolicy(EvictionPolicyKind::kLru, 4)->name(), "lru");
-  EXPECT_STREQ(MakeEvictionPolicy(EvictionPolicyKind::kClock, 4)->name(), "clock");
-  EXPECT_STREQ(MakeEvictionPolicy(EvictionPolicyKind::kTwoQueue, 4)->name(), "2q");
-  EXPECT_STREQ(MakeEvictionPolicy(EvictionPolicyKind::kArc, 4)->name(), "arc");
+  EXPECT_STREQ(PageCache(4, EvictionPolicyKind::kLru).policy_name(), "lru");
+  EXPECT_STREQ(PageCache(4, EvictionPolicyKind::kClock).policy_name(), "clock");
+  EXPECT_STREQ(PageCache(4, EvictionPolicyKind::kTwoQueue).policy_name(), "2q");
+  EXPECT_STREQ(PageCache(4, EvictionPolicyKind::kArc).policy_name(), "arc");
+}
+
+TEST(PolicyGeometryTest, SlabBoundsCoverGhosts) {
+  const PolicyGeometry lru = PolicyGeometry::For(EvictionPolicyKind::kLru, 100);
+  EXPECT_EQ(lru.max_live_nodes, 100u);
+  const PolicyGeometry two_queue = PolicyGeometry::For(EvictionPolicyKind::kTwoQueue, 100);
+  EXPECT_EQ(two_queue.kin, 25u);
+  EXPECT_EQ(two_queue.kout, 50u);
+  EXPECT_EQ(two_queue.max_live_nodes, 151u);
+  const PolicyGeometry arc = PolicyGeometry::For(EvictionPolicyKind::kArc, 100);
+  EXPECT_EQ(arc.arc_c, 100u);
+  EXPECT_EQ(arc.max_live_nodes, 201u);
 }
 
 }  // namespace

@@ -65,6 +65,30 @@ TEST(FlashTierTest, RemoveAndRemoveFile) {
   EXPECT_EQ(tier.size(), 0u);
 }
 
+TEST(FlashTierTest, RamEvictionsDemoteThroughTheBatchSink) {
+  // Regression for the slab cache's EvictedBatch reporting: pages evicted
+  // from a full RAM cache must still reach the flash tier with their backing
+  // block intact.
+  PageCache ram(2, EvictionPolicyKind::kLru);
+  FlashTier tier(SmallTier(8));
+  PageCache::EvictedBatch evicted;
+  for (uint64_t i = 0; i < 5; ++i) {
+    evicted.clear();
+    ram.Insert(Key(i), 100 + i, /*dirty=*/false, &evicted);
+    for (const PageCache::Evicted& page : evicted) {
+      ASSERT_NE(page.block, kInvalidBlock);
+      tier.Insert(page.key, page.block);
+    }
+  }
+  // Keys 0..2 were evicted (in LRU order) and demoted; 3 and 4 are in RAM.
+  EXPECT_EQ(tier.size(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(tier.Contains(Key(i))) << i;
+  }
+  EXPECT_TRUE(ram.Contains(Key(3)));
+  EXPECT_TRUE(ram.Contains(Key(4)));
+}
+
 // --- End-to-end through Machine/Vfs ---
 
 MachineFactory FlashMachine(Bytes flash_capacity = 1 * kGiB) {

@@ -89,7 +89,7 @@ TEST(MachineTest, EvictionPolicyIsConfigurable) {
   MachineConfig config = PaperTestbedConfig();
   config.eviction = EvictionPolicyKind::kArc;
   Machine machine(FsKind::kExt2, config);
-  EXPECT_STREQ(machine.vfs().cache().policy()->name(), "arc");
+  EXPECT_STREQ(machine.vfs().cache().policy_name(), "arc");
 }
 
 TEST(MachineTest, CpuJitterScalesCosts) {

@@ -1,0 +1,448 @@
+// Reference eviction policies and page cache: the straightforward
+// implementations (std::list + unordered_map per queue) that predate the
+// slab rewrite of src/sim/page_cache.{h,cc}, retained verbatim as
+// differential oracles. The slab cache must make *identical eviction
+// decisions* — same victims, in the same order, with the same ARC
+// adaptation — it is only allowed to be faster.
+#ifndef TESTS_REFERENCE_POLICIES_H_
+#define TESTS_REFERENCE_POLICIES_H_
+
+#include <algorithm>
+#include <cassert>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/eviction_policy.h"
+#include "src/sim/types.h"
+
+namespace fsbench {
+namespace reference {
+
+class ReferencePolicy {
+ public:
+  virtual ~ReferencePolicy() = default;
+  virtual const char* name() const = 0;
+  virtual void OnInsert(const PageKey& key) = 0;
+  virtual void OnAccess(const PageKey& key) = 0;
+  virtual PageKey ChooseVictim() = 0;
+  virtual void OnRemove(const PageKey& key) = 0;
+  virtual size_t resident_count() const = 0;
+  // ARC's adaptive T1 target (0 elsewhere), for adaptation equivalence.
+  virtual double target_t1() const { return 0.0; }
+};
+
+// Non-intrusive LRU list: list of keys + map to iterator.
+class KeyList {
+ public:
+  bool Contains(const PageKey& key) const { return index_.count(key) != 0; }
+  size_t size() const { return list_.size(); }
+  bool empty() const { return list_.empty(); }
+
+  void PushMru(const PageKey& key) {
+    list_.push_front(key);
+    index_[key] = list_.begin();
+  }
+
+  void MoveToMru(const PageKey& key) {
+    auto it = index_.find(key);
+    assert(it != index_.end());
+    list_.splice(list_.begin(), list_, it->second);
+  }
+
+  PageKey PopLru() {
+    assert(!list_.empty());
+    PageKey key = list_.back();
+    list_.pop_back();
+    index_.erase(key);
+    return key;
+  }
+
+  bool Erase(const PageKey& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    list_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+ private:
+  std::list<PageKey> list_;
+  std::unordered_map<PageKey, std::list<PageKey>::iterator, PageKeyHash> index_;
+};
+
+class LruPolicy : public ReferencePolicy {
+ public:
+  const char* name() const override { return "lru"; }
+  void OnInsert(const PageKey& key) override { keys_.PushMru(key); }
+  void OnAccess(const PageKey& key) override { keys_.MoveToMru(key); }
+  PageKey ChooseVictim() override { return keys_.PopLru(); }
+  void OnRemove(const PageKey& key) override { keys_.Erase(key); }
+  size_t resident_count() const override { return keys_.size(); }
+
+ private:
+  KeyList keys_;
+};
+
+// CLOCK: second-chance around a circular list. The hand points at the next
+// eviction candidate; a set reference bit buys one more lap.
+class ClockPolicy : public ReferencePolicy {
+ public:
+  const char* name() const override { return "clock"; }
+
+  void OnInsert(const PageKey& key) override {
+    // Insert just behind the hand, i.e. at the position visited last.
+    auto it = ring_.insert(hand_valid_ ? hand_ : ring_.end(), Node{key, false});
+    index_[key] = it;
+    if (!hand_valid_) {
+      hand_ = ring_.begin();
+      hand_valid_ = true;
+    }
+  }
+
+  void OnAccess(const PageKey& key) override {
+    auto it = index_.find(key);
+    assert(it != index_.end());
+    it->second->referenced = true;
+  }
+
+  PageKey ChooseVictim() override {
+    assert(!ring_.empty());
+    for (;;) {
+      if (hand_ == ring_.end()) {
+        hand_ = ring_.begin();
+      }
+      if (hand_->referenced) {
+        hand_->referenced = false;
+        ++hand_;
+      } else {
+        PageKey key = hand_->key;
+        index_.erase(key);
+        hand_ = ring_.erase(hand_);
+        if (ring_.empty()) {
+          hand_valid_ = false;
+        }
+        return key;
+      }
+    }
+  }
+
+  void OnRemove(const PageKey& key) override {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return;
+    }
+    if (hand_valid_ && it->second == hand_) {
+      ++hand_;
+    }
+    ring_.erase(it->second);
+    index_.erase(it);
+    if (ring_.empty()) {
+      hand_valid_ = false;
+    }
+  }
+
+  size_t resident_count() const override { return ring_.size(); }
+
+ private:
+  struct Node {
+    PageKey key;
+    bool referenced;
+  };
+  std::list<Node> ring_;
+  std::list<Node>::iterator hand_;
+  bool hand_valid_ = false;
+  std::unordered_map<PageKey, std::list<Node>::iterator, PageKeyHash> index_;
+};
+
+// Simplified 2Q: new pages enter the FIFO A1in queue; a re-reference after
+// falling out of A1in (tracked by the ghost A1out) promotes the page into
+// the long-term Am LRU. Scan-resistant: one-touch pages never displace Am.
+class TwoQueuePolicy : public ReferencePolicy {
+ public:
+  explicit TwoQueuePolicy(size_t capacity)
+      : kin_(std::max<size_t>(1, capacity / 4)), kout_(std::max<size_t>(1, capacity / 2)) {}
+
+  const char* name() const override { return "2q"; }
+
+  void OnInsert(const PageKey& key) override {
+    if (a1out_.Contains(key)) {
+      a1out_.Erase(key);
+      am_.PushMru(key);
+    } else {
+      a1in_.PushMru(key);
+    }
+  }
+
+  void OnAccess(const PageKey& key) override {
+    if (am_.Contains(key)) {
+      am_.MoveToMru(key);
+    }
+    // Hits in A1in deliberately do not promote (classic 2Q).
+  }
+
+  PageKey ChooseVictim() override {
+    if (a1in_.size() > kin_ || am_.empty()) {
+      assert(!a1in_.empty());
+      PageKey key = a1in_.PopLru();
+      a1out_.PushMru(key);
+      while (a1out_.size() > kout_) {
+        a1out_.PopLru();
+      }
+      return key;
+    }
+    return am_.PopLru();
+  }
+
+  void OnRemove(const PageKey& key) override {
+    if (!a1in_.Erase(key)) {
+      am_.Erase(key);
+    }
+    a1out_.Erase(key);
+  }
+
+  size_t resident_count() const override { return a1in_.size() + am_.size(); }
+
+ private:
+  const size_t kin_;
+  const size_t kout_;
+  KeyList a1in_;   // resident, FIFO
+  KeyList am_;     // resident, LRU
+  KeyList a1out_;  // ghost keys only
+};
+
+// ARC (Megiddo & Modha, FAST'03). T1/T2 are resident; B1/B2 are ghosts.
+// The target size p of T1 adapts: ghost hits in B1 grow p, in B2 shrink it.
+class ArcPolicy : public ReferencePolicy {
+ public:
+  explicit ArcPolicy(size_t capacity) : c_(std::max<size_t>(1, capacity)) {}
+
+  const char* name() const override { return "arc"; }
+
+  void OnInsert(const PageKey& key) override {
+    if (b1_.Contains(key)) {
+      const double delta = b1_.size() >= b2_.size()
+                               ? 1.0
+                               : static_cast<double>(b2_.size()) / static_cast<double>(b1_.size());
+      p_ = std::min(static_cast<double>(c_), p_ + delta);
+      b1_.Erase(key);
+      t2_.PushMru(key);
+      return;
+    }
+    if (b2_.Contains(key)) {
+      const double delta = b2_.size() >= b1_.size()
+                               ? 1.0
+                               : static_cast<double>(b1_.size()) / static_cast<double>(b2_.size());
+      p_ = std::max(0.0, p_ - delta);
+      b2_.Erase(key);
+      t2_.PushMru(key);
+      return;
+    }
+    // Brand new key: trim ghost lists per the ARC paper's cases.
+    if (t1_.size() + b1_.size() >= c_) {
+      if (b1_.size() > 0) {
+        b1_.PopLru();
+      }
+    } else if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >= 2 * c_) {
+      if (b2_.size() > 0) {
+        b2_.PopLru();
+      }
+    }
+    t1_.PushMru(key);
+  }
+
+  void OnAccess(const PageKey& key) override {
+    // Any resident hit moves the page to T2 MRU.
+    if (t1_.Erase(key)) {
+      t2_.PushMru(key);
+    } else if (t2_.Contains(key)) {
+      t2_.MoveToMru(key);
+    }
+  }
+
+  PageKey ChooseVictim() override {
+    // REPLACE from the ARC paper: evict from T1 if it exceeds target p.
+    const bool from_t1 = !t1_.empty() && (static_cast<double>(t1_.size()) > p_ || t2_.empty());
+    if (from_t1) {
+      PageKey key = t1_.PopLru();
+      b1_.PushMru(key);
+      return key;
+    }
+    assert(!t2_.empty());
+    PageKey key = t2_.PopLru();
+    b2_.PushMru(key);
+    return key;
+  }
+
+  void OnRemove(const PageKey& key) override {
+    if (!t1_.Erase(key)) {
+      t2_.Erase(key);
+    }
+    b1_.Erase(key);
+    b2_.Erase(key);
+  }
+
+  size_t resident_count() const override { return t1_.size() + t2_.size(); }
+
+  double target_t1() const override { return p_; }
+
+ private:
+  const size_t c_;
+  double p_ = 0.0;
+  KeyList t1_, t2_;  // resident
+  KeyList b1_, b2_;  // ghosts
+};
+
+inline std::unique_ptr<ReferencePolicy> MakeReferencePolicy(EvictionPolicyKind kind,
+                                                            size_t capacity_pages) {
+  switch (kind) {
+    case EvictionPolicyKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case EvictionPolicyKind::kClock:
+      return std::make_unique<ClockPolicy>();
+    case EvictionPolicyKind::kTwoQueue:
+      return std::make_unique<TwoQueuePolicy>(capacity_pages);
+    case EvictionPolicyKind::kArc:
+      return std::make_unique<ArcPolicy>(capacity_pages);
+  }
+  return nullptr;
+}
+
+// The pre-slab PageCache: unordered_map of entries delegating eviction to a
+// ReferencePolicy, with the original call order preserved.
+class ReferencePageCache {
+ public:
+  struct Evicted {
+    PageKey key;
+    BlockId block = kInvalidBlock;
+    bool dirty = false;
+  };
+
+  ReferencePageCache(size_t capacity_pages, EvictionPolicyKind policy_kind)
+      : capacity_(capacity_pages), policy_(MakeReferencePolicy(policy_kind, capacity_pages)) {}
+
+  bool Contains(const PageKey& key) const { return entries_.count(key) != 0; }
+
+  bool Lookup(const PageKey& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return false;
+    }
+    policy_->OnAccess(key);
+    return true;
+  }
+
+  std::vector<Evicted> Insert(const PageKey& key, BlockId block, bool dirty) {
+    std::vector<Evicted> evicted;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (dirty && !it->second.dirty) {
+        ++dirty_count_;
+      }
+      it->second.block = block;
+      it->second.dirty = it->second.dirty || dirty;
+      policy_->OnAccess(key);
+      return evicted;
+    }
+    while (entries_.size() >= capacity_) {
+      const PageKey victim = policy_->ChooseVictim();
+      auto vit = entries_.find(victim);
+      assert(vit != entries_.end());
+      evicted.push_back(Evicted{victim, vit->second.block, vit->second.dirty});
+      if (vit->second.dirty) {
+        --dirty_count_;
+      }
+      entries_.erase(vit);
+    }
+    entries_.emplace(key, Entry{block, dirty});
+    if (dirty) {
+      ++dirty_count_;
+    }
+    policy_->OnInsert(key);
+    return evicted;
+  }
+
+  bool MarkDirty(const PageKey& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return false;
+    }
+    if (!it->second.dirty) {
+      it->second.dirty = true;
+      ++dirty_count_;
+    }
+    return true;
+  }
+
+  std::vector<Evicted> TakeDirty(size_t max_pages) {
+    std::vector<Evicted> dirty;
+    for (auto& [key, entry] : entries_) {
+      if (dirty.size() >= max_pages) {
+        break;
+      }
+      if (entry.dirty) {
+        dirty.push_back(Evicted{key, entry.block, true});
+        entry.dirty = false;
+        --dirty_count_;
+      }
+    }
+    return dirty;
+  }
+
+  void Remove(const PageKey& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return;
+    }
+    if (it->second.dirty) {
+      --dirty_count_;
+    }
+    entries_.erase(it);
+    policy_->OnRemove(key);
+  }
+
+  void RemoveFile(InodeId ino) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->first.ino == ino) {
+        if (it->second.dirty) {
+          --dirty_count_;
+        }
+        policy_->OnRemove(it->first);
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void Clear() {
+    for (const auto& [key, entry] : entries_) {
+      policy_->OnRemove(key);
+    }
+    entries_.clear();
+    dirty_count_ = 0;
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t dirty_count() const { return dirty_count_; }
+  ReferencePolicy* policy() { return policy_.get(); }
+
+ private:
+  struct Entry {
+    BlockId block = kInvalidBlock;
+    bool dirty = false;
+  };
+
+  size_t capacity_;
+  std::unique_ptr<ReferencePolicy> policy_;
+  std::unordered_map<PageKey, Entry, PageKeyHash> entries_;
+  size_t dirty_count_ = 0;
+};
+
+}  // namespace reference
+}  // namespace fsbench
+
+#endif  // TESTS_REFERENCE_POLICIES_H_
