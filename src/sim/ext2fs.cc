@@ -8,24 +8,24 @@ namespace fsbench {
 Ext2Fs::Ext2Fs(Bytes device_capacity, const FsLayoutParams& params, VirtualClock* clock)
     : FileSystem(device_capacity, params, clock) {}
 
-void Ext2Fs::IndirectSlotsFor(uint64_t page, std::vector<uint64_t>* slots) const {
+uint32_t Ext2Fs::IndirectSlotsInto(uint64_t page, uint64_t* slots) const {
   const uint64_t ptrs = pointers_per_block();
   const uint64_t direct = direct_pages();
   if (page < direct) {
-    return;
+    return 0;
   }
   page -= direct;
   if (page < ptrs) {
     // Single indirect root.
-    slots->push_back(0);
-    return;
+    slots[0] = 0;
+    return 1;
   }
   page -= ptrs;
   if (page < ptrs * ptrs) {
     // Double indirect: root at slot 1, leaves at 2..(1+ptrs).
-    slots->push_back(1);
-    slots->push_back(2 + page / ptrs);
-    return;
+    slots[0] = 1;
+    slots[1] = 2 + page / ptrs;
+    return 2;
   }
   page -= ptrs * ptrs;
   // Triple indirect: root, mid, leaf. Slot layout reserves the double-leaf
@@ -33,27 +33,42 @@ void Ext2Fs::IndirectSlotsFor(uint64_t page, std::vector<uint64_t>* slots) const
   const uint64_t triple_base = 2 + ptrs;
   const uint64_t mid = page / (ptrs * ptrs);
   const uint64_t leaf = (page % (ptrs * ptrs)) / ptrs;
-  slots->push_back(triple_base);                              // triple root
-  slots->push_back(triple_base + 1 + mid);                    // mid node
-  slots->push_back(triple_base + 1 + ptrs + mid * ptrs + leaf);  // leaf node
+  slots[0] = triple_base;                                 // triple root
+  slots[1] = triple_base + 1 + mid;                       // mid node
+  slots[2] = triple_base + 1 + ptrs + mid * ptrs + leaf;  // leaf node
+  return 3;
 }
 
-FsResult<BlockId> Ext2Fs::MapPage(InodeId ino, uint64_t page_index, MetaIo* io) {
-  const Inode* inode = FindInode(ino);
-  if (inode == nullptr) {
-    return FsResult<BlockId>::Error(FsStatus::kNotFound);
-  }
-  if (page_index >= inode->block_map.size() || inode->block_map[page_index] == kInvalidBlock) {
+void Ext2Fs::IndirectSlotsFor(uint64_t page, std::vector<uint64_t>* slots) const {
+  uint64_t chain[kMaxIndirectDepth];
+  const uint32_t depth = IndirectSlotsInto(page, chain);
+  slots->insert(slots->end(), chain, chain + depth);
+}
+
+void Ext2Fs::ChargeDirLookup(const Inode& dir_inode, const Directory& dir, std::string_view name,
+                             std::optional<uint64_t> slot, MetaIo* io) {
+  (void)name;
+  // Same shared cost model as the base implementation, but the mapper is
+  // the final Ext2Fs::MapPageFor, so it resolves statically and inlines
+  // into the scan — this runs once per path component.
+  ChargeLinearDirScan(dir_inode, dir, slot, io,
+                      [this](const Inode& inode, uint64_t page, MetaIo* out) {
+                        return Ext2Fs::MapPageFor(inode, page, out);
+                      });
+}
+
+FsResult<BlockId> Ext2Fs::MapPageFor(const Inode& inode, uint64_t page_index, MetaIo* io) {
+  if (page_index >= inode.block_map.size() || inode.block_map[page_index] == kInvalidBlock) {
     return FsResult<BlockId>::Ok(kInvalidBlock);  // hole
   }
-  io->AddMetaRead(inode->itable_block);
-  std::vector<uint64_t> slots;
-  IndirectSlotsFor(page_index, &slots);
-  for (uint64_t slot : slots) {
-    assert(slot < inode->indirect_blocks.size());
-    io->AddMetaRead(inode->indirect_blocks[slot]);
+  io->AddMetaRead(inode.itable_block);
+  uint64_t slots[kMaxIndirectDepth];
+  const uint32_t depth = IndirectSlotsInto(page_index, slots);
+  for (uint32_t i = 0; i < depth; ++i) {
+    assert(slots[i] < inode.indirect_blocks.size());
+    io->AddMetaRead(inode.indirect_blocks[slots[i]]);
   }
-  return FsResult<BlockId>::Ok(inode->block_map[page_index]);
+  return FsResult<BlockId>::Ok(inode.block_map[page_index]);
 }
 
 BlockId Ext2Fs::DataGoal(const Inode& inode, uint64_t page) const {
@@ -71,9 +86,10 @@ BlockId Ext2Fs::DataGoal(const Inode& inode, uint64_t page) const {
 }
 
 FsStatus Ext2Fs::EnsureIndirectChain(Inode& inode, uint64_t page, MetaIo* io) {
-  std::vector<uint64_t> slots;
-  IndirectSlotsFor(page, &slots);
-  for (uint64_t slot : slots) {
+  uint64_t chain[kMaxIndirectDepth];
+  const uint32_t depth = IndirectSlotsInto(page, chain);
+  for (uint32_t i = 0; i < depth; ++i) {
+    const uint64_t slot = chain[i];
     if (slot >= inode.indirect_blocks.size()) {
       inode.indirect_blocks.resize(slot + 1, kInvalidBlock);
     }
@@ -94,30 +110,25 @@ FsStatus Ext2Fs::EnsureIndirectChain(Inode& inode, uint64_t page, MetaIo* io) {
   return FsStatus::kOk;
 }
 
-FsResult<BlockId> Ext2Fs::AllocatePage(InodeId ino, uint64_t page_index, MetaIo* io) {
-  Inode* inode = MutableInode(ino);
-  if (inode == nullptr) {
-    return FsResult<BlockId>::Error(FsStatus::kNotFound);
+FsResult<BlockId> Ext2Fs::AllocatePageFor(Inode& inode, uint64_t page_index, MetaIo* io) {
+  if (page_index < inode.block_map.size() && inode.block_map[page_index] != kInvalidBlock) {
+    return FsResult<BlockId>::Ok(inode.block_map[page_index]);
   }
-  if (page_index < inode->block_map.size() &&
-      inode->block_map[page_index] != kInvalidBlock) {
-    return FsResult<BlockId>::Ok(inode->block_map[page_index]);
-  }
-  const FsStatus chain = EnsureIndirectChain(*inode, page_index, io);
+  const FsStatus chain = EnsureIndirectChain(inode, page_index, io);
   if (chain != FsStatus::kOk) {
     return FsResult<BlockId>::Error(chain);
   }
-  const std::optional<BlockId> block = alloc_.AllocateBlock(DataGoal(*inode, page_index));
+  const std::optional<BlockId> block = alloc_.AllocateBlock(DataGoal(inode, page_index));
   if (!block.has_value()) {
     return FsResult<BlockId>::Error(FsStatus::kNoSpace);
   }
-  if (page_index >= inode->block_map.size()) {
-    inode->block_map.resize(page_index + 1, kInvalidBlock);
+  if (page_index >= inode.block_map.size()) {
+    inode.block_map.resize(page_index + 1, kInvalidBlock);
   }
-  inode->block_map[page_index] = *block;
-  ++inode->allocated_blocks;
+  inode.block_map[page_index] = *block;
+  ++inode.allocated_blocks;
   io->AddMetaWrite(BlockBitmapBlock(alloc_.GroupOf(*block)));
-  io->AddMetaWrite(inode->itable_block);
+  io->AddMetaWrite(inode.itable_block);
   return FsResult<BlockId>::Ok(*block);
 }
 

@@ -19,9 +19,6 @@ class Ext2Fs : public FileSystem {
   const char* name() const override { return "ext2"; }
   FsKind kind() const override { return FsKind::kExt2; }
 
-  FsResult<BlockId> MapPage(InodeId ino, uint64_t page_index, MetaIo* io) override;
-  FsResult<BlockId> AllocatePage(InodeId ino, uint64_t page_index, MetaIo* io) override;
-
   ReadaheadConfig readahead_config() const override {
     // Modest read-around cluster; Linux-style ramping window on sequential.
     return ReadaheadConfig{ReadaheadKind::kAdaptive, /*fixed_pages=*/8, /*min_window=*/4,
@@ -32,7 +29,24 @@ class Ext2Fs : public FileSystem {
   // indices address Inode::indirect_blocks; exposed for tests.
   void IndirectSlotsFor(uint64_t page, std::vector<uint64_t>* slots) const;
 
+  // Deepest possible indirect chain: single, double root+leaf, triple
+  // root+mid+leaf.
+  static constexpr uint32_t kMaxIndirectDepth = 3;
+
+  // Allocation-free variant for the hot mapping path: fills `slots` (at
+  // least kMaxIndirectDepth entries) and returns the chain depth.
+  uint32_t IndirectSlotsInto(uint64_t page, uint64_t* slots) const;
+
  protected:
+  // `final` so the directory-scan override below (and anything else in this
+  // translation-unit family) can call it without virtual dispatch.
+  FsResult<BlockId> MapPageFor(const Inode& inode, uint64_t page_index, MetaIo* io) final;
+  FsResult<BlockId> AllocatePageFor(Inode& inode, uint64_t page_index, MetaIo* io) override;
+  // Same linear-scan cost model as the base implementation, but with the
+  // per-block MapPageFor call devirtualized — this runs once per path
+  // component, the hottest loop in the simulator.
+  void ChargeDirLookup(const Inode& dir_inode, const Directory& dir, std::string_view name,
+                       std::optional<uint64_t> slot, MetaIo* io) override;
   void FreeAllBlocks(Inode& inode, MetaIo* io) override;
   void FreePagesFrom(Inode& inode, uint64_t first_page, MetaIo* io) override;
   void AppendOwnedBlocks(const Inode& inode, std::vector<BlockId>* blocks) const override;

@@ -58,8 +58,8 @@ FileSystem::FileSystem(Bytes device_capacity, const FsLayoutParams& params, Virt
   root.group = 0;
   root.itable_block = GroupStart(0) + 3;
   root.mtime = root.ctime = Now();
-  inodes_.emplace(kRootInode, std::move(root));
-  dirs_.emplace(kRootInode, Directory{});
+  root.dir = std::make_unique<Directory>();
+  inodes_.Insert(std::move(root));
   group_inode_counts_[0] = 1;
   group_local_inodes_[0] = 1;
   next_ino_ = kRootInode + 1;
@@ -80,24 +80,34 @@ void FileSystem::InitGroups() {
 
 Nanos FileSystem::Now() const { return clock_ != nullptr ? clock_->now() : 0; }
 
-const Inode* FileSystem::FindInode(InodeId ino) const {
-  auto it = inodes_.find(ino);
-  return it == inodes_.end() ? nullptr : &it->second;
-}
+const Inode* FileSystem::FindInode(InodeId ino) const { return inodes_.Find(ino); }
 
-Inode* FileSystem::MutableInode(InodeId ino) {
-  auto it = inodes_.find(ino);
-  return it == inodes_.end() ? nullptr : &it->second;
-}
+Inode* FileSystem::MutableInode(InodeId ino) { return inodes_.Find(ino); }
 
 const Directory* FileSystem::FindDir(InodeId ino) const {
-  auto it = dirs_.find(ino);
-  return it == dirs_.end() ? nullptr : &it->second;
+  const Inode* inode = FindInode(ino);
+  return inode == nullptr ? nullptr : inode->dir.get();
 }
 
 Directory* FileSystem::MutableDir(InodeId ino) {
-  auto it = dirs_.find(ino);
-  return it == dirs_.end() ? nullptr : &it->second;
+  Inode* inode = MutableInode(ino);
+  return inode == nullptr ? nullptr : inode->dir.get();
+}
+
+FsResult<BlockId> FileSystem::MapPage(InodeId ino, uint64_t page_index, MetaIo* io) {
+  const Inode* inode = FindInode(ino);
+  if (inode == nullptr) {
+    return FsResult<BlockId>::Error(FsStatus::kNotFound);
+  }
+  return MapPageFor(*inode, page_index, io);
+}
+
+FsResult<BlockId> FileSystem::AllocatePage(InodeId ino, uint64_t page_index, MetaIo* io) {
+  Inode* inode = MutableInode(ino);
+  if (inode == nullptr) {
+    return FsResult<BlockId>::Error(FsStatus::kNotFound);
+  }
+  return AllocatePageFor(*inode, page_index, io);
 }
 
 BlockId FileSystem::InodeTableBlock(const Inode& inode) const { return inode.itable_block; }
@@ -138,38 +148,27 @@ Inode* FileSystem::AllocateInode(const Inode& parent, FileType type, MetaIo* io)
   io->AddMetaWrite(inode.itable_block);
   io->AddMetaWrite(InodeBitmapBlock(group));
 
-  auto [it, inserted] = inodes_.emplace(inode.ino, std::move(inode));
-  assert(inserted);
-  return &it->second;
+  return inodes_.Insert(std::move(inode));
 }
 
 void FileSystem::ChargeDirLookup(const Inode& dir_inode, const Directory& dir,
-                                 const std::string& name, std::optional<uint64_t> slot,
+                                 std::string_view name, std::optional<uint64_t> slot,
                                  MetaIo* io) {
   (void)name;
-  // Linear scan (ext2/ext3 flavour): a positive lookup reads directory
-  // blocks up to and including the entry's block; a negative lookup reads
-  // all of them.
-  const uint64_t epb = params_.dir_entries_per_block;
-  const uint64_t total_blocks = dir.slot_count() == 0 ? 0 : CeilDiv(dir.slot_count(), epb);
-  const uint64_t last_block = !slot.has_value()
-                                  ? total_blocks
-                                  : std::min<uint64_t>(*slot / epb + 1, total_blocks);
-  for (uint64_t page = 0; page < last_block; ++page) {
-    const FsResult<BlockId> mapping = MapPage(dir_inode.ino, page, io);
-    if (mapping.ok() && mapping.value != kInvalidBlock) {
-      io->reads.push_back({dir_inode.ino, page, mapping.value});
-    }
-  }
+  // Linear scan (ext2/ext3 flavour), dispatching MapPageFor virtually.
+  ChargeLinearDirScan(dir_inode, dir, slot, io,
+                      [this](const Inode& inode, uint64_t page, MetaIo* out) {
+                        return MapPageFor(inode, page, out);
+                      });
 }
 
 FsResult<BlockId> FileSystem::EnsureDirSlotBlock(Inode& dir_inode, uint64_t slot, MetaIo* io) {
   const uint64_t page = slot / params_.dir_entries_per_block;
-  const FsResult<BlockId> existing = MapPage(dir_inode.ino, page, io);
+  const FsResult<BlockId> existing = MapPageFor(dir_inode, page, io);
   if (existing.ok() && existing.value != kInvalidBlock) {
     return existing;
   }
-  const FsResult<BlockId> allocated = AllocatePage(dir_inode.ino, page, io);
+  const FsResult<BlockId> allocated = AllocatePageFor(dir_inode, page, io);
   if (allocated.ok()) {
     const Bytes needed = (page + 1) * params_.block_size;
     if (dir_inode.size < needed) {
@@ -179,7 +178,7 @@ FsResult<BlockId> FileSystem::EnsureDirSlotBlock(Inode& dir_inode, uint64_t slot
   return allocated;
 }
 
-FsResult<InodeId> FileSystem::Create(InodeId parent, const std::string& name, FileType type,
+FsResult<InodeId> FileSystem::Create(InodeId parent, std::string_view name, FileType type,
                                      MetaIo* io) {
   Inode* parent_inode = MutableInode(parent);
   if (parent_inode == nullptr) {
@@ -188,9 +187,9 @@ FsResult<InodeId> FileSystem::Create(InodeId parent, const std::string& name, Fi
   if (parent_inode->type != FileType::kDirectory) {
     return FsResult<InodeId>::Error(FsStatus::kNotDir);
   }
-  Directory* dir = MutableDir(parent);
+  Directory* dir = parent_inode->dir.get();
   assert(dir != nullptr);
-  if (name.empty() || name.find('/') != std::string::npos) {
+  if (name.empty() || name.find('/') != std::string_view::npos) {
     return FsResult<InodeId>::Error(FsStatus::kInvalid);
   }
 
@@ -205,7 +204,7 @@ FsResult<InodeId> FileSystem::Create(InodeId parent, const std::string& name, Fi
     return FsResult<InodeId>::Error(FsStatus::kNoSpace);
   }
   if (type == FileType::kDirectory) {
-    dirs_.emplace(inode->ino, Directory{});
+    inode->dir = std::make_unique<Directory>();
     ++parent_inode->link_count;  // ".." back-reference
   }
 
@@ -218,10 +217,9 @@ FsResult<InodeId> FileSystem::Create(InodeId parent, const std::string& name, Fi
     // Roll back: no space for the dirent.
     dir->Remove(name);
     if (type == FileType::kDirectory) {
-      dirs_.erase(inode->ino);
       --parent_inode->link_count;
     }
-    inodes_.erase(inode->ino);
+    inodes_.Erase(inode->ino);
     return FsResult<InodeId>::Error(dir_block.status);
   }
   io->writes.push_back({parent, slot / params_.dir_entries_per_block, dir_block.value});
@@ -230,7 +228,7 @@ FsResult<InodeId> FileSystem::Create(InodeId parent, const std::string& name, Fi
   return FsResult<InodeId>::Ok(inode->ino);
 }
 
-FsStatus FileSystem::Unlink(InodeId parent, const std::string& name, MetaIo* io) {
+FsStatus FileSystem::Unlink(InodeId parent, std::string_view name, MetaIo* io) {
   Inode* parent_inode = MutableInode(parent);
   if (parent_inode == nullptr) {
     return FsStatus::kNotFound;
@@ -238,21 +236,22 @@ FsStatus FileSystem::Unlink(InodeId parent, const std::string& name, MetaIo* io)
   if (parent_inode->type != FileType::kDirectory) {
     return FsStatus::kNotDir;
   }
-  Directory* dir = MutableDir(parent);
+  Directory* dir = parent_inode->dir.get();
   assert(dir != nullptr);
 
-  const std::optional<uint64_t> slot = dir->SlotOf(name);
-  if (!slot.has_value()) {
+  const std::optional<Directory::Entry> entry = dir->Find(name);
+  if (!entry.has_value()) {
     ChargeDirLookup(*parent_inode, *dir, name, std::nullopt, io);
     return FsStatus::kNotFound;
   }
+  const std::optional<uint64_t> slot = entry->slot;
   ChargeDirLookup(*parent_inode, *dir, name, slot, io);
 
-  const InodeId ino = *dir->Lookup(name);
+  const InodeId ino = entry->ino;
   Inode* inode = MutableInode(ino);
   assert(inode != nullptr);
   if (inode->type == FileType::kDirectory) {
-    Directory* victim_dir = MutableDir(ino);
+    const Directory* victim_dir = inode->dir.get();
     if (victim_dir != nullptr && victim_dir->entry_count() > 0) {
       return FsStatus::kNotEmpty;
     }
@@ -260,7 +259,8 @@ FsStatus FileSystem::Unlink(InodeId parent, const std::string& name, MetaIo* io)
 
   dir->Remove(name);
   // Rewrite the dirent's block.
-  const FsResult<BlockId> dir_block = MapPage(parent, *slot / params_.dir_entries_per_block, io);
+  const FsResult<BlockId> dir_block =
+      MapPageFor(*parent_inode, *slot / params_.dir_entries_per_block, io);
   if (dir_block.ok() && dir_block.value != kInvalidBlock) {
     io->writes.push_back({parent, *slot / params_.dir_entries_per_block, dir_block.value});
   }
@@ -279,46 +279,9 @@ FsStatus FileSystem::Unlink(InodeId parent, const std::string& name, MetaIo* io)
     io->AddMetaWrite(InodeBitmapBlock(inode->group));
     io->drop_files.push_back(ino);
     --group_inode_counts_[inode->group];
-    dirs_.erase(ino);
-    inodes_.erase(ino);
+    inodes_.Erase(ino);
   }
   return FsStatus::kOk;
-}
-
-FsResult<InodeId> FileSystem::Lookup(InodeId parent, const std::string& name, MetaIo* io) {
-  Inode* parent_inode = MutableInode(parent);
-  if (parent_inode == nullptr) {
-    return FsResult<InodeId>::Error(FsStatus::kNotFound);
-  }
-  if (parent_inode->type != FileType::kDirectory) {
-    return FsResult<InodeId>::Error(FsStatus::kNotDir);
-  }
-  const Directory* dir = FindDir(parent);
-  assert(dir != nullptr);
-  const std::optional<uint64_t> slot = dir->SlotOf(name);
-  if (!slot.has_value()) {
-    ChargeDirLookup(*parent_inode, *dir, name, std::nullopt, io);
-    return FsResult<InodeId>::Error(FsStatus::kNotFound);
-  }
-  ChargeDirLookup(*parent_inode, *dir, name, slot, io);
-  return FsResult<InodeId>::Ok(*dir->Lookup(name));
-}
-
-FsResult<FileAttr> FileSystem::Stat(InodeId ino, MetaIo* io) {
-  const Inode* inode = FindInode(ino);
-  if (inode == nullptr) {
-    return FsResult<FileAttr>::Error(FsStatus::kNotFound);
-  }
-  io->AddMetaRead(inode->itable_block);
-  FileAttr attr;
-  attr.ino = inode->ino;
-  attr.type = inode->type;
-  attr.size = inode->size;
-  attr.allocated_blocks = inode->allocated_blocks;
-  attr.link_count = inode->link_count;
-  attr.mtime = inode->mtime;
-  attr.ctime = inode->ctime;
-  return FsResult<FileAttr>::Ok(attr);
 }
 
 FsResult<std::vector<std::string>> FileSystem::ReadDir(InodeId ino, MetaIo* io) {
@@ -329,7 +292,7 @@ FsResult<std::vector<std::string>> FileSystem::ReadDir(InodeId ino, MetaIo* io) 
   if (inode->type != FileType::kDirectory) {
     return FsResult<std::vector<std::string>>::Error(FsStatus::kNotDir);
   }
-  const Directory* dir = FindDir(ino);
+  const Directory* dir = inode->dir.get();
   assert(dir != nullptr);
   ChargeDirLookup(*inode, *dir, "", std::nullopt, io);  // reads every block
   return FsResult<std::vector<std::string>>::Ok(dir->List());
@@ -361,14 +324,14 @@ bool FileSystem::CheckConsistency(std::string* error) const {
     return false;
   };
 
-  if (inodes_.count(kRootInode) == 0) {
+  if (inodes_.Find(kRootInode) == nullptr) {
     return fail("missing root inode");
   }
 
   // Every owned block allocated exactly once; totals match the allocator.
   std::unordered_set<BlockId> seen;
   uint64_t owned = 0;
-  for (const auto& [ino, inode] : inodes_) {
+  for (const Inode& inode : inodes_) {
     std::vector<BlockId> blocks;
     AppendOwnedBlocks(inode, &blocks);
     for (BlockId b : blocks) {
@@ -376,7 +339,7 @@ bool FileSystem::CheckConsistency(std::string* error) const {
         continue;
       }
       if (!alloc_.IsAllocated(b)) {
-        return fail("inode " + std::to_string(ino) + " references unallocated block " +
+        return fail("inode " + std::to_string(inode.ino) + " references unallocated block " +
                     std::to_string(b));
       }
       if (!seen.insert(b).second) {
@@ -385,7 +348,7 @@ bool FileSystem::CheckConsistency(std::string* error) const {
       ++owned;
     }
     if (inode.allocated_blocks != blocks.size()) {
-      return fail("inode " + std::to_string(ino) + " allocated_blocks mismatch");
+      return fail("inode " + std::to_string(inode.ino) + " allocated_blocks mismatch");
     }
   }
   if (owned + reserved_blocks_ != alloc_.used_blocks()) {
@@ -398,22 +361,23 @@ bool FileSystem::CheckConsistency(std::string* error) const {
   }
 
   // Directory structure: every entry resolves to a live inode; every
-  // directory inode has a Directory.
-  for (const auto& [ino, dir] : dirs_) {
-    const Inode* inode = FindInode(ino);
-    if (inode == nullptr || inode->type != FileType::kDirectory) {
-      return fail("directory table entry for non-directory inode " + std::to_string(ino));
-    }
-    for (const std::string& name : dir.List()) {
-      const std::optional<InodeId> child = dir.Lookup(name);
-      if (!child.has_value() || inodes_.count(*child) == 0) {
-        return fail("dangling dirent '" + name + "' in dir " + std::to_string(ino));
+  // directory inode owns a Directory (and only directories do).
+  for (const Inode& inode : inodes_) {
+    if (inode.type != FileType::kDirectory) {
+      if (inode.dir != nullptr) {
+        return fail("non-directory inode " + std::to_string(inode.ino) +
+                    " carries directory contents");
       }
+      continue;
     }
-  }
-  for (const auto& [ino, inode] : inodes_) {
-    if (inode.type == FileType::kDirectory && dirs_.count(ino) == 0) {
-      return fail("directory inode " + std::to_string(ino) + " has no directory table");
+    if (inode.dir == nullptr) {
+      return fail("directory inode " + std::to_string(inode.ino) + " has no directory table");
+    }
+    for (const std::string& name : inode.dir->List()) {
+      const std::optional<InodeId> child = inode.dir->Lookup(name);
+      if (!child.has_value() || inodes_.Find(*child) == nullptr) {
+        return fail("dangling dirent '" + name + "' in dir " + std::to_string(inode.ino));
+      }
     }
   }
   return true;

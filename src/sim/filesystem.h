@@ -10,10 +10,11 @@
 #ifndef SRC_SIM_FILESYSTEM_H_
 #define SRC_SIM_FILESYSTEM_H_
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "src/sim/block_allocator.h"
@@ -21,8 +22,10 @@
 #include "src/sim/directory.h"
 #include "src/sim/eviction_policy.h"
 #include "src/sim/inode.h"
+#include "src/sim/inode_table.h"
 #include "src/sim/journal.h"
 #include "src/sim/readahead.h"
+#include "src/sim/small_vec.h"
 #include "src/sim/types.h"
 
 namespace fsbench {
@@ -38,14 +41,30 @@ struct MetaRef {
 };
 
 // The I/O plan for one file-system operation.
+//
+// The lists are small-inline-capacity buffers (src/sim/small_vec.h): the
+// common operations fit inline, and anything larger (full-directory negative
+// scans, big truncates) spills into storage that a reused instance retains —
+// the VFS threads one scratch MetaIo through every call, so the steady-state
+// operation pipeline never heap-allocates here. Inline sizes are chosen from
+// the per-FS worst cases on the hit path: MapPage charges at most 4 reads
+// (inode table + triple-indirect chain), Create at most ~7 writes.
 struct MetaIo {
-  std::vector<MetaRef> reads;          // must be resident or read from disk
-  std::vector<MetaRef> writes;         // dirtied (journaled on ext3)
-  std::vector<MetaRef> invalidations;  // cache entries to drop (unlink, truncate)
-  std::vector<InodeId> drop_files;     // whole files whose pages must be dropped
+  SmallVec<MetaRef, 12> reads;         // must be resident or read from disk
+  SmallVec<MetaRef, 8> writes;         // dirtied (journaled on ext3)
+  SmallVec<MetaRef, 4> invalidations;  // cache entries to drop (unlink, truncate)
+  SmallVec<InodeId, 2> drop_files;     // whole files whose pages must be dropped
 
   void AddMetaRead(BlockId block) { reads.push_back({kMetaInode, block, block}); }
   void AddMetaWrite(BlockId block) { writes.push_back({kMetaInode, block, block}); }
+
+  // Empties all four lists while keeping their spilled storage for reuse.
+  void Reset() {
+    reads.clear();
+    writes.clear();
+    invalidations.clear();
+    drop_files.clear();
+  }
 };
 
 // Geometry/layout parameters common to the simulated file systems.
@@ -75,18 +94,22 @@ class FileSystem {
   virtual FsKind kind() const = 0;
 
   // --- Namespace operations (shared implementation) ---
+  //
+  // Names are string_views so path components can be passed straight out of
+  // the path being resolved — no per-component std::string copy.
 
   // Creates a file or directory under `parent`. Charges a full-directory
   // negative lookup plus dirent/bitmap/inode-table writes into `io`.
-  FsResult<InodeId> Create(InodeId parent, const std::string& name, FileType type, MetaIo* io);
+  FsResult<InodeId> Create(InodeId parent, std::string_view name, FileType type, MetaIo* io);
 
   // Removes a name; frees the inode and its blocks when the last link drops.
-  FsStatus Unlink(InodeId parent, const std::string& name, MetaIo* io);
+  FsStatus Unlink(InodeId parent, std::string_view name, MetaIo* io);
 
-  // Resolves a name; charges the directory-scan cost model.
-  FsResult<InodeId> Lookup(InodeId parent, const std::string& name, MetaIo* io);
+  // Resolves a name; charges the directory-scan cost model. (Defined inline
+  // below: one call per path component, the hottest namespace entry point.)
+  FsResult<InodeId> Lookup(InodeId parent, std::string_view name, MetaIo* io);
 
-  FsResult<FileAttr> Stat(InodeId ino, MetaIo* io);
+  FsResult<FileAttr> Stat(InodeId ino, MetaIo* io);  // inline below: per-op hot
 
   FsResult<std::vector<std::string>> ReadDir(InodeId dir, MetaIo* io);
 
@@ -98,11 +121,11 @@ class FileSystem {
 
   // Device block backing page `page_index` for reads. A missing mapping
   // within the file size is a hole: kOk with value kInvalidBlock.
-  virtual FsResult<BlockId> MapPage(InodeId ino, uint64_t page_index, MetaIo* io) = 0;
+  FsResult<BlockId> MapPage(InodeId ino, uint64_t page_index, MetaIo* io);
 
   // Ensures page `page_index` has a backing block (allocating one according
   // to the FS's layout policy) and returns it.
-  virtual FsResult<BlockId> AllocatePage(InodeId ino, uint64_t page_index, MetaIo* io) = 0;
+  FsResult<BlockId> AllocatePage(InodeId ino, uint64_t page_index, MetaIo* io);
 
   // --- Per-FS behaviour knobs ---
 
@@ -129,12 +152,40 @@ class FileSystem {
  protected:
   // --- Layout/cost policy hooks ---
 
+  // Inode-reference forms of the data-mapping API; the public InodeId
+  // wrappers resolve the inode once and dispatch here, and internal callers
+  // that already hold the inode (directory cost charging, dir-block growth)
+  // skip the redundant table probe.
+  virtual FsResult<BlockId> MapPageFor(const Inode& inode, uint64_t page_index, MetaIo* io) = 0;
+  virtual FsResult<BlockId> AllocatePageFor(Inode& inode, uint64_t page_index, MetaIo* io) = 0;
+
   // Charges the meta reads a directory lookup needs to find `name`
   // (ext2/3: linear scan; xfs: btree path). `slot` is the entry's slot for a
   // positive lookup, std::nullopt for a negative one.
   virtual void ChargeDirLookup(const Inode& dir_inode, const Directory& dir,
-                               const std::string& name, std::optional<uint64_t> slot,
+                               std::string_view name, std::optional<uint64_t> slot,
                                MetaIo* io);
+
+  // The linear-scan cost model shared by the base ChargeDirLookup and
+  // concrete overrides: a positive lookup reads directory blocks up to and
+  // including the entry's block, a negative one reads all of them. `map` is
+  // the page mapper — overrides pass their own MapPageFor so the per-block
+  // call resolves statically instead of through the vtable.
+  template <typename MapFn>
+  void ChargeLinearDirScan(const Inode& dir_inode, const Directory& dir,
+                           std::optional<uint64_t> slot, MetaIo* io, MapFn&& map) {
+    const uint64_t epb = params_.dir_entries_per_block;
+    const uint64_t total_blocks = dir.slot_count() == 0 ? 0 : CeilDiv(dir.slot_count(), epb);
+    const uint64_t last_block = !slot.has_value()
+                                    ? total_blocks
+                                    : std::min<uint64_t>(*slot / epb + 1, total_blocks);
+    for (uint64_t page = 0; page < last_block; ++page) {
+      const FsResult<BlockId> mapping = map(dir_inode, page, io);
+      if (mapping.ok() && mapping.value != kInvalidBlock) {
+        io->reads.push_back({dir_inode.ino, page, mapping.value});
+      }
+    }
+  }
 
   // Placement group for a new inode.
   virtual uint64_t PickGroup(const Inode& parent, FileType type);
@@ -176,8 +227,9 @@ class FileSystem {
   FsLayoutParams params_;
   VirtualClock* clock_;
   BlockAllocator alloc_;
-  std::unordered_map<InodeId, Inode> inodes_;
-  std::unordered_map<InodeId, Directory> dirs_;
+  // Directory contents live inside their Inode (Inode::dir); there is no
+  // separate directory table to probe.
+  InodeTable inodes_;
   std::vector<uint64_t> group_inode_counts_;
   std::vector<uint64_t> group_local_inodes_;  // next inode-table slot per group
   InodeId next_ino_ = kRootInode;
@@ -187,6 +239,41 @@ class FileSystem {
  private:
   void InitGroups();
 };
+
+inline FsResult<InodeId> FileSystem::Lookup(InodeId parent, std::string_view name, MetaIo* io) {
+  Inode* parent_inode = inodes_.Find(parent);
+  if (parent_inode == nullptr) {
+    return FsResult<InodeId>::Error(FsStatus::kNotFound);
+  }
+  if (parent_inode->type != FileType::kDirectory) {
+    return FsResult<InodeId>::Error(FsStatus::kNotDir);
+  }
+  const Directory* dir = parent_inode->dir.get();
+  const std::optional<Directory::Entry> entry = dir->Find(name);
+  if (!entry.has_value()) {
+    ChargeDirLookup(*parent_inode, *dir, name, std::nullopt, io);
+    return FsResult<InodeId>::Error(FsStatus::kNotFound);
+  }
+  ChargeDirLookup(*parent_inode, *dir, name, entry->slot, io);
+  return FsResult<InodeId>::Ok(entry->ino);
+}
+
+inline FsResult<FileAttr> FileSystem::Stat(InodeId ino, MetaIo* io) {
+  const Inode* inode = inodes_.Find(ino);
+  if (inode == nullptr) {
+    return FsResult<FileAttr>::Error(FsStatus::kNotFound);
+  }
+  io->AddMetaRead(inode->itable_block);
+  FileAttr attr;
+  attr.ino = inode->ino;
+  attr.type = inode->type;
+  attr.size = inode->size;
+  attr.allocated_blocks = inode->allocated_blocks;
+  attr.link_count = inode->link_count;
+  attr.mtime = inode->mtime;
+  attr.ctime = inode->ctime;
+  return FsResult<FileAttr>::Ok(attr);
+}
 
 }  // namespace fsbench
 

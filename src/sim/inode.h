@@ -9,8 +9,10 @@
 #define SRC_SIM_INODE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "src/sim/directory.h"
 #include "src/sim/types.h"
 #include "src/util/units.h"
 
@@ -43,6 +45,11 @@ struct Inode {
   std::vector<BlockId> extent_meta_blocks;
 
   uint64_t allocated_blocks = 0;
+
+  // Directory contents, owned by the inode itself (non-null iff type ==
+  // kDirectory). Living here rather than in a side table means resolving a
+  // path component costs one inode probe, not two.
+  std::unique_ptr<Directory> dir;
 };
 
 }  // namespace fsbench

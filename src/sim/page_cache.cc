@@ -546,6 +546,33 @@ void PageCache::Insert(const PageKey& key, BlockId block, bool dirty, EvictedBat
   ++stats_.insertions;
 }
 
+size_t PageCache::TakeDirtyFile(InodeId ino, std::vector<Evicted>* out) {
+  out->clear();
+  const size_t slot = InodeProbe(ino);
+  if (inode_index_[slot].head == kNil) {
+    return 0;
+  }
+  // Chain order (most recently inserted first); callers that care about
+  // device ordering sort by block, as the VFS writeback path does.
+  for (uint32_t n = inode_index_[slot].head; n != kNil; n = ino_links_[n].next) {
+    if (IsDirty(n)) {
+      out->push_back(Evicted{keys_[n], blocks_[n], true});
+      DirtyChainUnlink(n);
+    }
+  }
+  return out->size();
+}
+
+bool PageCache::TakeDirtyPage(const PageKey& key, std::vector<Evicted>* out) {
+  const uint32_t n = FindNode(key);
+  if (n == kNil || !IsResidentNode(n) || !IsDirty(n)) {
+    return false;
+  }
+  out->push_back(Evicted{keys_[n], blocks_[n], true});
+  DirtyChainUnlink(n);
+  return true;
+}
+
 size_t PageCache::TakeDirty(size_t max_pages, std::vector<Evicted>* out) {
   out->clear();
   while (dirty_head_ != kNil && out->size() < max_pages) {

@@ -118,6 +118,19 @@ class PageCache {
     return out;
   }
 
+  // Collects every dirty page of one file into `out` (cleared first),
+  // marking them clean; other files' dirty pages are untouched. Walks the
+  // file's per-inode resident chain — O(resident pages of the file) — which
+  // is what lets Fsync write back exactly one file instead of draining the
+  // global dirty set. Returns the number taken.
+  size_t TakeDirtyFile(InodeId ino, std::vector<Evicted>* out);
+
+  // Takes one specific page if it is resident and dirty, appending it to
+  // `out` (NOT cleared) and marking it clean. Fsync uses this for the
+  // file's own metadata blocks (inode table, indirect/extent nodes), which
+  // are keyed under kMetaInode and so invisible to TakeDirtyFile.
+  bool TakeDirtyPage(const PageKey& key, std::vector<Evicted>* out);
+
   size_t dirty_count() const { return dirty_count_; }
 
   // Invalidates one page / every page of a file / everything. Dirty contents

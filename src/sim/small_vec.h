@@ -1,0 +1,99 @@
+// Small-inline-capacity sequence for the simulator's per-operation I/O
+// plans (MetaIo).
+//
+// The first N elements live inline (no heap); growth past N spills into a
+// std::vector whose capacity is *retained* across clear(). A reused instance
+// (the Vfs threads one scratch MetaIo through every operation) therefore
+// reaches a steady state where push_back never allocates, no matter how
+// large past operations were — the retained spill storage is the per-Vfs
+// reusable arena the operation pipeline runs out of.
+//
+// Deliberately minimal: trivially-copyable element types only, index-based
+// iteration (storage is not contiguous across the inline/spill boundary),
+// value semantics via the defaulted copy/move members.
+#ifndef SRC_SIM_SMALL_VEC_H_
+#define SRC_SIM_SMALL_VEC_H_
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace fsbench {
+
+template <typename T, uint32_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(N > 0);
+
+ public:
+  using value_type = T;
+
+  void push_back(const T& value) {
+    if (size_ < N) {
+      inline_[size_] = value;
+    } else {
+      const uint32_t spill_index = size_ - N;
+      if (spill_index < spill_.size()) {
+        spill_[spill_index] = value;  // reuse retained spill capacity
+      } else {
+        spill_.push_back(value);
+      }
+    }
+    ++size_;
+  }
+
+  // Keeps the spill storage (capacity and size) for reuse; only the logical
+  // length resets, so a warmed-up instance never allocates again.
+  void clear() { size_ = 0; }
+
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](uint32_t i) const {
+    assert(i < size_);
+    return i < N ? inline_[i] : spill_[i - N];
+  }
+  T& operator[](uint32_t i) {
+    assert(i < size_);
+    return i < N ? inline_[i] : spill_[i - N];
+  }
+
+  const T& back() const {
+    assert(size_ > 0);
+    return (*this)[size_ - 1];
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const SmallVec* vec, uint32_t index) : vec_(vec), index_(index) {}
+    const T& operator*() const { return (*vec_)[index_]; }
+    const T* operator->() const { return &(*vec_)[index_]; }
+    const_iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const { return index_ == other.index_; }
+    bool operator!=(const const_iterator& other) const { return index_ != other.index_; }
+
+   private:
+    const SmallVec* vec_;
+    uint32_t index_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+  // Number of elements the instance can hold without allocating.
+  uint32_t warm_capacity() const { return N + static_cast<uint32_t>(spill_.size()); }
+  static constexpr uint32_t inline_capacity() { return N; }
+
+ private:
+  T inline_[N] = {};
+  std::vector<T> spill_;
+  uint32_t size_ = 0;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_SIM_SMALL_VEC_H_

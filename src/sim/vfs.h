@@ -13,6 +13,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/sim/clock.h"
@@ -74,17 +75,22 @@ class Vfs {
       FlashTier* flash = nullptr);
 
   // --- POSIX-ish surface (absolute paths, '/'-separated) ---
+  //
+  // Paths are string_views: resolution walks them in place, handing each
+  // component straight to the file system without copying.
 
-  FsResult<int> Open(const std::string& path, bool create = false);
+  FsResult<int> Open(std::string_view path, bool create = false);
   FsStatus Close(int fd);
   FsResult<Bytes> Read(int fd, Bytes offset, Bytes length);
   FsResult<Bytes> Write(int fd, Bytes offset, Bytes length);
-  FsStatus CreateFile(const std::string& path);
-  FsStatus Mkdir(const std::string& path);
-  FsStatus Unlink(const std::string& path);
-  FsResult<FileAttr> Stat(const std::string& path);
-  FsResult<std::vector<std::string>> ReadDir(const std::string& path);
-  FsStatus Truncate(const std::string& path, Bytes new_size);
+  FsStatus CreateFile(std::string_view path);
+  FsStatus Mkdir(std::string_view path);
+  FsStatus Unlink(std::string_view path);
+  FsResult<FileAttr> Stat(std::string_view path);
+  FsResult<std::vector<std::string>> ReadDir(std::string_view path);
+  FsStatus Truncate(std::string_view path, Bytes new_size);
+  // Writes back this file's dirty pages (per-file, via the page cache's
+  // per-inode chain) and commits the journal; waits for idle disk.
   FsStatus Fsync(int fd);
   // Flushes all dirty pages and commits the journal; waits for idle disk.
   void SyncAll();
@@ -93,12 +99,12 @@ class Vfs {
 
   // Creates `path` (parents must exist) and allocates `size` bytes of
   // backing blocks without writing data — Filebench-style preallocation.
-  FsStatus MakeFile(const std::string& path, Bytes size);
+  FsStatus MakeFile(std::string_view path, Bytes size);
 
   // Loads the file's pages into the cache (ascending order, so under LRU the
   // file's tail is most recent). Stops early if the cache is smaller than
   // the file, having streamed it through once (keeps the *last* pages).
-  FsStatus PrewarmFile(const std::string& path);
+  FsStatus PrewarmFile(std::string_view path);
 
   // Drops the whole page cache (clean and dirty alike).
   void DropCaches();
@@ -119,14 +125,28 @@ class Vfs {
     ReadaheadState readahead;
   };
 
-  // Splits "/a/b/c" and walks Lookup; returns the final inode. When
-  // `parent_out` is non-null, resolves only up to the parent and stores the
-  // leaf name in `leaf_out`.
-  FsResult<InodeId> ResolvePath(const std::string& path, InodeId* parent_out,
-                                std::string* leaf_out);
+  // How ResolvePath treats the last path component.
+  enum class ResolveMode {
+    kFull,    // resolve every component; return the final inode
+    kParent,  // stop before the leaf: no leaf lookup (Create/Unlink scan
+              // the directory themselves); returns the parent
+    kOpen,    // resolve the leaf too, but also report parent + leaf so a
+              // missing leaf can be created without a second walk
+  };
 
-  // Charges CPU time scaled by the machine's jitter multiplier.
-  void ChargeCpu(Nanos cost);
+  // Splits "/a/b/c" and walks Lookup in a single pass. `parent_out` /
+  // `leaf_out` are filled per `mode`; `*parent_out` stays kInvalidInode when
+  // the walk failed before reaching the leaf's parent (or the path is "/").
+  FsResult<InodeId> ResolvePath(std::string_view path, ResolveMode mode, InodeId* parent_out,
+                                std::string_view* leaf_out);
+
+  // The four fixed CPU charges, pre-scaled by cpu_cost_multiplier at
+  // construction (same rounding as scaling at charge time), so the hot
+  // path advances the clock without per-charge floating-point work.
+  Nanos scaled_syscall_ = 0;
+  Nanos scaled_syscall_plus_op_ = 0;  // syscall + fs per-op overhead
+  Nanos scaled_page_copy_ = 0;
+  Nanos scaled_meta_touch_ = 0;
 
   // Executes the meta-data I/O plan: reads through the cache (sync disk
   // reads on miss), dirties written pages (journaling them), drops
@@ -144,6 +164,10 @@ class Vfs {
   // Pops up to `max_pages` dirty pages and queues them as async writes in
   // device-block order (so the elevator sees sequential runs).
   void WritebackDirty(size_t max_pages);
+
+  // Sorts `writeback_scratch_` by device block and queues the pages as
+  // async writes (shared tail of WritebackDirty and the per-file Fsync).
+  void SubmitWritebackScratch();
 
   // Inserts a page and processes evictions.
   void InsertPage(const PageKey& key, BlockId block, bool dirty);
@@ -169,9 +193,11 @@ class Vfs {
   std::vector<std::optional<OpenFile>> fd_table_;
   size_t dirty_limit_;
   VfsStats stats_;
-  // Reused scratch buffers: path-component name for FileSystem calls and the
-  // writeback batch, so the per-op steady state stays allocation-free.
-  std::string name_buf_;
+  // Reused scratch buffers, the per-Vfs arena of the operation pipeline: one
+  // MetaIo threaded through every FileSystem call (its SmallVec spill
+  // storage is retained across Reset, so a warmed-up Vfs never allocates on
+  // the hit path) and the writeback batch.
+  MetaIo meta_scratch_;
   std::vector<PageCache::Evicted> writeback_scratch_;
 };
 

@@ -26,21 +26,17 @@ std::optional<size_t> XfsFs::FindExtent(const Inode& inode, uint64_t page) {
   return std::nullopt;
 }
 
-FsResult<BlockId> XfsFs::MapPage(InodeId ino, uint64_t page_index, MetaIo* io) {
-  const Inode* inode = FindInode(ino);
-  if (inode == nullptr) {
-    return FsResult<BlockId>::Error(FsStatus::kNotFound);
-  }
-  const std::optional<size_t> idx = FindExtent(*inode, page_index);
+FsResult<BlockId> XfsFs::MapPageFor(const Inode& inode, uint64_t page_index, MetaIo* io) {
+  const std::optional<size_t> idx = FindExtent(inode, page_index);
   if (!idx.has_value()) {
     return FsResult<BlockId>::Ok(kInvalidBlock);  // hole
   }
-  io->AddMetaRead(inode->itable_block);
-  if (inode->extents.size() > kInlineExtents && !inode->extent_meta_blocks.empty()) {
-    const size_t node = std::min(*idx / kExtentsPerNode, inode->extent_meta_blocks.size() - 1);
-    io->AddMetaRead(inode->extent_meta_blocks[node]);
+  io->AddMetaRead(inode.itable_block);
+  if (inode.extents.size() > kInlineExtents && !inode.extent_meta_blocks.empty()) {
+    const size_t node = std::min(*idx / kExtentsPerNode, inode.extent_meta_blocks.size() - 1);
+    io->AddMetaRead(inode.extent_meta_blocks[node]);
   }
-  const FileExtent& e = inode->extents[*idx];
+  const FileExtent& e = inode.extents[*idx];
   return FsResult<BlockId>::Ok(e.extent.start + (page_index - e.first_page));
 }
 
@@ -63,13 +59,9 @@ FsStatus XfsFs::EnsureExtentNodes(Inode& inode, MetaIo* io) {
   return FsStatus::kOk;
 }
 
-FsResult<BlockId> XfsFs::AllocatePage(InodeId ino, uint64_t page_index, MetaIo* io) {
-  Inode* inode = MutableInode(ino);
-  if (inode == nullptr) {
-    return FsResult<BlockId>::Error(FsStatus::kNotFound);
-  }
-  if (const std::optional<size_t> idx = FindExtent(*inode, page_index); idx.has_value()) {
-    const FileExtent& e = inode->extents[*idx];
+FsResult<BlockId> XfsFs::AllocatePageFor(Inode& inode, uint64_t page_index, MetaIo* io) {
+  if (const std::optional<size_t> idx = FindExtent(inode, page_index); idx.has_value()) {
+    const FileExtent& e = inode.extents[*idx];
     return FsResult<BlockId>::Ok(e.extent.start + (page_index - e.first_page));
   }
 
@@ -77,36 +69,36 @@ FsResult<BlockId> XfsFs::AllocatePage(InodeId ino, uint64_t page_index, MetaIo* 
   // extent's logical range?
   uint64_t max_count = kAllocChunk;
   const auto next = std::upper_bound(
-      inode->extents.begin(), inode->extents.end(), page_index,
+      inode.extents.begin(), inode.extents.end(), page_index,
       [](uint64_t p, const FileExtent& e) { return p < e.first_page; });
-  if (next != inode->extents.end()) {
+  if (next != inode.extents.end()) {
     max_count = std::min<uint64_t>(max_count, next->first_page - page_index);
   }
 
   // Appending right after an existing extent? Try to grow it in place.
   FileExtent* prev = nullptr;
-  if (next != inode->extents.begin()) {
+  if (next != inode.extents.begin()) {
     prev = &*(next - 1);
   }
   const bool appending = prev != nullptr && page_index == prev->first_page + prev->extent.count;
   const BlockId goal = appending ? prev->extent.start + prev->extent.count
                                  : (prev != nullptr ? prev->extent.start + prev->extent.count
-                                                    : GroupDataStart(inode->group));
+                                                    : GroupDataStart(inode.group));
 
   const std::optional<Extent> grabbed = alloc_.AllocateExtent(goal, 1, max_count);
   if (!grabbed.has_value()) {
     return FsResult<BlockId>::Error(FsStatus::kNoSpace);
   }
-  inode->allocated_blocks += grabbed->count;
+  inode.allocated_blocks += grabbed->count;
   io->AddMetaWrite(BlockBitmapBlock(alloc_.GroupOf(grabbed->start)));
-  io->AddMetaWrite(inode->itable_block);
+  io->AddMetaWrite(inode.itable_block);
 
   if (appending && grabbed->start == prev->extent.start + prev->extent.count) {
     prev->extent.count += grabbed->count;
   } else {
-    inode->extents.insert(next, FileExtent{page_index, *grabbed});
+    inode.extents.insert(next, FileExtent{page_index, *grabbed});
   }
-  const FsStatus nodes = EnsureExtentNodes(*inode, io);
+  const FsStatus nodes = EnsureExtentNodes(inode, io);
   if (nodes != FsStatus::kOk) {
     return FsResult<BlockId>::Error(nodes);
   }
@@ -114,7 +106,7 @@ FsResult<BlockId> XfsFs::AllocatePage(InodeId ino, uint64_t page_index, MetaIo* 
 }
 
 void XfsFs::ChargeDirLookup(const Inode& dir_inode, const Directory& dir,
-                            const std::string& name, std::optional<uint64_t> slot, MetaIo* io) {
+                            std::string_view name, std::optional<uint64_t> slot, MetaIo* io) {
   // Btree directory: a lookup reads the root block plus one leaf — negative
   // lookups included (the hash either finds its bucket or proves absence),
   // which is the structural advantage over ext2's full linear scan.
@@ -124,7 +116,7 @@ void XfsFs::ChargeDirLookup(const Inode& dir_inode, const Directory& dir,
     return;
   }
   auto charge_page = [&](uint64_t page) {
-    const FsResult<BlockId> mapping = MapPage(dir_inode.ino, page, io);
+    const FsResult<BlockId> mapping = MapPageFor(dir_inode, page, io);
     if (mapping.ok() && mapping.value != kInvalidBlock) {
       io->reads.push_back({dir_inode.ino, page, mapping.value});
     }
@@ -133,9 +125,12 @@ void XfsFs::ChargeDirLookup(const Inode& dir_inode, const Directory& dir,
   if (total_blocks == 1) {
     return;
   }
+  // std::hash<string_view> is required to agree with std::hash<string> for
+  // equal contents, so the modelled leaf choice is unchanged by the
+  // string_view migration.
   const uint64_t leaf = slot.has_value()
                             ? *slot / epb
-                            : std::hash<std::string>{}(name) % total_blocks;
+                            : std::hash<std::string_view>{}(name) % total_blocks;
   if (leaf != 0) {
     charge_page(leaf);
   }

@@ -8,7 +8,7 @@
 #define SRC_SIM_XFSFS_H_
 
 #include <optional>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/sim/filesystem.h"
@@ -21,9 +21,6 @@ class XfsFs : public FileSystem {
 
   const char* name() const override { return "xfs"; }
   FsKind kind() const override { return FsKind::kXfs; }
-
-  FsResult<BlockId> MapPage(InodeId ino, uint64_t page_index, MetaIo* io) override;
-  FsResult<BlockId> AllocatePage(InodeId ino, uint64_t page_index, MetaIo* io) override;
 
   ReadaheadConfig readahead_config() const override {
     // Aggressive: larger sequential window and a bigger read-around cluster.
@@ -41,7 +38,9 @@ class XfsFs : public FileSystem {
   static constexpr uint64_t kAllocChunk = 16;
 
  protected:
-  void ChargeDirLookup(const Inode& dir_inode, const Directory& dir, const std::string& name,
+  FsResult<BlockId> MapPageFor(const Inode& inode, uint64_t page_index, MetaIo* io) override;
+  FsResult<BlockId> AllocatePageFor(Inode& inode, uint64_t page_index, MetaIo* io) override;
+  void ChargeDirLookup(const Inode& dir_inode, const Directory& dir, std::string_view name,
                        std::optional<uint64_t> slot, MetaIo* io) override;
   void FreeAllBlocks(Inode& inode, MetaIo* io) override;
   void FreePagesFrom(Inode& inode, uint64_t first_page, MetaIo* io) override;

@@ -1,0 +1,79 @@
+#include "src/sim/small_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace fsbench {
+namespace {
+
+TEST(SmallVecTest, InlineThenSpill) {
+  SmallVec<int, 4> vec;
+  EXPECT_TRUE(vec.empty());
+  for (int i = 0; i < 10; ++i) {
+    vec.push_back(i);
+  }
+  EXPECT_EQ(vec.size(), 10u);
+  for (uint32_t i = 0; i < vec.size(); ++i) {
+    EXPECT_EQ(vec[i], static_cast<int>(i));
+  }
+  EXPECT_EQ(vec.back(), 9);
+}
+
+TEST(SmallVecTest, IterationCrossesTheInlineBoundary) {
+  SmallVec<int, 3> vec;
+  for (int i = 1; i <= 7; ++i) {
+    vec.push_back(i);
+  }
+  int sum = 0;
+  for (const int v : vec) {
+    sum += v;
+  }
+  EXPECT_EQ(sum, 28);
+}
+
+TEST(SmallVecTest, ClearRetainsWarmCapacity) {
+  SmallVec<int, 2> vec;
+  for (int i = 0; i < 50; ++i) {
+    vec.push_back(i);
+  }
+  EXPECT_EQ(vec.warm_capacity(), 50u);
+  vec.clear();
+  EXPECT_TRUE(vec.empty());
+  EXPECT_EQ(vec.warm_capacity(), 50u);  // spill storage kept for reuse
+  for (int i = 0; i < 50; ++i) {
+    vec.push_back(100 + i);
+  }
+  EXPECT_EQ(vec.warm_capacity(), 50u);  // refill allocated nothing new
+  EXPECT_EQ(vec[0], 100);
+  EXPECT_EQ(vec[49], 149);
+}
+
+TEST(SmallVecTest, CopyPreservesContents) {
+  SmallVec<int, 2> vec;
+  for (int i = 0; i < 6; ++i) {
+    vec.push_back(i * i);
+  }
+  const SmallVec<int, 2> copy = vec;
+  vec.clear();
+  ASSERT_EQ(copy.size(), 6u);
+  for (uint32_t i = 0; i < copy.size(); ++i) {
+    EXPECT_EQ(copy[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(SmallVecTest, MutableIndexing) {
+  SmallVec<int, 2> vec;
+  vec.push_back(1);
+  vec.push_back(2);
+  vec.push_back(3);  // spilled
+  vec[0] = 10;
+  vec[2] = 30;
+  EXPECT_EQ(vec[0], 10);
+  EXPECT_EQ(vec[1], 2);
+  EXPECT_EQ(vec[2], 30);
+}
+
+}  // namespace
+}  // namespace fsbench

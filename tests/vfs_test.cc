@@ -163,17 +163,154 @@ TEST(VfsTest, PartialOverwriteTriggersReadModifyWrite) {
   EXPECT_GT(f.vfs->stats().demand_requests, demand_before);
 }
 
-TEST(VfsTest, FsyncCleansDirtyPagesAndWaits) {
+TEST(VfsTest, FsyncCleansTheFilesDirtyPagesAndWaits) {
   VfsFixture f(FsKind::kExt3);
   const auto fd = f.vfs->Open("/file", true);
   ASSERT_TRUE(fd.ok());
   ASSERT_TRUE(f.vfs->Write(fd.value, 0, 64 * kKiB).ok());
   ASSERT_GT(f.vfs->cache().dirty_count(), 0u);
+  const size_t dirty_before = f.vfs->cache().dirty_count();
   const Nanos before = f.clock.now();
   ASSERT_EQ(f.vfs->Fsync(fd.value), FsStatus::kOk);
-  EXPECT_EQ(f.vfs->cache().dirty_count(), 0u);
+  // Per-file writeback: the file's 16 data pages plus its own metadata (one
+  // inode-table block, one single-indirect block for pages 12-15) are
+  // written; *shared* dirty metadata (bitmaps, the parent dirent block)
+  // stays behind for the journal commit and background writeback.
+  EXPECT_EQ(f.vfs->cache().dirty_count(), dirty_before - 18);
+  EXPECT_EQ(f.vfs->stats().writeback_pages, 18u);
   EXPECT_GT(f.clock.now(), before);
   EXPECT_GE(f.fs->journal()->stats().sync_commits, 1u);
+  // A second fsync of the now-clean file writes nothing further back.
+  ASSERT_EQ(f.vfs->Fsync(fd.value), FsStatus::kOk);
+  EXPECT_EQ(f.vfs->stats().writeback_pages, 18u);
+}
+
+TEST(VfsTest, FsyncWritesBackOnlyThisFile) {
+  VfsFixture f;
+  const auto fd_a = f.vfs->Open("/a", true);
+  const auto fd_b = f.vfs->Open("/b", true);
+  ASSERT_TRUE(fd_a.ok());
+  ASSERT_TRUE(fd_b.ok());
+  ASSERT_TRUE(f.vfs->Write(fd_a.value, 0, 16 * kKiB).ok());
+  ASSERT_TRUE(f.vfs->Write(fd_b.value, 0, 32 * kKiB).ok());
+  const size_t dirty_before = f.vfs->cache().dirty_count();
+  ASSERT_EQ(f.vfs->Fsync(fd_a.value), FsStatus::kOk);
+  // /a's 4 data pages plus the inode-table block (which both small files
+  // share) were taken; /b's 8 data pages and the other metadata stay dirty.
+  EXPECT_EQ(f.vfs->stats().writeback_pages, 5u);
+  EXPECT_EQ(f.vfs->cache().dirty_count(), dirty_before - 5);
+  // /b is still fully dirty: its fsync writes its 8 pages (the shared
+  // inode-table block is already clean).
+  ASSERT_EQ(f.vfs->Fsync(fd_b.value), FsStatus::kOk);
+  EXPECT_EQ(f.vfs->stats().writeback_pages, 13u);
+}
+
+TEST(VfsTest, FsyncOfCleanFileWritesNothing) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->MakeFile("/clean", 16 * kKiB), FsStatus::kOk);
+  ASSERT_EQ(f.vfs->PrewarmFile("/clean"), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/clean");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(f.vfs->Read(fd.value, 0, 16 * kKiB).ok());
+  ASSERT_EQ(f.vfs->Fsync(fd.value), FsStatus::kOk);
+  EXPECT_EQ(f.vfs->stats().writeback_pages, 0u);
+}
+
+TEST(VfsTest, FsyncStillWaitsForOutstandingIoAndCommitsJournal) {
+  VfsFixture f(FsKind::kExt3);
+  const auto fd = f.vfs->Open("/j", true);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(f.vfs->Write(fd.value, 0, 8 * kKiB).ok());
+  ASSERT_EQ(f.vfs->Fsync(fd.value), FsStatus::kOk);
+  EXPECT_GE(f.fs->journal()->stats().sync_commits, 1u);
+  // The scheduler is idle once fsync returns: its queue drained.
+  EXPECT_EQ(f.scheduler.pending_async(), 0u);
+}
+
+TEST(VfsTest, ReadaheadWindowAnchorsAtBatchStart) {
+  // Fixed 8-page windows; a 4-page cold read coalesces into one demand batch
+  // for pages 0-3, so the window decided at page 0 covers [1, 8] and only
+  // pages 4-8 are left to prefetch. (The old pipeline issued the window from
+  // the batch's last page, skewing it to [4, 11].)
+  VfsConfig config;
+  config.readahead_override = ReadaheadConfig{ReadaheadKind::kFixed, /*fixed_pages=*/8, 0, 0, 0};
+  VfsFixture f(FsKind::kExt2, config);
+  ASSERT_EQ(f.vfs->MakeFile("/ra", 64 * 4 * kKiB), FsStatus::kOk);
+  const auto fd = f.vfs->Open("/ra");
+  ASSERT_TRUE(fd.ok());
+  const InodeId ino = f.vfs->Stat("/ra").value.ino;
+  ASSERT_TRUE(f.vfs->Read(fd.value, 0, 4 * 4 * kKiB).ok());
+  EXPECT_EQ(f.vfs->stats().readahead_pages, 5u);  // pages 4..8
+  EXPECT_TRUE(f.vfs->cache().Contains(PageKey{ino, 8}));
+  EXPECT_FALSE(f.vfs->cache().Contains(PageKey{ino, 9}));
+  EXPECT_FALSE(f.vfs->cache().Contains(PageKey{ino, 11}));
+}
+
+TEST(VfsTest, PathsWithRepeatedAndTrailingSlashesCollapse) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->Mkdir("/a"), FsStatus::kOk);
+  ASSERT_EQ(f.vfs->Mkdir("//a//b/"), FsStatus::kOk);
+  ASSERT_EQ(f.vfs->CreateFile("/a/b/c"), FsStatus::kOk);
+  EXPECT_TRUE(f.vfs->Stat("//a//b//c").ok());
+  EXPECT_TRUE(f.vfs->Stat("/a/b/c/").ok());
+  const auto entries = f.vfs->ReadDir("//a/b/");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value.size(), 1u);
+  EXPECT_EQ(entries.value[0], "c");
+}
+
+TEST(VfsTest, TrailingSlashOnCreatePathNamesTheLeaf) {
+  VfsFixture f;
+  // The cursor collapses the trailing slash, so the leaf is "x".
+  ASSERT_EQ(f.vfs->CreateFile("/x/"), FsStatus::kOk);
+  EXPECT_TRUE(f.vfs->Stat("/x").ok());
+  const auto fd = f.vfs->Open("/y/", /*create=*/true);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(f.vfs->Stat("/y").ok());
+}
+
+TEST(VfsTest, RootPathResolvesToRootDirectory) {
+  VfsFixture f;
+  const auto attr = f.vfs->Stat("/");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value.ino, kRootInode);
+  EXPECT_EQ(attr.value.type, FileType::kDirectory);
+  // There is no parent to create the root under.
+  EXPECT_EQ(f.vfs->CreateFile("/"), FsStatus::kInvalid);
+  EXPECT_EQ(f.vfs->Mkdir("/"), FsStatus::kInvalid);
+  EXPECT_EQ(f.vfs->Unlink("/"), FsStatus::kInvalid);
+  // Opening the root itself works (directories are openable handles here).
+  EXPECT_TRUE(f.vfs->Open("/").ok());
+}
+
+TEST(VfsTest, ResolveThroughFileFailsWithNotDir) {
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->CreateFile("/plain"), FsStatus::kOk);
+  EXPECT_EQ(f.vfs->Stat("/plain/child").status, FsStatus::kNotDir);
+  EXPECT_EQ(f.vfs->Open("/plain/child", /*create=*/true).status, FsStatus::kNotDir);
+  EXPECT_EQ(f.vfs->CreateFile("/plain/child"), FsStatus::kNotDir);
+}
+
+TEST(VfsTest, CreateUnderMissingIntermediateFailsEvenWithCreateFlag) {
+  VfsFixture f;
+  EXPECT_EQ(f.vfs->Open("/no/such/dir/file", /*create=*/true).status, FsStatus::kNotFound);
+  EXPECT_EQ(f.vfs->Stat("/no/such/dir/file").status, FsStatus::kNotFound);
+}
+
+TEST(VfsTest, OpenCreateResolvesParentInSingleWalk) {
+  // A create-open under a warm directory touches only cached meta pages: no
+  // disk reads beyond what the negative scan plus create writes need, and
+  // the leaf's parent comes out of the same walk that missed the leaf.
+  VfsFixture f;
+  ASSERT_EQ(f.vfs->Mkdir("/warm"), FsStatus::kOk);
+  ASSERT_EQ(f.vfs->CreateFile("/warm/seed"), FsStatus::kOk);
+  ASSERT_TRUE(f.vfs->Stat("/warm/seed").ok());  // warm the dir meta pages
+  const uint64_t demand_before = f.vfs->stats().demand_requests;
+  const auto fd = f.vfs->Open("/warm/fresh", /*create=*/true);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(f.vfs->stats().creates, 2u);
+  EXPECT_EQ(f.vfs->stats().demand_requests, demand_before);
+  EXPECT_TRUE(f.vfs->Stat("/warm/fresh").ok());
 }
 
 TEST(VfsTest, UnlinkInvalidatesCachedPages) {
