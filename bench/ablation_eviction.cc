@@ -21,7 +21,7 @@ int Run(const BenchArgs& args) {
 
   NanoSuiteConfig config;
   config.runs = 3;
-  config.duration = args.paper_scale ? 20 * kSecond : 5 * kSecond;
+  config.duration = BenchDuration(args, 5 * kSecond, 20 * kSecond, kSecond);
   config.base_seed = args.seed;
   NanoSuite suite(config);
 

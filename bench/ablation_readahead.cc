@@ -40,7 +40,7 @@ int Run(const BenchArgs& args) {
       {"fixed-16", {ReadaheadKind::kFixed, 16, 0, 0, 0}},
   };
 
-  const Nanos duration = args.paper_scale ? 120 * kSecond : 30 * kSecond;
+  const Nanos duration = BenchDuration(args, 30 * kSecond, 120 * kSecond, 5 * kSecond);
 
   AsciiTable table;
   table.SetHeader({"readahead", "warm-up fill MiB/s", "random ops/s (cold)",

@@ -1,6 +1,7 @@
 // Shared helpers for the bench binaries: the paper-testbed machine factory
 // and a tiny flag parser (--paper-scale stretches durations to the paper's
-// originals; --seed overrides the base seed).
+// originals; --smoke shrinks them to a seconds-long CI smoke run; --seed
+// overrides the base seed).
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
@@ -17,6 +18,7 @@ namespace fsbench {
 
 struct BenchArgs {
   bool paper_scale = false;
+  bool smoke = false;  // CI smoke mode: shortest durations that still run every phase
   uint64_t seed = 1;
 };
 
@@ -25,14 +27,27 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--paper-scale") == 0) {
       args.paper_scale = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+      args.paper_scale = false;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--paper-scale] [--seed=N]\n", argv[0]);
+      std::printf("usage: %s [--paper-scale] [--smoke] [--seed=N]\n", argv[0]);
       std::exit(0);
     }
   }
   return args;
+}
+
+// Duration helper honouring the three scales. Benches with a single main
+// duration knob call this; benches with bespoke loops scale by args.smoke
+// themselves.
+inline Nanos BenchDuration(const BenchArgs& args, Nanos normal, Nanos paper, Nanos smoke) {
+  if (args.smoke) {
+    return smoke;
+  }
+  return args.paper_scale ? paper : normal;
 }
 
 inline MachineFactory PaperMachine(FsKind kind = FsKind::kExt2,

@@ -72,7 +72,7 @@ int Run(const BenchArgs& args) {
   const EvictionPolicyKind kinds[] = {EvictionPolicyKind::kLru, EvictionPolicyKind::kClock,
                                       EvictionPolicyKind::kTwoQueue, EvictionPolicyKind::kArc};
   const size_t capacities[] = {1024, 16384, 104960};
-  const uint64_t ops = args.paper_scale ? 8'000'000 : 2'000'000;
+  const uint64_t ops = args.smoke ? 500'000 : (args.paper_scale ? 8'000'000 : 2'000'000);
 
   std::vector<CacheBenchResult> results;
   AsciiTable table;

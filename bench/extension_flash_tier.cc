@@ -28,8 +28,8 @@ int Run(const BenchArgs& args) {
   };
 
   ExperimentConfig config;
-  config.runs = args.paper_scale ? 10 : 5;
-  config.duration = args.paper_scale ? 30 * kSecond : 8 * kSecond;
+  config.runs = args.smoke ? 2 : (args.paper_scale ? 10 : 5);
+  config.duration = BenchDuration(args, 8 * kSecond, 30 * kSecond, 2 * kSecond);
   config.prewarm = true;
 
   std::vector<SweepRow> rows;

@@ -67,7 +67,7 @@ int Run(const BenchArgs& args) {
   PrintHeader("Extension: load scaling - K interleaved streams, two regimes",
               "Table 1 'Scaling' dimension; Andrew benchmark's original intent");
 
-  const Nanos duration = args.paper_scale ? 30 * kSecond : 8 * kSecond;
+  const Nanos duration = BenchDuration(args, 8 * kSecond, 30 * kSecond, 2 * kSecond);
   AsciiTable table;
   table.SetHeader({"streams", "disk-bound ops/s", "vs K=1 %", "cache-bound ops/s",
                    "vs K=1 %"});

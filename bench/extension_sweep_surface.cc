@@ -24,8 +24,8 @@ int Run(const BenchArgs& args) {
   SweepMatrix matrix("file MiB", file_mib, "io KiB", io_kib);
 
   ExperimentConfig config;
-  config.runs = args.paper_scale ? 10 : 5;
-  config.duration = args.paper_scale ? 20 * kSecond : 6 * kSecond;
+  config.runs = args.smoke ? 2 : (args.paper_scale ? 10 : 5);
+  config.duration = BenchDuration(args, 6 * kSecond, 20 * kSecond, 2 * kSecond);
   config.prewarm = true;
   config.base_seed = args.seed;
 

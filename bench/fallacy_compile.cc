@@ -24,8 +24,8 @@ int Run(const BenchArgs& args) {
               "section 1 (kernel build is CPU-bound); Table 1 compile rows");
 
   ExperimentConfig config;
-  config.runs = args.paper_scale ? 10 : 6;
-  config.duration = args.paper_scale ? 120 * kSecond : 60 * kSecond;
+  config.runs = args.smoke ? 2 : (args.paper_scale ? 10 : 6);
+  config.duration = BenchDuration(args, 60 * kSecond, 120 * kSecond, 10 * kSecond);
   config.framework_overhead = 0;  // "make" has no benchmark framework
   config.base_seed = args.seed;
   const WorkloadFactory compile = [] {

@@ -19,7 +19,7 @@ int Run(const BenchArgs& args) {
 
   ExperimentConfig config;
   config.runs = 10;
-  config.duration = args.paper_scale ? 60 * kSecond : 10 * kSecond;
+  config.duration = BenchDuration(args, 10 * kSecond, 60 * kSecond, 2 * kSecond);
   config.prewarm = true;
   config.base_seed = args.seed;
 

@@ -26,7 +26,7 @@ int Run(const BenchArgs& args) {
   const auto metric = [&](double file_mib) {
     ExperimentConfig config;
     config.runs = 1;
-    config.duration = args.paper_scale ? 30 * kSecond : 5 * kSecond;
+    config.duration = BenchDuration(args, 5 * kSecond, 30 * kSecond, kSecond);
     config.prewarm = true;
     config.base_seed = args.seed;
     MachineConfig machine_config = fixed;
@@ -52,7 +52,7 @@ int Run(const BenchArgs& args) {
   std::printf("Part B: relative stddev across 10 jittered runs per point\n");
   ExperimentConfig config;
   config.runs = 10;
-  config.duration = args.paper_scale ? 30 * kSecond : 5 * kSecond;
+  config.duration = BenchDuration(args, 5 * kSecond, 30 * kSecond, kSecond);
   config.prewarm = true;
   config.base_seed = args.seed;
   std::vector<SweepRow> rows;

@@ -19,7 +19,7 @@ int Run(const BenchArgs& args) {
               "Fig. 2 (paper: disk-bound start, divergent warm-up 4-13 min, "
               "common memory-speed plateau)");
 
-  const Nanos duration = args.paper_scale ? 1200 * kSecond : 1080 * kSecond;
+  const Nanos duration = BenchDuration(args, 1080 * kSecond, 1200 * kSecond, 120 * kSecond);
   const Nanos interval = args.paper_scale ? 10 * kSecond : 30 * kSecond;
 
   std::vector<std::string> names;

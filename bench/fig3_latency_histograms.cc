@@ -29,7 +29,7 @@ int Run(const BenchArgs& args) {
   for (const Case& c : cases) {
     ExperimentConfig config;
     config.runs = 1;
-    config.duration = args.paper_scale ? 120 * kSecond : 30 * kSecond;
+    config.duration = BenchDuration(args, 30 * kSecond, 120 * kSecond, 5 * kSecond);
     config.prewarm = true;
     config.base_seed = args.seed;
     const ExperimentResult result =

@@ -19,7 +19,7 @@ int Run(const BenchArgs& args) {
 
   ExperimentConfig config;
   config.runs = 1;
-  config.duration = args.paper_scale ? 480 * kSecond : 420 * kSecond;
+  config.duration = BenchDuration(args, 420 * kSecond, 480 * kSecond, 60 * kSecond);
   config.histogram_slice = 20 * kSecond;
   config.base_seed = args.seed;
   const ExperimentResult result =

@@ -1,0 +1,161 @@
+// Thread-scaling sweep over the event-driven multi-thread engine.
+//
+// The paper's central complaint is that single-number benchmark results hide
+// queueing and contention; real file-system benchmarks are multi-threaded
+// (Filebench's nthreads, Postmark pools, SPECsfs load generators). This
+// bench sweeps simulated thread count over two regimes and reports the
+// whole scaling curve:
+//   - disk-bound postmark (working set >> page cache): threads contend on
+//     the shared device timeline, so aggregate throughput scales
+//     sub-linearly and per-op latency inflates with queueing delay;
+//   - cache-resident metadata mix: no device contention, so the aggregate
+//     scales almost linearly and latency stays flat.
+// Results are virtual-time quantities — deterministic per seed — written to
+// BENCH_mt.json so the contention model's trajectory is tracked PR-over-PR.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/workloads/metadata_mix.h"
+#include "src/core/workloads/postmark_like.h"
+#include "src/util/ascii.h"
+
+namespace fsbench {
+namespace {
+
+struct ScalePoint {
+  const char* workload;
+  int threads;
+  double agg_ops_per_sec;
+  double speedup_vs_1;
+  double mean_latency_us;
+  double sync_queue_delay_ms;  // total cross-thread device queueing delay
+  size_t max_queue_depth;
+};
+
+// Disk-bound regime: the paper-testbed machine with RAM cut to ~120 MiB so
+// an N-thread postmark working set (N x ~7 MiB) spills out of the page
+// cache as the thread count grows.
+MachineFactory DiskBoundMachine() {
+  return [](uint64_t seed) {
+    MachineConfig config = PaperTestbedConfig();
+    config.ram = 120 * kMiB;
+    config.seed = seed;
+    return std::make_unique<Machine>(FsKind::kExt2, config);
+  };
+}
+
+ScalePoint RunPoint(const char* name, const MachineFactory& machine,
+                    const ThreadedWorkloadFactory& workload, int threads, int runs,
+                    Nanos duration, uint64_t seed) {
+  ExperimentConfig config;
+  config.runs = runs;
+  config.duration = duration;
+  config.threads = threads;
+  config.base_seed = seed;
+  Experiment experiment(config);
+  const ExperimentResult result = experiment.Run(machine, workload);
+
+  ScalePoint point;
+  point.workload = name;
+  point.threads = threads;
+  point.agg_ops_per_sec = result.throughput.mean;
+  point.speedup_vs_1 = 0.0;  // filled by the caller
+  point.mean_latency_us = result.mean_latency_ns.mean / 1000.0;
+  const RunResult& rep = result.representative();
+  point.sync_queue_delay_ms =
+      static_cast<double>(rep.scheduler_stats.total_sync_queue_delay) / kMillisecond;
+  point.max_queue_depth = rep.scheduler_stats.max_queue_depth;
+  if (!result.AllOk()) {
+    std::fprintf(stderr, "WARNING: %s threads=%d had failing runs\n", name, threads);
+  }
+  return point;
+}
+
+int Run(const BenchArgs& args) {
+  PrintHeader("Thread scaling: event-driven engine, outstanding-I/O contention",
+              "multi-threaded workloads discussion (section 2; Table 1 'scaling' dimension)");
+
+  const Nanos duration = BenchDuration(args, 8 * kSecond, 20 * kSecond, kSecond);
+  const int runs = args.smoke ? 1 : 3;
+  const std::vector<int> thread_counts{1, 2, 4, 8, 16};
+
+  // Per-thread working set ~29 MiB against a 16-24 MiB page cache: disk-
+  // bound from N=1, so the curve isolates device queueing rather than the
+  // cache-to-disk regime cliff (fig1_filesize_sweep covers that boundary).
+  PostmarkConfig pm;
+  pm.initial_files = 900;
+  pm.min_size = 512;
+  pm.max_size = 64 * kKiB;
+
+  MetadataMixConfig mm;
+  mm.dirs = 8;
+  mm.files_per_dir = 64;
+
+  std::vector<ScalePoint> points;
+  AsciiTable table;
+  table.SetHeader({"workload", "threads", "agg ops/s", "speedup", "latency us", "queue depth",
+                   "queue delay ms"});
+  struct Sweep {
+    const char* name;
+    MachineFactory machine;
+    ThreadedWorkloadFactory workload;
+  };
+  const Sweep sweeps[] = {
+      {"postmark_disk", DiskBoundMachine(), MtPostmarkFactory(pm)},
+      {"metadata_cached", PaperMachine(), MtMetadataMixFactory(mm)},
+  };
+  for (const Sweep& sweep : sweeps) {
+    double base = 0.0;
+    for (const int threads : thread_counts) {
+      ScalePoint point =
+          RunPoint(sweep.name, sweep.machine, sweep.workload, threads, runs, duration, args.seed);
+      if (threads == 1) {
+        base = point.agg_ops_per_sec;
+      }
+      point.speedup_vs_1 = base > 0.0 ? point.agg_ops_per_sec / base : 0.0;
+      table.AddRow({point.workload, std::to_string(point.threads),
+                    FormatDouble(point.agg_ops_per_sec, 0), FormatDouble(point.speedup_vs_1, 2),
+                    FormatDouble(point.mean_latency_us, 1), std::to_string(point.max_queue_depth),
+                    FormatDouble(point.sync_queue_delay_ms, 1)});
+      points.push_back(point);
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "reading: disk-bound threads queue against one device timeline, so the\n"
+      "aggregate scales sub-linearly while queue depth and per-op latency grow;\n"
+      "the cache-resident mix never touches the device and scales ~linearly.\n"
+      "A single-thread-count result reports neither effect.\n");
+
+  const char* path = "BENCH_mt.json";
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": 1,\n  \"bench\": \"mt_scaling\",\n  \"seed\": %llu,\n"
+                    "  \"results\": [\n",
+               static_cast<unsigned long long>(args.seed));
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"workload\": \"%s\", \"threads\": %d, \"agg_ops_per_sec\": %.3f, "
+                 "\"speedup_vs_1\": %.4f, \"mean_latency_us\": %.3f, "
+                 "\"max_queue_depth\": %zu, \"sync_queue_delay_ms\": %.3f}%s\n",
+                 p.workload, p.threads, p.agg_ops_per_sec, p.speedup_vs_1, p.mean_latency_us,
+                 p.max_queue_depth, p.sync_queue_delay_ms, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fsbench
+
+int main(int argc, char** argv) {
+  return fsbench::Run(fsbench::ParseBenchArgs(argc, argv));
+}

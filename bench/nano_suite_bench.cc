@@ -19,8 +19,8 @@ int Run(const BenchArgs& args) {
               "section 4 (conclusions: dimension-isolating nano-benchmarks)");
 
   NanoSuiteConfig config;
-  config.runs = args.paper_scale ? 5 : 2;
-  config.duration = args.paper_scale ? 10 * kSecond : 3 * kSecond;
+  config.runs = args.smoke ? 1 : (args.paper_scale ? 5 : 2);
+  config.duration = BenchDuration(args, 3 * kSecond, 10 * kSecond, kSecond);
   config.base_seed = args.seed;
   NanoSuite suite(config);
 

@@ -2,7 +2,19 @@
 
 #include <cassert>
 
+#include "src/core/sim_engine.h"
+
 namespace fsbench {
+
+namespace {
+
+// Per-thread RNG seed: thread 0 reproduces the historical single-threaded
+// context seed bit-for-bit; later threads step by the golden-ratio constant.
+uint64_t ThreadSeed(uint64_t run_seed, int thread) {
+  return (run_seed ^ 0x9e3779b97f4a7c15ULL) + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(thread);
+}
+
+}  // namespace
 
 std::vector<double> ExperimentResult::ThroughputSamples() const {
   std::vector<double> samples;
@@ -25,59 +37,43 @@ bool ExperimentResult::AllOk() const {
 }
 
 RunResult Experiment::RunOnce(const MachineFactory& machine_factory,
-                              const WorkloadFactory& workload_factory, uint64_t seed) const {
+                              const ThreadedWorkloadFactory& workload_factory,
+                              uint64_t seed) const {
   RunResult result;
   std::unique_ptr<Machine> machine = machine_factory(seed);
-  std::unique_ptr<Workload> workload = workload_factory();
-  WorkloadContext ctx(machine.get(), seed ^ 0x9e3779b97f4a7c15ULL);
 
-  const FsStatus setup = workload->Setup(ctx);
-  if (setup != FsStatus::kOk) {
-    result.error = setup;
+  SimEngineConfig engine_config;
+  engine_config.duration = config_.duration;
+  engine_config.warmup = config_.warmup;
+  engine_config.framework_overhead = config_.framework_overhead;
+  engine_config.max_ops = config_.max_ops;
+  engine_config.prewarm = config_.prewarm;
+  SimEngine engine(machine.get(), engine_config);
+  for (int thread = 0; thread < config_.threads; ++thread) {
+    engine.AddThread(workload_factory(thread), ThreadSeed(seed, thread));
+  }
+
+  const FsStatus prepared = engine.Prepare();
+  if (prepared != FsStatus::kOk) {
+    result.error = prepared;
     return result;
   }
-  if (config_.prewarm) {
-    const FsStatus prewarm = workload->Prewarm(ctx);
-    if (prewarm != FsStatus::kOk) {
-      result.error = prewarm;
-      return result;
-    }
-  }
-
-  VirtualClock& clock = machine->clock();
-  const Nanos measure_from = clock.now() + config_.warmup;
-  const Nanos end = measure_from + config_.duration;
 
   MetricsConfig metrics_config;
   metrics_config.timeline_interval = config_.timeline_interval;
   metrics_config.histogram_slice = config_.histogram_slice;
-  metrics_config.origin = measure_from;
+  metrics_config.origin = machine->clock().now() + config_.warmup;
   MetricsCollector metrics(metrics_config);
 
-  const double cpu_multiplier = machine->vfs().config().cpu_cost_multiplier;
-  const auto overhead = static_cast<Nanos>(
-      static_cast<double>(config_.framework_overhead) * cpu_multiplier);
-
-  uint64_t ops = 0;
-  while (clock.now() < end) {
-    if (config_.max_ops != 0 && ops >= config_.max_ops) {
-      break;
-    }
-    const Nanos start = clock.now();
-    const FsResult<OpType> op = workload->Step(ctx);
-    if (!op.ok()) {
-      result.error = op.status;
-      return result;
-    }
-    const Nanos latency = clock.now() - start;
-    metrics.Record(op.value, start, latency);
-    clock.Advance(overhead);
-    ++ops;
+  const SimEngineResult engine_result = engine.Run(&metrics);
+  if (!engine_result.ok) {
+    result.error = engine_result.error;
+    return result;
   }
 
   result.ok = true;
   result.ops = metrics.total_ops();
-  result.measured_duration = clock.now() - measure_from;
+  result.measured_duration = engine_result.end_time - engine_result.measure_from;
   result.ops_per_second = result.measured_duration > 0
                               ? static_cast<double>(result.ops) /
                                     ToSeconds(result.measured_duration)
@@ -91,11 +87,19 @@ RunResult Experiment::RunOnce(const MachineFactory& machine_factory,
   result.cache_hit_ratio = machine->vfs().DataHitRatio();
   result.vfs_stats = machine->vfs().stats();
   result.disk_stats = machine->disk().stats();
+  result.scheduler_stats = machine->scheduler().stats();
+  result.per_thread_ops = engine_result.per_thread_ops;
   return result;
 }
 
 ExperimentResult Experiment::Run(const MachineFactory& machine_factory,
                                  const WorkloadFactory& workload_factory) const {
+  return Run(machine_factory,
+             [&workload_factory](int /*thread*/) { return workload_factory(); });
+}
+
+ExperimentResult Experiment::Run(const MachineFactory& machine_factory,
+                                 const ThreadedWorkloadFactory& workload_factory) const {
   assert(config_.runs > 0);
   ExperimentResult result;
   std::vector<double> throughputs;

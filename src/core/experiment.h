@@ -7,6 +7,12 @@
 // timeline, histogram timeline, cache/disk counters — so reports can show
 // the whole graph rather than a single number.
 //
+// Each run drives `config.threads` simulated workload threads through the
+// event-driven SimEngine: per-thread clock cursors interleaved smallest-
+// local-time-first over the shared device, so multi-threaded configurations
+// expose queueing and contention while threads=1 reproduces the classic
+// single-threaded loop exactly (see src/core/sim_engine.h).
+//
 // The optional per-op framework overhead models Filebench's own cost: the
 // paper's throughput numbers include it while its latency histograms do
 // not, and fsbench reproduces that split (overhead advances the clock
@@ -39,8 +45,10 @@ struct ExperimentConfig {
   Nanos histogram_slice = 20 * kSecond;
   bool prewarm = false;
   uint64_t base_seed = 1;
-  // Safety cap on operations per run (0 = none).
+  // Safety cap on operations per run, totalled across threads (0 = none).
   uint64_t max_ops = 0;
+  // Simulated workload threads per run (engine stays single-host-threaded).
+  int threads = 1;
 };
 
 struct RunResult {
@@ -58,6 +66,9 @@ struct RunResult {
   double cache_hit_ratio = 0.0;
   VfsStats vfs_stats;
   DiskStats disk_stats;
+  IoSchedulerStats scheduler_stats;
+  // Per-simulated-thread operation counts (size == config.threads).
+  std::vector<uint64_t> per_thread_ops;
 };
 
 struct ExperimentResult {
@@ -77,14 +88,22 @@ class Experiment {
   explicit Experiment(const ExperimentConfig& config) : config_(config) {}
 
   // Runs `workload_factory()` once per run against `machine_factory(seed)`.
+  // With config.threads > 1 every thread gets its own instance from the same
+  // factory — appropriate only for workloads whose instances do not collide
+  // in the namespace; use the threaded overload otherwise.
   ExperimentResult Run(const MachineFactory& machine_factory,
                        const WorkloadFactory& workload_factory) const;
+
+  // Threaded form: `workload_factory(t)` builds simulated thread t's
+  // workload (see MtPostmarkFactory / MtMetadataMixFactory).
+  ExperimentResult Run(const MachineFactory& machine_factory,
+                       const ThreadedWorkloadFactory& workload_factory) const;
 
   const ExperimentConfig& config() const { return config_; }
 
  private:
   RunResult RunOnce(const MachineFactory& machine_factory,
-                    const WorkloadFactory& workload_factory, uint64_t seed) const;
+                    const ThreadedWorkloadFactory& workload_factory, uint64_t seed) const;
 
   ExperimentConfig config_;
 };

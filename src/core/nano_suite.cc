@@ -32,8 +32,8 @@ NanoResult NanoSuite::IoSequentialBandwidth(const MachineFactory& factory) const
     const uint64_t total_requests = config_.io_span / (kSectors * 512);
     const Nanos t0 = clock.now();
     for (uint64_t i = 0; i < total_requests; ++i) {
-      const auto done =
-          scheduler.SubmitSync(IoRequest{IoKind::kRead, start_lba + i * kSectors, kSectors});
+      const auto done = scheduler.SubmitSync(
+          IoRequest{IoKind::kRead, start_lba + i * kSectors, kSectors}, clock.now());
       if (done.has_value()) {
         clock.AdvanceTo(*done);
       }
@@ -59,7 +59,7 @@ NanoResult NanoSuite::IoRandomReadLatency(const MachineFactory& factory) const {
     while (clock.now() < end) {
       const uint64_t lba = base + (rng.NextBelow(span_sectors / 8)) * 8;
       const Nanos t0 = clock.now();
-      const auto done = scheduler.SubmitSync(IoRequest{IoKind::kRead, lba, 8});
+      const auto done = scheduler.SubmitSync(IoRequest{IoKind::kRead, lba, 8}, clock.now());
       if (done.has_value()) {
         clock.AdvanceTo(*done);
       }

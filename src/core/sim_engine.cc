@@ -1,0 +1,116 @@
+#include "src/core/sim_engine.h"
+
+#include <algorithm>
+
+namespace fsbench {
+
+SimEngine::SimEngine(Machine* machine, const SimEngineConfig& config)
+    : machine_(machine), config_(config) {}
+
+SimEngine::~SimEngine() { machine_->BindCursor(&machine_->clock()); }
+
+void SimEngine::AddThread(std::unique_ptr<Workload> workload, uint64_t rng_seed) {
+  threads_.push_back(std::make_unique<SimThread>(machine_, std::move(workload), rng_seed,
+                                                 static_cast<int>(threads_.size())));
+}
+
+FsStatus SimEngine::Prepare() {
+  // Setup runs sequentially on the base clock — the moral equivalent of a
+  // benchmark's single-threaded preallocation phase. Cursors join the
+  // timeline at the instant setup finished.
+  machine_->BindCursor(&machine_->clock());
+  for (const std::unique_ptr<SimThread>& thread : threads_) {
+    const FsStatus setup = thread->workload->Setup(thread->ctx);
+    if (setup != FsStatus::kOk) {
+      return setup;
+    }
+  }
+  if (config_.prewarm) {
+    for (const std::unique_ptr<SimThread>& thread : threads_) {
+      const FsStatus prewarm = thread->workload->Prewarm(thread->ctx);
+      if (prewarm != FsStatus::kOk) {
+        return prewarm;
+      }
+    }
+  }
+  return FsStatus::kOk;
+}
+
+SimEngineResult SimEngine::Run(MetricsCollector* metrics) {
+  SimEngineResult result;
+  result.per_thread_ops.assign(threads_.size(), 0);
+
+  VirtualClock& base = machine_->clock();
+  const Nanos measure_from = base.now() + config_.warmup;
+  const Nanos end = measure_from + config_.duration;
+  result.measure_from = measure_from;
+
+  const double cpu_multiplier = machine_->vfs().config().cpu_cost_multiplier;
+  const auto overhead =
+      static_cast<Nanos>(static_cast<double>(config_.framework_overhead) * cpu_multiplier);
+
+  for (const std::unique_ptr<SimThread>& thread : threads_) {
+    thread->cursor.AdvanceTo(base.now());
+    thread->done = false;
+    thread->ops = 0;
+  }
+
+  uint64_t total_ops = 0;
+  SimThread* bound = nullptr;
+  for (;;) {
+    // Smallest local time first; the strict < makes ties deterministic
+    // (lowest thread index wins), so the dispatch order — and with it every
+    // aggregate — is a pure function of the seed.
+    SimThread* next = nullptr;
+    for (const std::unique_ptr<SimThread>& thread : threads_) {
+      if (thread->done) {
+        continue;
+      }
+      if (thread->cursor.now() >= end) {
+        thread->done = true;
+        continue;
+      }
+      if (next == nullptr || thread->cursor.now() < next->cursor.now()) {
+        next = thread.get();
+      }
+    }
+    if (next == nullptr) {
+      break;
+    }
+    if (config_.max_ops != 0 && total_ops >= config_.max_ops) {
+      break;
+    }
+    if (bound != next) {
+      machine_->BindCursor(&next->cursor);
+      bound = next;
+    }
+    const Nanos start = next->cursor.now();
+    const FsResult<OpType> op = next->workload->Step(next->ctx);
+    if (!op.ok()) {
+      machine_->BindCursor(&base);
+      result.error = op.status;
+      return result;
+    }
+    const Nanos latency = next->cursor.now() - start;
+    if (metrics != nullptr) {
+      metrics->Record(op.value, start, latency);
+    }
+    next->cursor.Advance(overhead);
+    ++next->ops;
+    ++total_ops;
+  }
+
+  machine_->BindCursor(&base);
+  Nanos end_time = base.now();
+  for (size_t i = 0; i < threads_.size(); ++i) {
+    result.per_thread_ops[i] = threads_[i]->ops;
+    end_time = std::max(end_time, threads_[i]->cursor.now());
+  }
+  base.AdvanceTo(end_time);
+  result.end_time = end_time;
+  result.total_ops = total_ops;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace fsbench

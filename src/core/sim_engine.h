@@ -1,0 +1,99 @@
+// Event-driven multi-thread simulation core.
+//
+// The engine interleaves N simulated workload threads over one shared
+// Machine. Each thread owns a clock cursor (a VirtualClock); the step loop
+// always runs the thread whose cursor is smallest (ties break toward the
+// lowest thread index), binds that cursor into the machine
+// (Machine::BindCursor) and lets the workload perform exactly one operation
+// against it. Synchronous I/O goes through the shared IoScheduler's device
+// timeline, so a thread whose operation lands while another thread's I/O is
+// still in flight observes genuine queueing delay — the mechanism that makes
+// thread-count sweeps show contention.
+//
+// The engine is single-host-threaded on purpose: simulated concurrency is a
+// scheduling order over virtual time, not host parallelism, which keeps
+// results a pure function of (configuration, seed) — independent of host
+// scheduling. With one thread the loop degenerates to exactly the classic
+// single-threaded experiment loop (proven byte-identical by
+// tests/mt_engine_test.cc).
+#ifndef SRC_CORE_SIM_ENGINE_H_
+#define SRC_CORE_SIM_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/core/workload.h"
+#include "src/sim/machine.h"
+
+namespace fsbench {
+
+struct SimEngineConfig {
+  Nanos duration = 0;  // measured virtual window (after warmup)
+  Nanos warmup = 0;    // excluded from metrics, after Setup/Prewarm
+  // Per-op benchmark-framework overhead (raw; scaled internally by the
+  // machine's per-run CPU multiplier, as the experiment harness does).
+  Nanos framework_overhead = 0;
+  uint64_t max_ops = 0;  // safety cap on total ops across threads (0 = none)
+  bool prewarm = false;
+};
+
+struct SimEngineResult {
+  bool ok = false;
+  FsStatus error = FsStatus::kOk;  // first failing status when !ok
+  Nanos measure_from = 0;
+  Nanos end_time = 0;  // largest cursor when the loop stopped
+  uint64_t total_ops = 0;
+  std::vector<uint64_t> per_thread_ops;
+};
+
+class SimEngine {
+ public:
+  SimEngine(Machine* machine, const SimEngineConfig& config);
+  // Restores the machine's base clock as the bound cursor.
+  ~SimEngine();
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  // Adds one simulated thread driving `workload`; `rng_seed` seeds its
+  // WorkloadContext. Threads are indexed in insertion order.
+  void AddThread(std::unique_ptr<Workload> workload, uint64_t rng_seed);
+
+  // Runs Setup (and Prewarm when configured) for every thread sequentially
+  // on the machine's base clock, then aligns all cursors to the post-setup
+  // instant. Returns the first failing status.
+  FsStatus Prepare();
+
+  // The smallest-cursor-first step loop over [measure_from, measure_from +
+  // duration), where measure_from = base clock after Prepare + warmup. Ops
+  // are recorded into `metrics` (may be null) in dispatch order — a
+  // deterministic order, so aggregation is reproducible per seed. On return
+  // the base clock has advanced to the largest cursor.
+  SimEngineResult Run(MetricsCollector* metrics);
+
+  size_t thread_count() const { return threads_.size(); }
+  const VirtualClock& cursor(size_t thread) const { return threads_[thread]->cursor; }
+
+ private:
+  struct SimThread {
+    VirtualClock cursor;
+    std::unique_ptr<Workload> workload;
+    WorkloadContext ctx;
+    uint64_t ops = 0;
+    bool done = false;
+
+    SimThread(Machine* machine, std::unique_ptr<Workload> w, uint64_t seed, int index)
+        : workload(std::move(w)), ctx(machine, seed, index) {
+      ctx.cursor = &cursor;
+    }
+  };
+
+  Machine* machine_;
+  SimEngineConfig config_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+};
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_SIM_ENGINE_H_

@@ -23,9 +23,16 @@ struct WorkloadContext {
   Machine* machine = nullptr;
   Vfs* vfs = nullptr;
   Rng rng{0};
+  // Simulated thread identity: index 0 in single-threaded runs. `cursor` is
+  // the clock this thread's operations charge time against; the engine binds
+  // it into the machine before every Step, so a workload that wants to
+  // observe its own virtual time must read the cursor, not the machine's
+  // base clock.
+  int thread = 0;
+  VirtualClock* cursor = nullptr;
 
-  explicit WorkloadContext(Machine* m, uint64_t seed)
-      : machine(m), vfs(&m->vfs()), rng(seed) {}
+  explicit WorkloadContext(Machine* m, uint64_t seed, int thread_index = 0)
+      : machine(m), vfs(&m->vfs()), rng(seed), thread(thread_index), cursor(&m->clock()) {}
 };
 
 class Workload {
@@ -49,6 +56,11 @@ class Workload {
 };
 
 using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+// Per-thread workload construction for the multi-thread engine: called once
+// per simulated thread with the thread index, so variants can give each
+// thread a disjoint slice of the namespace (Filebench's nthreads model).
+using ThreadedWorkloadFactory = std::function<std::unique_ptr<Workload>(int thread)>;
 
 }  // namespace fsbench
 

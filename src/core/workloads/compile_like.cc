@@ -62,8 +62,9 @@ FsResult<OpType> CompileLikeWorkload::Step(WorkloadContext& ctx) {
   }
 
   // The compiler runs: pure CPU. This is the term that dominates and makes
-  // the workload useless as a file-system benchmark.
-  ctx.machine->clock().Advance(config_.cpu_per_file);
+  // the workload useless as a file-system benchmark. Charged on the
+  // thread's cursor, like every other cost of this step.
+  ctx.cursor->Advance(config_.cpu_per_file);
 
   // Emit the object file.
   const FsResult<int> ofd = ctx.vfs->Open(ObjectFor(id), /*create=*/true);

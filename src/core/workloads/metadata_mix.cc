@@ -87,4 +87,12 @@ FsResult<OpType> MetadataMixWorkload::Step(WorkloadContext& ctx) {
   return FsResult<OpType>::Ok(OpType::kCreate);
 }
 
+ThreadedWorkloadFactory MtMetadataMixFactory(const MetadataMixConfig& base) {
+  return [base](int thread) {
+    MetadataMixConfig config = base;
+    config.root = base.root + "_t" + std::to_string(thread);
+    return std::make_unique<MetadataMixWorkload>(config);
+  };
+}
+
 }  // namespace fsbench

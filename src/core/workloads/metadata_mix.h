@@ -42,6 +42,12 @@ class MetadataMixWorkload : public Workload {
   std::vector<std::string> transient_;  // created-but-not-yet-unlinked
 };
 
+// Multi-threaded variant for the event-driven engine: simulated thread t
+// gets its own tree under "<root>_t<t>" (per-thread dirs/files counts from
+// `base`), so threads contend on the device and cache but not the
+// namespace.
+ThreadedWorkloadFactory MtMetadataMixFactory(const MetadataMixConfig& base);
+
 }  // namespace fsbench
 
 #endif  // SRC_CORE_WORKLOADS_METADATA_MIX_H_

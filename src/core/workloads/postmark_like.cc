@@ -78,4 +78,12 @@ FsResult<OpType> PostmarkLikeWorkload::Step(WorkloadContext& ctx) {
   return FsResult<OpType>::Ok(OpType::kUnlink);
 }
 
+ThreadedWorkloadFactory MtPostmarkFactory(const PostmarkConfig& base) {
+  return [base](int thread) {
+    PostmarkConfig config = base;
+    config.dir = base.dir + "_t" + std::to_string(thread);
+    return std::make_unique<PostmarkLikeWorkload>(config);
+  };
+}
+
 }  // namespace fsbench

@@ -42,6 +42,13 @@ class PostmarkLikeWorkload : public Workload {
   uint64_t next_id_ = 0;
 };
 
+// Multi-threaded variant for the event-driven engine: simulated thread t
+// works in the sibling directory "<dir>_t<t>" with its own file pool, so N
+// threads drive the shared device and page cache without colliding in the
+// namespace (Filebench's nthreads model). `base.initial_files` is per
+// thread.
+ThreadedWorkloadFactory MtPostmarkFactory(const PostmarkConfig& base);
+
 }  // namespace fsbench
 
 #endif  // SRC_CORE_WORKLOADS_POSTMARK_LIKE_H_

@@ -1,9 +1,16 @@
 // Virtual time source for the simulated stack.
 //
-// Everything that "takes time" in fsbench advances this clock explicitly;
-// nothing reads wall-clock time. This is what makes experiments a pure
-// function of their configuration, and it lets a 20-minute benchmark run
-// execute in milliseconds of real time.
+// Everything that "takes time" in fsbench advances a VirtualClock
+// explicitly; nothing reads wall-clock time. This is what makes experiments
+// a pure function of their configuration, and it lets a 20-minute benchmark
+// run execute in milliseconds of real time.
+//
+// A VirtualClock is also the per-thread *clock cursor* of the multi-thread
+// engine: each simulated workload thread owns one, the engine binds it into
+// the stack (Machine::BindCursor) before every step, and only the thread
+// with the smallest cursor ever runs — so cross-thread time moves forward
+// deterministically while the shared device timeline (IoScheduler) turns
+// cursor gaps into queueing delay.
 #ifndef SRC_SIM_CLOCK_H_
 #define SRC_SIM_CLOCK_H_
 

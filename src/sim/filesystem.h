@@ -85,6 +85,11 @@ class FileSystem {
  public:
   // `clock` may be null (timestamps stay 0); used only for mtime/ctime.
   FileSystem(Bytes device_capacity, const FsLayoutParams& params, VirtualClock* clock);
+
+  // Rebinds the clock timestamps are drawn from. The multi-thread engine
+  // points this at the acting thread's cursor around every step so mtime/
+  // ctime reflect the thread that performed the operation.
+  void BindClock(VirtualClock* clock) { clock_ = clock; }
   virtual ~FileSystem() = default;
 
   FileSystem(const FileSystem&) = delete;

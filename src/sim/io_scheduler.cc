@@ -1,59 +1,101 @@
 #include "src/sim/io_scheduler.h"
 
 #include <algorithm>
+#include <functional>
 
 namespace fsbench {
 
-IoScheduler::IoScheduler(DiskModel* disk, VirtualClock* clock, SchedulerKind kind)
-    : disk_(disk), clock_(clock), kind_(kind) {}
+IoScheduler::IoScheduler(DiskModel* disk, SchedulerKind kind) : disk_(disk), kind_(kind) {}
+
+void IoScheduler::RetireCompleted(Nanos now) {
+  while (!inflight_.empty() && inflight_.front() <= now) {
+    std::pop_heap(inflight_.begin(), inflight_.end(), std::greater<>());
+    inflight_.pop_back();
+  }
+}
+
+void IoScheduler::AdmitInflight(Nanos completion) {
+  inflight_.push_back(completion);
+  std::push_heap(inflight_.begin(), inflight_.end(), std::greater<>());
+}
 
 void IoScheduler::ServicePending(Nanos from) {
   if (pending_.empty()) {
     return;
   }
   if (kind_ == SchedulerKind::kElevator) {
-    // C-SCAN: ascending LBA order. The sort is stable with respect to equal
-    // LBAs, preserving submission order for overlapping requests.
-    std::stable_sort(pending_.begin(), pending_.end(),
-                     [](const IoRequest& a, const IoRequest& b) { return a.lba < b.lba; });
+    // C-SCAN: ascending LBA from the current head position, wrapping once at
+    // the top. The sort is stable with respect to equal LBAs, preserving
+    // submission order for overlapping requests; the rotate starts service
+    // at the first request ahead of the head instead of forcing a full
+    // stroke back to the lowest queued LBA.
+    std::stable_sort(
+        pending_.begin(), pending_.end(),
+        [](const PendingRequest& a, const PendingRequest& b) { return a.req.lba < b.req.lba; });
+    const auto ahead =
+        std::find_if(pending_.begin(), pending_.end(),
+                     [this](const PendingRequest& p) { return p.req.lba >= head_lba_; });
+    std::rotate(pending_.begin(), ahead, pending_.end());
   }
   Nanos t = std::max(busy_until_, from);
-  for (const IoRequest& req : pending_) {
+  for (const PendingRequest& pending : pending_) {
+    const IoRequest& req = pending.req;
+    // Causality: a thread with an earlier cursor may trigger this pass, but
+    // the device cannot start a request before it was submitted.
+    t = std::max(t, pending.submitted);
+    if (dispatch_log_ != nullptr) {
+      dispatch_log_->push_back(req.lba);
+    }
     const std::optional<Nanos> service = disk_->Access(req);
     ++stats_.async_serviced;
+    head_lba_ = req.lba + req.sector_count;
     if (!service.has_value()) {
       ++stats_.async_errors;
       continue;
     }
     t += *service;
+    AdmitInflight(t);
   }
   pending_.clear();
-  busy_until_ = t;
+  busy_until_ = std::max(t, busy_until_);
 }
 
-std::optional<Nanos> IoScheduler::SubmitSync(const IoRequest& req) {
+std::optional<Nanos> IoScheduler::SubmitSync(const IoRequest& req, Nanos now) {
   ++stats_.sync_requests;
-  ServicePending(clock_->now());
-  const Nanos start = std::max(clock_->now(), busy_until_);
+  RetireCompleted(now);
+  // The device's queue the instant this request arrives: everything admitted
+  // but not yet complete, the async backlog it must wait out, and itself.
+  stats_.max_queue_depth =
+      std::max(stats_.max_queue_depth, inflight_.size() + pending_.size() + 1);
+  ServicePending(now);
+  const Nanos start = std::max(now, busy_until_);
+  if (dispatch_log_ != nullptr) {
+    dispatch_log_->push_back(req.lba);
+  }
   const std::optional<Nanos> service = disk_->Access(req);
+  head_lba_ = req.lba + req.sector_count;
   if (!service.has_value()) {
     return std::nullopt;
   }
   const Nanos completion = start + *service;
   busy_until_ = completion;
-  stats_.total_sync_wait += completion - clock_->now();
+  AdmitInflight(completion);
+  stats_.total_sync_wait += completion - now;
+  stats_.total_sync_queue_delay += start - now;
   return completion;
 }
 
-void IoScheduler::SubmitAsync(const IoRequest& req) {
+void IoScheduler::SubmitAsync(const IoRequest& req, Nanos now) {
   ++stats_.async_requests;
-  pending_.push_back(req);
-  stats_.max_queue_depth = std::max(stats_.max_queue_depth, pending_.size());
+  RetireCompleted(now);
+  pending_.push_back(PendingRequest{req, now});
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, inflight_.size() + pending_.size());
 }
 
-Nanos IoScheduler::Drain() {
-  ServicePending(clock_->now());
-  return std::max(busy_until_, clock_->now());
+Nanos IoScheduler::Drain(Nanos now) {
+  RetireCompleted(now);
+  ServicePending(now);
+  return std::max(busy_until_, now);
 }
 
 }  // namespace fsbench

@@ -1,11 +1,21 @@
 // Request queueing in front of the DiskModel.
 //
-// The scheduler owns the notion of "when is the disk free": synchronous
-// requests (demand reads, fsync writes) block the caller until completion,
-// while asynchronous requests (readahead, writeback) only occupy the device
-// in the background. Pending async requests are serviced — in FIFO or
-// elevator (ascending-LBA C-SCAN) order — before the next synchronous
-// request or an explicit Drain().
+// The scheduler owns the device timeline: it is deliberately *clockless* —
+// every entry point takes the caller's current virtual time explicitly, so N
+// simulated threads with independent clock cursors can share one device.
+// Synchronous requests (demand reads, fsync writes) start no earlier than
+// `busy_until()`, the absolute time the device finishes already-admitted
+// work; a thread whose cursor trails another thread's I/O therefore observes
+// real queueing delay. Asynchronous requests (readahead, writeback) only
+// occupy the device in the background and are serviced — in FIFO or elevator
+// (C-SCAN, ascending from the current head position with wrap-around) order —
+// before the next synchronous request or an explicit Drain().
+//
+// Queue-depth and wait accounting reflect the device's real outstanding
+// queue: admitted-but-not-yet-completed requests are tracked in a completion
+// min-heap and retired as later submissions observe time passing, so
+// `max_queue_depth` counts in-flight requests plus queued async plus the
+// arriving request — not merely the async backlog.
 #ifndef SRC_SIM_IO_SCHEDULER_H_
 #define SRC_SIM_IO_SCHEDULER_H_
 
@@ -13,7 +23,6 @@
 #include <optional>
 #include <vector>
 
-#include "src/sim/clock.h"
 #include "src/sim/disk_model.h"
 #include "src/util/units.h"
 
@@ -26,45 +35,71 @@ struct IoSchedulerStats {
   uint64_t async_requests = 0;
   uint64_t async_serviced = 0;
   uint64_t async_errors = 0;
-  Nanos total_sync_wait = 0;  // queueing delay + service for sync requests
-  size_t max_queue_depth = 0;
+  Nanos total_sync_wait = 0;         // queueing delay + service for sync requests
+  Nanos total_sync_queue_delay = 0;  // device-busy wait alone (start - submit)
+  size_t max_queue_depth = 0;        // in-flight + queued async + the arriving request
 };
 
 class IoScheduler {
  public:
-  IoScheduler(DiskModel* disk, VirtualClock* clock, SchedulerKind kind = SchedulerKind::kElevator);
+  explicit IoScheduler(DiskModel* disk, SchedulerKind kind = SchedulerKind::kElevator);
 
-  // Issues a synchronous request. Pending async requests are drained first.
-  // Returns the absolute completion time (>= clock->now()); the caller is
-  // responsible for advancing the clock. Returns std::nullopt on an injected
-  // device error.
-  std::optional<Nanos> SubmitSync(const IoRequest& req);
+  // Issues a synchronous request from a thread whose cursor reads `now`.
+  // Pending async requests are serviced first (they were admitted before the
+  // sync arrival). Returns the absolute completion time (>= now); the caller
+  // is responsible for advancing its cursor. Returns std::nullopt on an
+  // injected device error.
+  std::optional<Nanos> SubmitSync(const IoRequest& req, Nanos now);
 
-  // Queues an asynchronous request; it consumes device time in the
-  // background and is serviced before the next sync request or Drain().
-  void SubmitAsync(const IoRequest& req);
+  // Queues an asynchronous request submitted at `now`; it consumes device
+  // time in the background and is serviced before the next sync request or
+  // Drain(). The submission time is kept: a request never occupies the
+  // device before it existed, even when a thread with an earlier cursor
+  // triggers the service pass.
+  void SubmitAsync(const IoRequest& req, Nanos now);
 
   // Services all queued async requests. Returns the time the device goes
-  // idle (>= clock->now()).
-  Nanos Drain();
+  // idle (>= now). Idempotent: with nothing pending it just reports the
+  // idle time.
+  Nanos Drain(Nanos now);
 
   // Absolute virtual time until which the device is busy with already
   // admitted work.
   Nanos busy_until() const { return busy_until_; }
 
   size_t pending_async() const { return pending_.size(); }
+  // Admitted requests not yet retired against the last observed time.
+  size_t inflight() const { return inflight_.size(); }
   const IoSchedulerStats& stats() const { return stats_; }
   SchedulerKind kind() const { return kind_; }
+
+  // Test hook: when set, the LBA of every request is appended in dispatch
+  // order (async services and sync submissions alike).
+  void set_dispatch_log(std::vector<uint64_t>* log) { dispatch_log_ = log; }
 
  private:
   // Services pending async requests starting no earlier than `from`.
   void ServicePending(Nanos from);
 
+  // Retires in-flight completions at or before `now`.
+  void RetireCompleted(Nanos now);
+
+  // Pushes a completion time into the in-flight min-heap.
+  void AdmitInflight(Nanos completion);
+
+  struct PendingRequest {
+    IoRequest req;
+    Nanos submitted = 0;  // service starts no earlier than this
+  };
+
   DiskModel* disk_;
-  VirtualClock* clock_;
   SchedulerKind kind_;
   Nanos busy_until_ = 0;
-  std::vector<IoRequest> pending_;
+  // One past the last dispatched LBA: the elevator's head position.
+  uint64_t head_lba_ = 0;
+  std::vector<PendingRequest> pending_;
+  std::vector<Nanos> inflight_;  // min-heap of admitted completion times
+  std::vector<uint64_t>* dispatch_log_ = nullptr;
   IoSchedulerStats stats_;
 };
 

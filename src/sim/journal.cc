@@ -33,11 +33,11 @@ Nanos Journal::WriteTransaction(bool sync) {
                         config_.block_sectors};
     if (sync && i + 1 == blocks_to_write) {
       // Only the commit record is waited on.
-      if (const auto done = scheduler_->SubmitSync(req); done.has_value()) {
+      if (const auto done = scheduler_->SubmitSync(req, clock_->now()); done.has_value()) {
         completion = *done;
       }
     } else {
-      scheduler_->SubmitAsync(req);
+      scheduler_->SubmitAsync(req, clock_->now());
     }
   }
   head_block_ = (head_block_ + blocks_to_write) % region_.count;

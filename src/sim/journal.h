@@ -42,6 +42,11 @@ class Journal {
   Journal(IoScheduler* scheduler, VirtualClock* clock, Extent region,
           const JournalConfig& config);
 
+  // Rebinds the clock the journal reads "now" from. The multi-thread engine
+  // points this at the acting thread's cursor around every step, so commit
+  // timing follows the thread that triggered it.
+  void BindClock(VirtualClock* clock) { clock_ = clock; }
+
   // Adds a dirtied meta-data block to the running transaction.
   void LogMetadataBlock(BlockId block);
 

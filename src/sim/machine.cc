@@ -52,7 +52,7 @@ Machine::Machine(FsKind fs_kind, const MachineConfig& config)
   const double cpu_scale = uniform_pm(config_.cpu_jitter);
 
   disk_ = std::make_unique<DiskModel>(disk_params, config_.seed ^ 0xd15c0000ULL);
-  scheduler_ = std::make_unique<IoScheduler>(disk_.get(), &clock_, config_.scheduler);
+  scheduler_ = std::make_unique<IoScheduler>(disk_.get(), config_.scheduler);
 
   switch (fs_kind) {
     case FsKind::kExt2:
@@ -87,6 +87,14 @@ Machine::Machine(FsKind fs_kind, const MachineConfig& config)
     flash_ = std::make_unique<FlashTier>(flash_config);
   }
   vfs_ = std::make_unique<Vfs>(&clock_, scheduler_.get(), fs_.get(), vfs_config, flash_.get());
+}
+
+void Machine::BindCursor(VirtualClock* cursor) {
+  vfs_->BindCursor(cursor);
+  fs_->BindClock(cursor);
+  if (Journal* journal = fs_->journal(); journal != nullptr) {
+    journal->BindClock(cursor);
+  }
 }
 
 }  // namespace fsbench

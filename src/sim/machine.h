@@ -60,6 +60,13 @@ class Machine {
   Machine& operator=(const Machine&) = delete;
 
   VirtualClock& clock() { return clock_; }
+
+  // Binds `cursor` as the acting simulated thread's clock across the whole
+  // stack: VFS charges, file-system timestamps and journal commit timing all
+  // read and advance it. The multi-thread engine calls this around every
+  // step; passing &clock() restores the single-threaded default (the base
+  // clock doubles as thread 0's cursor).
+  void BindCursor(VirtualClock* cursor);
   DiskModel& disk() { return *disk_; }
   FlashTier* flash() { return flash_.get(); }  // null when not configured
   IoScheduler& scheduler() { return *scheduler_; }

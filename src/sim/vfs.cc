@@ -67,7 +67,7 @@ FsStatus Vfs::DemandRead(BlockId block, uint32_t count) {
   ++stats_.demand_requests;
   const IoRequest req{IoKind::kRead, block * fs_->sectors_per_block(),
                       count * fs_->sectors_per_block()};
-  const std::optional<Nanos> completion = scheduler_->SubmitSync(req);
+  const std::optional<Nanos> completion = scheduler_->SubmitSync(req, clock_->now());
   if (!completion.has_value()) {
     ++stats_.io_errors;
     return FsStatus::kIoError;
@@ -80,7 +80,8 @@ void Vfs::HandleEvictions(const PageCache::EvictedBatch& evicted) {
   for (const PageCache::Evicted& page : evicted) {
     if (page.dirty && page.block != kInvalidBlock) {
       scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
-                                        fs_->sectors_per_block()});
+                                        fs_->sectors_per_block()},
+                              clock_->now());
       ++stats_.writeback_pages;
     }
     // Demote RAM evictions into the flash tier (clean copies; durability is
@@ -147,7 +148,8 @@ void Vfs::SubmitWritebackScratch() {
       continue;
     }
     scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
-                                      fs_->sectors_per_block()});
+                                      fs_->sectors_per_block()},
+                            clock_->now());
     ++stats_.writeback_pages;
   }
 }
@@ -278,7 +280,8 @@ void Vfs::IssueReadahead(OpenFile& file, uint64_t index, uint32_t pages) {
   auto flush_run = [&] {
     if (run_len > 0) {
       scheduler_->SubmitAsync(IoRequest{IoKind::kRead, run_start * fs_->sectors_per_block(),
-                                        run_len * fs_->sectors_per_block()});
+                                        run_len * fs_->sectors_per_block()},
+                              clock_->now());
       run_start = kInvalidBlock;
       run_len = 0;
     }
@@ -647,7 +650,7 @@ FsStatus Vfs::Fsync(int fd) {
     }
   }
   SubmitWritebackScratch();
-  clock_->AdvanceTo(scheduler_->Drain());
+  clock_->AdvanceTo(scheduler_->Drain(clock_->now()));
   if (Journal* journal = fs_->journal(); journal != nullptr) {
     clock_->AdvanceTo(journal->CommitSync());
   }
@@ -656,7 +659,7 @@ FsStatus Vfs::Fsync(int fd) {
 
 void Vfs::SyncAll() {
   WritebackDirty(cache_.capacity());
-  clock_->AdvanceTo(scheduler_->Drain());
+  clock_->AdvanceTo(scheduler_->Drain(clock_->now()));
   if (Journal* journal = fs_->journal(); journal != nullptr) {
     clock_->AdvanceTo(journal->CommitSync());
   }

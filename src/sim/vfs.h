@@ -74,6 +74,14 @@ class Vfs {
   Vfs(VirtualClock* clock, IoScheduler* scheduler, FileSystem* fs, const VfsConfig& config,
       FlashTier* flash = nullptr);
 
+  // Rebinds the clock cursor every operation charges time against. `clock`
+  // passed at construction is the initial binding (the machine's base clock:
+  // single-threaded behaviour); the multi-thread engine rebinds a per-thread
+  // cursor around every step, so no operation touches a global clock — it
+  // only ever advances the cursor of the simulated thread that issued it.
+  void BindCursor(VirtualClock* cursor) { clock_ = cursor; }
+  VirtualClock* cursor() { return clock_; }
+
   // --- POSIX-ish surface (absolute paths, '/'-separated) ---
   //
   // Paths are string_views: resolution walks them in place, handing each

@@ -324,7 +324,7 @@ TEST(Ext3FsTest, JournalAttachment) {
   DiskParams params;
   VirtualClock clock;
   DiskModel disk(params, 1);
-  IoScheduler scheduler(&disk, &clock);
+  IoScheduler scheduler(&disk);
   fs.AttachJournal(std::make_unique<Journal>(&scheduler, &clock, fs.journal_region(),
                                              JournalConfig{}));
   EXPECT_NE(fs.journal(), nullptr);

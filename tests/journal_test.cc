@@ -11,7 +11,7 @@ struct JournalFixture {
   DiskModel disk;
   IoScheduler scheduler;
 
-  JournalFixture() : disk(params, 1), scheduler(&disk, &clock) {}
+  JournalFixture() : disk(params, 1), scheduler(&disk) {}
 
   Journal MakeJournal(JournalConfig config = {}) {
     return Journal(&scheduler, &clock, Extent{1000, 8192}, config);

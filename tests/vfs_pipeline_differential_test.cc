@@ -403,7 +403,7 @@ class ReferenceVfs {
       }
     }
     SubmitWriteback(batch);
-    clock_->AdvanceTo(scheduler_->Drain());
+    clock_->AdvanceTo(scheduler_->Drain(clock_->now()));
     if (Journal* journal = fs_->journal(); journal != nullptr) {
       clock_->AdvanceTo(journal->CommitSync());
     }
@@ -414,7 +414,7 @@ class ReferenceVfs {
     std::vector<PageCache::Evicted> batch;
     cache_.TakeDirty(cache_.capacity(), &batch);
     SubmitWriteback(batch);
-    clock_->AdvanceTo(scheduler_->Drain());
+    clock_->AdvanceTo(scheduler_->Drain(clock_->now()));
     if (Journal* journal = fs_->journal(); journal != nullptr) {
       clock_->AdvanceTo(journal->CommitSync());
     }
@@ -521,7 +521,7 @@ class ReferenceVfs {
     ++stats_.demand_requests;
     const IoRequest req{IoKind::kRead, block * fs_->sectors_per_block(),
                         count * fs_->sectors_per_block()};
-    const std::optional<Nanos> completion = scheduler_->SubmitSync(req);
+    const std::optional<Nanos> completion = scheduler_->SubmitSync(req, clock_->now());
     if (!completion.has_value()) {
       ++stats_.io_errors;
       return FsStatus::kIoError;
@@ -534,7 +534,8 @@ class ReferenceVfs {
     for (const PageCache::Evicted& page : evicted) {
       if (page.dirty && page.block != kInvalidBlock) {
         scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
-                                          fs_->sectors_per_block()});
+                                          fs_->sectors_per_block()},
+                                clock_->now());
         ++stats_.writeback_pages;
       }
     }
@@ -587,7 +588,8 @@ class ReferenceVfs {
         continue;
       }
       scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
-                                        fs_->sectors_per_block()});
+                                        fs_->sectors_per_block()},
+                              clock_->now());
       ++stats_.writeback_pages;
     }
   }
@@ -613,7 +615,8 @@ class ReferenceVfs {
     auto flush_run = [&] {
       if (run_len > 0) {
         scheduler_->SubmitAsync(IoRequest{IoKind::kRead, run_start * fs_->sectors_per_block(),
-                                          run_len * fs_->sectors_per_block()});
+                                          run_len * fs_->sectors_per_block()},
+                                clock_->now());
         run_start = kInvalidBlock;
         run_len = 0;
       }
@@ -711,7 +714,7 @@ struct Stack {
   IoScheduler scheduler;
   std::unique_ptr<FileSystem> fs;
 
-  Stack(FsKind kind, uint64_t disk_seed) : disk(DiskParams{}, disk_seed), scheduler(&disk, &clock) {
+  Stack(FsKind kind, uint64_t disk_seed) : disk(DiskParams{}, disk_seed), scheduler(&disk) {
     switch (kind) {
       case FsKind::kExt2:
         fs = std::make_unique<Ext2Fs>(kDevice, FsLayoutParams{}, &clock);

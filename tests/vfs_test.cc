@@ -22,7 +22,7 @@ struct VfsFixture {
   std::unique_ptr<Vfs> vfs;
 
   explicit VfsFixture(FsKind kind = FsKind::kExt2, VfsConfig config = {})
-      : disk(disk_params, 1), scheduler(&disk, &clock) {
+      : disk(disk_params, 1), scheduler(&disk) {
     switch (kind) {
       case FsKind::kExt2:
         fs = std::make_unique<Ext2Fs>(kDevice, FsLayoutParams{}, &clock);
