@@ -111,7 +111,10 @@ int Run(const BenchArgs& args) {
   PrintHeader("Ablation: file-system aging vs on-disk layout quality",
               "section 2 (on-disk dimension); fresh-image benchmarking fallacy");
 
-  const Bytes probe_size = 256 * kMiB;
+  // Smoke: a quarter-size partition and probe — the fill/delete aging pass
+  // dominates the wall clock and shrinks with the device.
+  const Bytes partition = args.smoke ? 512 * kMiB : 2 * kGiB;
+  const Bytes probe_size = args.smoke ? 64 * kMiB : 256 * kMiB;
 
   AsciiTable table;
   table.SetHeader({"fs", "image", "contiguity", "fragments", "cold seq read MiB/s"});
@@ -119,7 +122,7 @@ int Run(const BenchArgs& args) {
     for (const bool aged : {false, true}) {
       MachineConfig config = PaperTestbedConfig();
       config.seed = args.seed;
-      config.disk.capacity = 2 * kGiB;  // a small, fillable partition
+      config.disk.capacity = partition;  // a small, fillable partition
       Machine machine(kind, config);
       Rng rng(args.seed);
       if (aged && !AgePartition(machine, rng)) {

@@ -18,13 +18,16 @@ int Run(const BenchArgs& args) {
               "tail 1019..162 ops/s, stddev spikes in the transition)");
 
   ExperimentConfig config;
-  config.runs = 10;
+  // Smoke: a coarse 4-point sweep with 3 runs per point still exercises the
+  // plateau, the cliff and the tail; the full grid is for real figures.
+  config.runs = args.smoke ? 3 : 10;
   config.duration = BenchDuration(args, 10 * kSecond, 60 * kSecond, 2 * kSecond);
   config.prewarm = true;
   config.base_seed = args.seed;
+  const Bytes step = args.smoke ? 320 : 64;
 
   std::vector<SweepRow> rows;
-  for (Bytes mib = 64; mib <= 1024; mib += 64) {
+  for (Bytes mib = 64; mib <= 1024; mib += step) {
     config.base_seed = args.seed + mib;  // fresh jitter draws per point
     const ExperimentResult result =
         Experiment(config).Run(PaperMachine(), RandomReadOf(mib * kMiB));

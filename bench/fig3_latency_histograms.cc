@@ -21,10 +21,14 @@ int Run(const BenchArgs& args) {
     const char* label;
     Bytes size;
   };
+  // Smoke keeps all three regimes (cache-resident, boundary, disk-bound)
+  // but shrinks (c): preallocating 25 GiB dominates the smoke wall clock
+  // and 4 GiB is just as disk-bound against a 410 MiB cache.
   const Case cases[] = {
       {"(a) 64 MiB file", 64 * kMiB},
       {"(b) 1024 MiB file", 1024 * kMiB},
-      {"(c) 25 GiB file", 25ULL * kGiB},
+      {args.smoke ? "(c) 4 GiB file" : "(c) 25 GiB file",
+       args.smoke ? 4ULL * kGiB : 25ULL * kGiB},
   };
   for (const Case& c : cases) {
     ExperimentConfig config;

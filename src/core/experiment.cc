@@ -14,6 +14,19 @@ uint64_t ThreadSeed(uint64_t run_seed, int thread) {
   return (run_seed ^ 0x9e3779b97f4a7c15ULL) + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(thread);
 }
 
+// The engine-setup fields shared by a measured run and its crash-recovery
+// prefix replay. Kept in one place on purpose: the replay is deterministic
+// with the crashed run only while both build their engines identically.
+SimEngineConfig BaseEngineConfig(const ExperimentConfig& config) {
+  SimEngineConfig engine_config;
+  engine_config.duration = config.duration;
+  engine_config.warmup = config.warmup;
+  engine_config.framework_overhead = config.framework_overhead;
+  engine_config.max_ops = config.max_ops;
+  engine_config.prewarm = config.prewarm;
+  return engine_config;
+}
+
 }  // namespace
 
 std::vector<double> ExperimentResult::ThroughputSamples() const {
@@ -42,12 +55,12 @@ RunResult Experiment::RunOnce(const MachineFactory& machine_factory,
   RunResult result;
   std::unique_ptr<Machine> machine = machine_factory(seed);
 
-  SimEngineConfig engine_config;
-  engine_config.duration = config_.duration;
-  engine_config.warmup = config_.warmup;
-  engine_config.framework_overhead = config_.framework_overhead;
-  engine_config.max_ops = config_.max_ops;
-  engine_config.prewarm = config_.prewarm;
+  SimEngineConfig engine_config = BaseEngineConfig(config_);
+  if (config_.crash.has_value()) {
+    engine_config.crash_at_op = config_.crash->at_op;
+    engine_config.crash_at_time = config_.crash->at_time;
+    machine->EnableCrashTracking();
+  }
   SimEngine engine(machine.get(), engine_config);
   for (int thread = 0; thread < config_.threads; ++thread) {
     engine.AddThread(workload_factory(thread), ThreadSeed(seed, thread));
@@ -89,7 +102,43 @@ RunResult Experiment::RunOnce(const MachineFactory& machine_factory,
   result.disk_stats = machine->disk().stats();
   result.scheduler_stats = machine->scheduler().stats();
   result.per_thread_ops = engine_result.per_thread_ops;
+
+  if (engine_result.crashed) {
+    CrashReport report =
+        SimulateCrashRecovery(*machine, engine_result.crash_time, engine_result.total_ops,
+                              engine_result.stable_watermark);
+    if (config_.crash->replay_check) {
+      const std::unique_ptr<Machine> recovered = ReplayRecoveredPrefix(
+          machine_factory, workload_factory, config_, seed, report.recovery_watermark);
+      std::string error;
+      report.recovered_consistent =
+          recovered != nullptr && recovered->fs().CheckConsistency(&error);
+    }
+    result.crash_report = report;
+  }
   return result;
+}
+
+std::unique_ptr<Machine> ReplayRecoveredPrefix(const MachineFactory& machine_factory,
+                                               const ThreadedWorkloadFactory& workload_factory,
+                                               const ExperimentConfig& config, uint64_t seed,
+                                               uint64_t ops) {
+  std::unique_ptr<Machine> machine = machine_factory(seed);
+  SimEngineConfig engine_config = BaseEngineConfig(config);
+  engine_config.max_ops = ops;
+  SimEngine engine(machine.get(), engine_config);
+  for (int thread = 0; thread < config.threads; ++thread) {
+    engine.AddThread(workload_factory(thread), ThreadSeed(seed, thread));
+  }
+  if (engine.Prepare() != FsStatus::kOk) {
+    return nullptr;
+  }
+  // ops == 0 means the recovered state is the post-setup baseline (max_ops
+  // of 0 would mean "uncapped" to the engine, so don't run it at all).
+  if (ops > 0 && !engine.Run(nullptr).ok) {
+    return nullptr;
+  }
+  return machine;
 }
 
 ExperimentResult Experiment::Run(const MachineFactory& machine_factory,

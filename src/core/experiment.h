@@ -30,10 +30,23 @@
 #include "src/core/stats.h"
 #include "src/core/workload.h"
 #include "src/sim/machine.h"
+#include "src/sim/recovery.h"
 
 namespace fsbench {
 
 using MachineFactory = std::function<std::unique_ptr<Machine>(uint64_t seed)>;
+
+// Crash-scenario mode: pull the plug mid-run and measure what recovery
+// costs and saves (see src/sim/recovery.h).
+struct CrashScenario {
+  // Crash after this many dispatched operations; 0 = use at_time instead.
+  uint64_t at_op = 0;
+  // Crash at this offset into the measured window (when at_op == 0).
+  Nanos at_time = 0;
+  // Rebuild the recovered state — a fresh machine replaying the surviving
+  // operation prefix — and fsck it (fills CrashReport::recovered_consistent).
+  bool replay_check = true;
+};
 
 struct ExperimentConfig {
   int runs = 10;
@@ -49,6 +62,9 @@ struct ExperimentConfig {
   uint64_t max_ops = 0;
   // Simulated workload threads per run (engine stays single-host-threaded).
   int threads = 1;
+  // When set, every run crashes and recovers; RunResult::crash_report holds
+  // the outcome (runs count as ok).
+  std::optional<CrashScenario> crash;
 };
 
 struct RunResult {
@@ -69,6 +85,8 @@ struct RunResult {
   IoSchedulerStats scheduler_stats;
   // Per-simulated-thread operation counts (size == config.threads).
   std::vector<uint64_t> per_thread_ops;
+  // Crash-scenario outcome (set iff the config asked for a crash).
+  std::optional<CrashReport> crash_report;
 };
 
 struct ExperimentResult {
@@ -107,6 +125,16 @@ class Experiment {
 
   ExperimentConfig config_;
 };
+
+// Rebuilds a post-recovery file-system state: a fresh machine from
+// `machine_factory(seed)` driven through Setup and then exactly `ops`
+// operations of the same deterministic schedule `config` would produce —
+// the simulator's equivalent of mounting the replayed image. Returns null
+// if setup or any replayed operation fails.
+std::unique_ptr<Machine> ReplayRecoveredPrefix(const MachineFactory& machine_factory,
+                                               const ThreadedWorkloadFactory& workload_factory,
+                                               const ExperimentConfig& config, uint64_t seed,
+                                               uint64_t ops);
 
 }  // namespace fsbench
 

@@ -55,7 +55,12 @@ SimEngineResult SimEngine::Run(MetricsCollector* metrics) {
     thread->ops = 0;
   }
 
+  const bool crash_mode = config_.crash_at_op != 0 || config_.crash_at_time != 0;
+  const Nanos crash_time =
+      config_.crash_at_time != 0 ? measure_from + config_.crash_at_time : 0;
+
   uint64_t total_ops = 0;
+  bool crashed_by_op = false;
   SimThread* bound = nullptr;
   for (;;) {
     // Smallest local time first; the strict < makes ties deterministic
@@ -80,6 +85,21 @@ SimEngineResult SimEngine::Run(MetricsCollector* metrics) {
     if (config_.max_ops != 0 && total_ops >= config_.max_ops) {
       break;
     }
+    if (crash_mode) {
+      // Crash-at-op: after that many dispatched ops. Crash-at-time: once
+      // the smallest cursor reaches the crash instant no operation can
+      // start before it, so the dispatched prefix is exactly the pre-crash
+      // history.
+      if (config_.crash_at_op != 0 && total_ops >= config_.crash_at_op) {
+        result.crashed = true;
+        crashed_by_op = true;
+        break;
+      }
+      if (crash_time != 0 && next->cursor.now() >= crash_time) {
+        result.crashed = true;
+        break;
+      }
+    }
     if (bound != next) {
       machine_->BindCursor(&next->cursor);
       bound = next;
@@ -98,6 +118,18 @@ SimEngineResult SimEngine::Run(MetricsCollector* metrics) {
     next->cursor.Advance(overhead);
     ++next->ops;
     ++total_ops;
+    if (crash_mode) {
+      // The op boundary: everything through op `total_ops` is fully logged.
+      machine_->NotifyOpBoundary(total_ops);
+      // Stable point (the no-journal recovery anchor): nothing dirty in the
+      // cache and the device idle by this thread's local time — a crash now
+      // loses nothing.
+      if (machine_->vfs().cache().dirty_count() == 0 &&
+          machine_->scheduler().pending_async() == 0 &&
+          machine_->scheduler().busy_until() <= next->cursor.now()) {
+        result.stable_watermark = total_ops;
+      }
+    }
   }
 
   machine_->BindCursor(&base);
@@ -108,6 +140,14 @@ SimEngineResult SimEngine::Run(MetricsCollector* metrics) {
   }
   base.AdvanceTo(end_time);
   result.end_time = end_time;
+  if (result.crashed) {
+    // Crash-at-op has no configured instant: the plug is pulled the moment
+    // the last dispatched op's effects exist, the largest cursor. (When
+    // both triggers are set and the op count fired first, the configured
+    // instant lies in the future and must not be used — it would count
+    // still-queued writes as durable.)
+    result.crash_time = crashed_by_op || crash_time == 0 ? end_time : crash_time;
+  }
   result.total_ops = total_ops;
   result.ok = true;
   return result;

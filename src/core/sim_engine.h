@@ -36,6 +36,13 @@ struct SimEngineConfig {
   Nanos framework_overhead = 0;
   uint64_t max_ops = 0;  // safety cap on total ops across threads (0 = none)
   bool prewarm = false;
+  // Crash injection (0 = off). With either set, the engine notifies the
+  // machine at every operation boundary (journal op watermark) and tracks
+  // the last stable point, then stops the run at the crash: after
+  // `crash_at_op` dispatched ops, or when the next thread to run would
+  // start at or past measure_from + `crash_at_time`.
+  uint64_t crash_at_op = 0;
+  Nanos crash_at_time = 0;
 };
 
 struct SimEngineResult {
@@ -45,6 +52,10 @@ struct SimEngineResult {
   Nanos end_time = 0;  // largest cursor when the loop stopped
   uint64_t total_ops = 0;
   std::vector<uint64_t> per_thread_ops;
+  // Crash mode only.
+  bool crashed = false;
+  Nanos crash_time = 0;          // instant the plug was pulled
+  uint64_t stable_watermark = 0; // last op boundary with a clean cache + idle disk
 };
 
 class SimEngine {

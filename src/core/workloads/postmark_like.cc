@@ -53,6 +53,12 @@ FsResult<OpType> PostmarkLikeWorkload::Step(WorkloadContext& ctx) {
       const FsResult<Bytes> written = ctx.vfs->Write(fd.value, attr.value.size, config_.io_size);
       result = written.ok() ? FsResult<OpType>::Ok(OpType::kWrite)
                             : FsResult<OpType>::Error(written.status);
+      if (result.ok() && config_.fsync_every != 0 && ++appends_ % config_.fsync_every == 0) {
+        const FsStatus synced = ctx.vfs->Fsync(fd.value);
+        if (synced != FsStatus::kOk) {
+          result = FsResult<OpType>::Error(synced);
+        }
+      }
     }
     ctx.vfs->Close(fd.value);
     return result;

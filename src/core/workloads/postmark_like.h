@@ -21,6 +21,9 @@ struct PostmarkConfig {
   double read_bias = 0.5;    // within data transactions: read vs append
   double create_bias = 0.5;  // within file transactions: create vs delete
   double data_fraction = 0.5;  // data vs create/delete transactions
+  // Fsync the written file after every Nth append transaction (0 = never);
+  // the durability knob crash-recovery scenarios sweep.
+  uint64_t fsync_every = 0;
 };
 
 class PostmarkLikeWorkload : public Workload {
@@ -40,6 +43,7 @@ class PostmarkLikeWorkload : public Workload {
   PostmarkConfig config_;
   std::vector<uint64_t> live_;
   uint64_t next_id_ = 0;
+  uint64_t appends_ = 0;
 };
 
 // Multi-threaded variant for the event-driven engine: simulated thread t

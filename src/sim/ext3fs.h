@@ -1,13 +1,13 @@
-// Ext3-like file system: ext2 layout plus a write-ahead journal. Meta-data
-// dirtied by namespace and allocation operations is logged; commits are
-// periodic (kjournald) or synchronous on fsync. Reads behave like ext2 with
-// slightly higher per-op CPU (transaction bookkeeping) and a smaller
-// read-around cluster, which slows cache warm-up relative to ext2
-// (see bench/fig2_warmup_timeline).
+// Ext3-like file system: ext2 layout plus a JBD-flavoured write-ahead
+// journal (JbdJournal over the generic transaction log — see txn_log.h).
+// Meta-data dirtied by namespace and allocation operations is logged;
+// commits are periodic (kjournald) or synchronous on fsync, and checkpoint
+// writeback reclaims log space (stalling commits when the log fills — the
+// fsync cliff). Reads behave like ext2 with slightly higher per-op CPU
+// (transaction bookkeeping) and a smaller read-around cluster, which slows
+// cache warm-up relative to ext2 (see bench/fig2_warmup_timeline).
 #ifndef SRC_SIM_EXT3FS_H_
 #define SRC_SIM_EXT3FS_H_
-
-#include <memory>
 
 #include "src/sim/ext2fs.h"
 
@@ -22,10 +22,6 @@ class Ext3Fs : public Ext2Fs {
   const char* name() const override { return "ext3"; }
   FsKind kind() const override { return FsKind::kExt3; }
 
-  // The journal needs the I/O scheduler, which exists only after the machine
-  // is assembled; it is attached post-construction.
-  void AttachJournal(std::unique_ptr<Journal> journal) { journal_ = std::move(journal); }
-  Journal* journal() override { return journal_.get(); }
   const Extent& journal_region() const { return journal_region_; }
 
   ReadaheadConfig readahead_config() const override {
@@ -37,7 +33,6 @@ class Ext3Fs : public Ext2Fs {
 
  private:
   Extent journal_region_;
-  std::unique_ptr<Journal> journal_;
 };
 
 }  // namespace fsbench

@@ -56,7 +56,7 @@ FileSystem::FileSystem(Bytes device_capacity, const FsLayoutParams& params, Virt
   root.type = FileType::kDirectory;
   root.link_count = 2;
   root.group = 0;
-  root.itable_block = GroupStart(0) + 3;
+  root.itable_block = InodeTableStart(0);
   root.mtime = root.ctime = Now();
   root.dir = std::make_unique<Directory>();
   inodes_.Insert(std::move(root));
@@ -143,7 +143,7 @@ Inode* FileSystem::AllocateInode(const Inode& parent, FileType type, MetaIo* io)
   inode.type = type;
   inode.link_count = type == FileType::kDirectory ? 2 : 1;
   inode.group = group;
-  inode.itable_block = GroupStart(group) + 3 + local / params_.inodes_per_block;
+  inode.itable_block = InodeTableStart(group) + local / params_.inodes_per_block;
   inode.mtime = inode.ctime = Now();
   io->AddMetaWrite(inode.itable_block);
   io->AddMetaWrite(InodeBitmapBlock(group));
@@ -314,6 +314,41 @@ FsStatus FileSystem::SetSize(InodeId ino, Bytes new_size, MetaIo* io) {
   inode->mtime = Now();
   io->AddMetaWrite(inode->itable_block);
   return FsStatus::kOk;
+}
+
+void FileSystem::AppendMetadataBlocks(std::vector<BlockId>* blocks) const {
+  // Pass 0: group descriptors — both bitmaps and the inode table of every
+  // group (fsck reads them all; it cannot know which are live).
+  for (uint64_t group = 0; group < group_inode_counts_.size(); ++group) {
+    blocks->push_back(BlockBitmapBlock(group));
+    blocks->push_back(InodeBitmapBlock(group));
+    for (uint64_t b = 0; b < params_.inode_table_blocks; ++b) {
+      blocks->push_back(InodeTableStart(group) + b);
+    }
+  }
+  // Pass 1+2: every inode's mapping meta blocks, and directory contents.
+  for (const Inode& inode : inodes_) {
+    for (const BlockId block : inode.indirect_blocks) {
+      if (block != kInvalidBlock) {
+        blocks->push_back(block);
+      }
+    }
+    for (const BlockId block : inode.extent_meta_blocks) {
+      blocks->push_back(block);
+    }
+    if (inode.type == FileType::kDirectory) {
+      for (const BlockId block : inode.block_map) {
+        if (block != kInvalidBlock) {
+          blocks->push_back(block);
+        }
+      }
+      for (const FileExtent& extent : inode.extents) {
+        for (uint64_t i = 0; i < extent.extent.count; ++i) {
+          blocks->push_back(extent.extent.start + i);
+        }
+      }
+    }
+  }
 }
 
 bool FileSystem::CheckConsistency(std::string* error) const {

@@ -30,17 +30,8 @@
 
 namespace fsbench {
 
-// One cacheable page an operation touches: identified by (ino, index) for
-// the page cache and by `block` for the device. FS-global meta-data
-// (bitmaps, inode tables, indirect blocks, btree nodes) is keyed under
-// kMetaInode with index == block.
-struct MetaRef {
-  InodeId ino = kInvalidInode;
-  uint64_t index = 0;
-  BlockId block = kInvalidBlock;
-};
-
-// The I/O plan for one file-system operation.
+// The I/O plan for one file-system operation. (MetaRef, the element type,
+// lives in types.h so the transaction log can name it too.)
 //
 // The lists are small-inline-capacity buffers (src/sim/small_vec.h): the
 // common operations fit inline, and anything larger (full-directory negative
@@ -134,7 +125,14 @@ class FileSystem {
 
   // --- Per-FS behaviour knobs ---
 
-  virtual Journal* journal() { return nullptr; }
+  // The journal needs the I/O scheduler, which exists only after the machine
+  // is assembled; journaled file systems get one attached post-construction
+  // (null for ext2). Ownership lives here so the VFS's per-op journal probe
+  // is one member load, not a virtual call.
+  void AttachJournal(std::unique_ptr<Journal> journal) { journal_ = std::move(journal); }
+  Journal* journal() { return journal_.get(); }
+  const Journal* journal() const { return journal_.get(); }
+
   virtual ReadaheadConfig readahead_config() const = 0;
   // Extra per-operation CPU cost (journaling bookkeeping etc.).
   virtual Nanos per_op_cpu_overhead() const { return 0; }
@@ -145,6 +143,12 @@ class FileSystem {
   // live inodes, size/allocated accounting consistent. On failure `error`
   // describes the first violation.
   bool CheckConsistency(std::string* error) const;
+
+  // Appends every block an offline metadata scan (fsck passes 1+2) must
+  // read: group bitmaps and inode tables, each inode's mapping meta blocks
+  // (indirect / extent nodes), and directory data blocks. Drives the
+  // no-journal crash-recovery cost model (see src/sim/recovery.h).
+  void AppendMetadataBlocks(std::vector<BlockId>* blocks) const;
 
   const Inode* FindInode(InodeId ino) const;
   const Directory* FindDir(InodeId ino) const;
@@ -216,6 +220,8 @@ class FileSystem {
   BlockId GroupStart(uint64_t group) const { return group * params_.group_blocks; }
   BlockId BlockBitmapBlock(uint64_t group) const { return GroupStart(group) + 1; }
   BlockId InodeBitmapBlock(uint64_t group) const { return GroupStart(group) + 2; }
+  // First inode-table block (after superblock copy + the two bitmaps).
+  BlockId InodeTableStart(uint64_t group) const { return GroupStart(group) + 3; }
   // First block usable for data in `group`.
   BlockId GroupDataStart(uint64_t group) const {
     return GroupStart(group) + params_.group_header_blocks;
@@ -240,6 +246,7 @@ class FileSystem {
   InodeId next_ino_ = kRootInode;
   uint64_t next_dir_group_ = 0;
   uint64_t reserved_blocks_ = 0;  // mkfs-reserved (headers, journal) for fsck accounting
+  std::unique_ptr<Journal> journal_;
 
  private:
   void InitGroups();

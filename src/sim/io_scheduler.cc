@@ -51,10 +51,16 @@ void IoScheduler::ServicePending(Nanos from) {
     head_lba_ = req.lba + req.sector_count;
     if (!service.has_value()) {
       ++stats_.async_errors;
+      if (observer_ != nullptr) {
+        observer_->OnIoComplete(req, t, /*ok=*/false);
+      }
       continue;
     }
     t += *service;
     AdmitInflight(t);
+    if (observer_ != nullptr) {
+      observer_->OnIoComplete(req, t, /*ok=*/true);
+    }
   }
   pending_.clear();
   busy_until_ = std::max(t, busy_until_);
@@ -75,6 +81,9 @@ std::optional<Nanos> IoScheduler::SubmitSync(const IoRequest& req, Nanos now) {
   const std::optional<Nanos> service = disk_->Access(req);
   head_lba_ = req.lba + req.sector_count;
   if (!service.has_value()) {
+    if (observer_ != nullptr) {
+      observer_->OnIoComplete(req, start, /*ok=*/false);
+    }
     return std::nullopt;
   }
   const Nanos completion = start + *service;
@@ -82,6 +91,9 @@ std::optional<Nanos> IoScheduler::SubmitSync(const IoRequest& req, Nanos now) {
   AdmitInflight(completion);
   stats_.total_sync_wait += completion - now;
   stats_.total_sync_queue_delay += start - now;
+  if (observer_ != nullptr) {
+    observer_->OnIoComplete(req, completion, /*ok=*/true);
+  }
   return completion;
 }
 

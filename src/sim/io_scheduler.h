@@ -30,6 +30,18 @@ namespace fsbench {
 
 enum class SchedulerKind : uint8_t { kFifo, kElevator };
 
+// Observes the moment a request's completion time is determined (admission
+// for sync requests, the service pass for async ones). Used by ShadowDisk to
+// track durable-vs-volatile block state for crash injection; null (the
+// default) costs the hot path nothing but a branch.
+class IoCompletionObserver {
+ public:
+  virtual ~IoCompletionObserver() = default;
+  // `ok` is false when the request hit an injected device fault (no
+  // completion happened; `completion` is the failure instant).
+  virtual void OnIoComplete(const IoRequest& req, Nanos completion, bool ok) = 0;
+};
+
 struct IoSchedulerStats {
   uint64_t sync_requests = 0;
   uint64_t async_requests = 0;
@@ -77,6 +89,9 @@ class IoScheduler {
   // order (async services and sync submissions alike).
   void set_dispatch_log(std::vector<uint64_t>* log) { dispatch_log_ = log; }
 
+  // Crash-tracking hook (see IoCompletionObserver above).
+  void set_completion_observer(IoCompletionObserver* observer) { observer_ = observer; }
+
  private:
   // Services pending async requests starting no earlier than `from`.
   void ServicePending(Nanos from);
@@ -100,6 +115,7 @@ class IoScheduler {
   std::vector<PendingRequest> pending_;
   std::vector<Nanos> inflight_;  // min-heap of admitted completion times
   std::vector<uint64_t>* dispatch_log_ = nullptr;
+  IoCompletionObserver* observer_ = nullptr;
   IoSchedulerStats stats_;
 };
 

@@ -1,62 +1,81 @@
 #include "src/sim/journal.h"
 
-#include <cassert>
+#include <algorithm>
 
 namespace fsbench {
 
-Journal::Journal(IoScheduler* scheduler, VirtualClock* clock, Extent region,
-                 const JournalConfig& config)
-    : scheduler_(scheduler), clock_(clock), region_(region), config_(config) {
-  assert(region_.count > 0);
-}
-
-void Journal::LogMetadataBlock(BlockId block) { current_tx_.insert(block); }
-
-void Journal::LogDataBlock(BlockId block) {
-  if (config_.mode == JournalMode::kJournaled) {
-    current_tx_.insert(block);
+Nanos Journal::CommitToLog(TxnLog& log, VirtualClock* clock, bool sync) {
+  const uint64_t logged = log.pending_blocks();
+  if (logged == 0) {
+    return clock->now();
   }
-}
-
-Nanos Journal::WriteTransaction(bool sync) {
-  if (current_tx_.empty()) {
-    return clock_->now();
-  }
-  // Descriptor block + logged blocks + commit record, written sequentially
-  // at the journal head (wrapping). Sequential writes are nearly free on the
-  // disk model, as on real hardware.
-  const uint64_t blocks_to_write = current_tx_.size() + 2;
-  Nanos completion = clock_->now();
-  for (uint64_t i = 0; i < blocks_to_write; ++i) {
-    const uint64_t offset = (head_block_ + i) % region_.count;
-    const IoRequest req{IoKind::kWrite, (region_.start + offset) * config_.block_sectors,
-                        config_.block_sectors};
-    if (sync && i + 1 == blocks_to_write) {
-      // Only the commit record is waited on.
-      if (const auto done = scheduler_->SubmitSync(req, clock_->now()); done.has_value()) {
-        completion = *done;
-      }
-    } else {
-      scheduler_->SubmitAsync(req, clock_->now());
-    }
-  }
-  head_block_ = (head_block_ + blocks_to_write) % region_.count;
-  stats_.blocks_logged += current_tx_.size();
+  const Nanos completion = log.Commit(sync);
+  stats_.blocks_logged += logged;
   ++stats_.commits;
-  current_tx_.clear();
-  last_commit_time_ = clock_->now();
+  last_commit_time_ = std::max(last_commit_time_, clock->now());
   return completion;
 }
 
-void Journal::MaybePeriodicCommit() {
+// --- JbdJournal --------------------------------------------------------------
+
+JbdJournal::JbdJournal(IoScheduler* scheduler, VirtualClock* clock, Extent region,
+                       const JournalConfig& config)
+    : Journal(config),
+      clock_(clock),
+      log_(scheduler, clock, region,
+           TxnLogConfig{config.block_sectors, config.checkpoint_threshold}) {}
+
+void JbdJournal::MaybePeriodicCommit() {
   if (clock_->now() - last_commit_time_ >= config_.commit_interval) {
-    WriteTransaction(/*sync=*/false);
+    CommitToLog(log_, clock_, /*sync=*/false);
   }
 }
 
-Nanos Journal::CommitSync() {
+Nanos JbdJournal::CommitSync() {
   ++stats_.sync_commits;
-  return WriteTransaction(/*sync=*/true);
+  return CommitToLog(log_, clock_, /*sync=*/true);
+}
+
+// --- CilJournal --------------------------------------------------------------
+
+CilJournal::CilJournal(IoScheduler* scheduler, VirtualClock* clock, Extent region,
+                       const JournalConfig& config)
+    : Journal(config),
+      clock_(clock),
+      log_(scheduler, clock, region,
+           TxnLogConfig{config.block_sectors, config.checkpoint_threshold}) {}
+
+void CilJournal::LogMetadata(const MetaRef& ref) {
+  ++stats_.cil_inserts;
+  if (cil_set_.insert(ref.block).second) {
+    cil_.push_back(ref);
+  }
+  if (config_.cil_push_blocks != 0 && cil_.size() >= config_.cil_push_blocks) {
+    Push(/*sync=*/false);
+  }
+}
+
+Nanos CilJournal::Push(bool sync) {
+  if (!cil_.empty()) {
+    ++stats_.cil_pushes;
+    for (const MetaRef& ref : cil_) {
+      log_.Add(ref);
+    }
+    cil_.clear();
+    cil_set_.clear();
+  }
+  return CommitToLog(log_, clock_, sync);
+}
+
+void CilJournal::MaybePeriodicCommit() {
+  if (clock_->now() - last_commit_time_ >= config_.commit_interval) {
+    Push(/*sync=*/false);
+  }
+}
+
+Nanos CilJournal::CommitSync() {
+  ++stats_.sync_commits;
+  return Push(/*sync=*/true);
 }
 
 }  // namespace fsbench

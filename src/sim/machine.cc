@@ -61,14 +61,25 @@ Machine::Machine(FsKind fs_kind, const MachineConfig& config)
     case FsKind::kExt3: {
       auto ext3 = std::make_unique<Ext3Fs>(config_.disk.capacity, config_.layout, &clock_,
                                            config_.journal_blocks);
-      ext3->AttachJournal(std::make_unique<Journal>(scheduler_.get(), &clock_,
-                                                    ext3->journal_region(), config_.journal));
+      // Journal blocks are file-system blocks: the log's LBAs and the
+      // ShadowDisk's durability map must agree on the block size.
+      JournalConfig journal_config = config_.journal;
+      journal_config.block_sectors = ext3->sectors_per_block();
+      ext3->AttachJournal(std::make_unique<JbdJournal>(scheduler_.get(), &clock_,
+                                                       ext3->journal_region(), journal_config));
       fs_ = std::move(ext3);
       break;
     }
-    case FsKind::kXfs:
-      fs_ = std::make_unique<XfsFs>(config_.disk.capacity, config_.layout, &clock_);
+    case FsKind::kXfs: {
+      auto xfs = std::make_unique<XfsFs>(config_.disk.capacity, config_.layout, &clock_,
+                                         config_.xfs_log_blocks);
+      JournalConfig journal_config = config_.xfs_journal;
+      journal_config.block_sectors = xfs->sectors_per_block();
+      xfs->AttachJournal(std::make_unique<CilJournal>(scheduler_.get(), &clock_,
+                                                      xfs->journal_region(), journal_config));
+      fs_ = std::move(xfs);
       break;
+    }
   }
 
   VfsConfig vfs_config;
@@ -87,6 +98,23 @@ Machine::Machine(FsKind fs_kind, const MachineConfig& config)
     flash_ = std::make_unique<FlashTier>(flash_config);
   }
   vfs_ = std::make_unique<Vfs>(&clock_, scheduler_.get(), fs_.get(), vfs_config, flash_.get());
+  // The journal checkpoints by asking the VFS to write dirty pages home.
+  if (Journal* journal = fs_->journal(); journal != nullptr) {
+    journal->set_checkpoint_sink(vfs_.get());
+  }
+}
+
+void Machine::EnableCrashTracking() {
+  if (shadow_ != nullptr) {
+    return;
+  }
+  shadow_ = std::make_unique<ShadowDisk>(fs_->sectors_per_block());
+  scheduler_->set_completion_observer(shadow_.get());
+  if (Journal* journal = fs_->journal(); journal != nullptr) {
+    if (TxnLog* log = journal->txn_log(); log != nullptr) {
+      log->set_retain_history(true);
+    }
+  }
 }
 
 void Machine::BindCursor(VirtualClock* cursor) {

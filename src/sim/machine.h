@@ -22,6 +22,7 @@
 #include "src/sim/ext3fs.h"
 #include "src/sim/flash_tier.h"
 #include "src/sim/io_scheduler.h"
+#include "src/sim/shadow_disk.h"
 #include "src/sim/vfs.h"
 #include "src/sim/xfsfs.h"
 
@@ -35,8 +36,16 @@ struct MachineConfig {
   double disk_speed_jitter = 0.05;    // per-run uniform +- fraction
   DiskParams disk;
   FsLayoutParams layout;
-  JournalConfig journal;              // used by ext3
+  // Journal policy knobs. `block_sectors` is machine-managed: the machine
+  // overrides it with the file system's sectors_per_block() at assembly so
+  // the log's LBAs and the ShadowDisk durability map always agree (it is
+  // honoured only when constructing a JbdJournal/CilJournal directly).
+  JournalConfig journal;              // ext3 (JBD: 5 s kjournald commits)
   uint64_t journal_blocks = 8192;     // 32 MiB journal region
+  // XFS delayed logging: same-size log, lazier push cadence (the xfs log
+  // timer), deltas batched in the in-memory CIL until then.
+  JournalConfig xfs_journal{JournalMode::kOrdered, 30 * kSecond};
+  uint64_t xfs_log_blocks = 8192;
   SchedulerKind scheduler = SchedulerKind::kElevator;
   EvictionPolicyKind eviction = EvictionPolicyKind::kLru;
   Nanos syscall_overhead = 3500;
@@ -67,6 +76,22 @@ class Machine {
   // step; passing &clock() restores the single-threaded default (the base
   // clock doubles as thread 0's cursor).
   void BindCursor(VirtualClock* cursor);
+
+  // Crash tracking: attaches a ShadowDisk as the scheduler's completion
+  // observer and makes the transaction log retain its full commit history,
+  // so a crash can later be resolved (src/sim/recovery.h). Must be enabled
+  // before the run whose crash is simulated; idempotent.
+  void EnableCrashTracking();
+  ShadowDisk* shadow() { return shadow_.get(); }  // null unless enabled
+
+  // Operation-boundary notification from the engine (crash mode): workload
+  // operations with index <= `op` have fully logged their updates.
+  void NotifyOpBoundary(uint64_t op) {
+    if (Journal* journal = fs_->journal(); journal != nullptr) {
+      journal->SetOpWatermark(op);
+    }
+  }
+
   DiskModel& disk() { return *disk_; }
   FlashTier* flash() { return flash_.get(); }  // null when not configured
   IoScheduler& scheduler() { return *scheduler_; }
@@ -87,6 +112,7 @@ class Machine {
   std::unique_ptr<FileSystem> fs_;
   std::unique_ptr<FlashTier> flash_;
   std::unique_ptr<Vfs> vfs_;
+  std::unique_ptr<ShadowDisk> shadow_;
   size_t cache_capacity_pages_ = 0;
 };
 

@@ -1,0 +1,160 @@
+#include "src/sim/recovery.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/sim/shadow_disk.h"
+#include "src/sim/txn_log.h"
+
+namespace fsbench {
+
+namespace {
+
+// Mount-time recovery runs against an otherwise idle device: a fresh disk
+// model with the machine's (jittered) mechanical parameters accumulates the
+// service time of each recovery request.
+class RecoveryDevice {
+ public:
+  RecoveryDevice(const DiskParams& params, uint64_t seed, uint32_t sectors_per_block)
+      : disk_(params, seed), sectors_per_block_(sectors_per_block) {}
+
+  void Read(BlockId block, uint64_t count) { Access(IoKind::kRead, block, count); }
+  void Write(BlockId block, uint64_t count) { Access(IoKind::kWrite, block, count); }
+
+  // Reads `blocks` (sorted, deduplicated in place), coalescing adjacent
+  // runs into single requests.
+  void ReadCoalesced(std::vector<BlockId>* blocks, bool write = false) {
+    std::sort(blocks->begin(), blocks->end());
+    blocks->erase(std::unique(blocks->begin(), blocks->end()), blocks->end());
+    size_t i = 0;
+    while (i < blocks->size()) {
+      size_t run = 1;
+      while (i + run < blocks->size() && (*blocks)[i + run] == (*blocks)[i] + run) {
+        ++run;
+      }
+      Access(write ? IoKind::kWrite : IoKind::kRead, (*blocks)[i], run);
+      i += run;
+    }
+  }
+
+  Nanos elapsed() const { return elapsed_; }
+
+ private:
+  void Access(IoKind kind, BlockId block, uint64_t count) {
+    const IoRequest req{kind, block * sectors_per_block_,
+                        static_cast<uint32_t>(count * sectors_per_block_)};
+    if (const auto service = disk_.Access(req); service.has_value()) {
+      elapsed_ += *service;
+    }
+  }
+
+  DiskModel disk_;
+  uint32_t sectors_per_block_;
+  Nanos elapsed_ = 0;
+};
+
+}  // namespace
+
+CrashReport SimulateCrashRecovery(Machine& machine, Nanos crash_time, uint64_t ops_issued,
+                                  uint64_t stable_watermark) {
+  CrashReport report;
+  report.crash_time = crash_time;
+  report.ops_issued = ops_issued;
+  report.dirty_pages_lost = machine.vfs().cache().dirty_count();
+
+  // Assign completion times to everything still queued. The scheduler's
+  // billing convention defers async service to the next sync arrival, but
+  // physically the device worked through its queue from the moment each
+  // request was submitted — so drain from virtual time 0: every pending
+  // request starts at max(device busy, its submission time), and the
+  // resulting completions are what durability is judged against.
+  machine.scheduler().Drain(0);
+  const ShadowDisk* shadow = machine.shadow();
+  if (shadow == nullptr) {
+    // Hard failure in every build configuration: without the write history
+    // there is nothing to judge durability against, and limping on would
+    // fabricate a recovery outcome.
+    std::fprintf(stderr,
+                 "SimulateCrashRecovery: Machine::EnableCrashTracking() was never called\n");
+    std::abort();
+  }
+  report.volatile_blocks = shadow->VolatileCount(crash_time);
+
+  RecoveryDevice device(machine.disk().params(), machine.config().seed ^ 0x5ec07e11ULL,
+                        machine.fs().sectors_per_block());
+
+  Journal* journal = machine.fs().journal();
+  TxnLog* log = journal != nullptr ? journal->txn_log() : nullptr;
+  if (log != nullptr) {
+    report.used_journal = true;
+    uint64_t watermark = 0;
+    bool gap = false;
+    std::vector<BlockId> home_writes;
+    // Mount reads the log superblock, then walks commits in order.
+    device.Read(log->region().start, 1);
+    for (const TxnLog::TxnRecord& txn : log->records()) {
+      // A checkpointed transaction is durable by construction: reclaim
+      // means every home block was written back (forced checkpoints drain
+      // the device before reusing the space — JBD's wait-for-writeback
+      // contract) or reported obsolete because the block was freed (the
+      // revoke-record role; no write was ever owed). Judging it by the
+      // block's *latest* write instead would let any in-flight rewrite of
+      // a shared bitmap at the crash falsely tear every earlier
+      // transaction. Known modeling window: the lazy reclaim path frees
+      // space on writeback *submission*, so a transaction reclaimed within
+      // the last async service delay before the crash is counted durable
+      // slightly early (optimistic, never loses fsync'd data — sync
+      // commits wait for the platter). In-flight writes stay visible as
+      // volatile_blocks.
+      const bool effective =
+          txn.checkpointed || shadow->DurableBy(txn.commit_block, crash_time);
+      if (gap || !effective) {
+        // Replay stops at the first unreadable commit; everything beyond is
+        // the torn tail, discarded no matter how much of it hit the log.
+        gap = true;
+        ++report.torn_txns;
+        continue;
+      }
+      watermark = std::max(watermark, txn.watermark);
+      ++report.durable_txns;
+      if (!txn.checkpointed) {
+        // Replay: sequential read of the transaction's log extent (split at
+        // the wrap), then its home blocks are rewritten below.
+        ++report.replayed_txns;
+        report.replay_log_blocks += txn.log_blocks;
+        const Extent region = log->region();
+        const uint64_t first = txn.log_start;
+        const uint64_t straight = std::min(txn.log_blocks, region.count - first);
+        device.Read(region.start + first, straight);
+        if (straight < txn.log_blocks) {
+          device.Read(region.start, txn.log_blocks - straight);
+        }
+        for (const MetaRef& ref : txn.home) {
+          home_writes.push_back(ref.block);
+        }
+      }
+    }
+    device.ReadCoalesced(&home_writes, /*write=*/true);
+    // After the dedup inside ReadCoalesced: a shared block logged by many
+    // replayed transactions is rewritten once, and the count matches the
+    // I/O actually charged (fsck_blocks uses the same convention).
+    report.replay_home_blocks = home_writes.size();
+    report.recovery_watermark = std::max(watermark, stable_watermark);
+  } else {
+    // No journal: the recovered state is the last stable point, and getting
+    // a mountable file system back costs a full offline metadata scan.
+    std::vector<BlockId> scan;
+    machine.fs().AppendMetadataBlocks(&scan);
+    std::sort(scan.begin(), scan.end());
+    scan.erase(std::unique(scan.begin(), scan.end()), scan.end());
+    report.fsck_blocks = scan.size();
+    device.ReadCoalesced(&scan);
+    report.recovery_watermark = stable_watermark;
+  }
+  report.recovery_latency = device.elapsed();
+  return report;
+}
+
+}  // namespace fsbench

@@ -1,0 +1,22 @@
+#include "src/sim/shadow_disk.h"
+
+namespace fsbench {
+
+void ShadowDisk::OnIoComplete(const IoRequest& req, Nanos completion, bool ok) {
+  if (req.kind != IoKind::kWrite || !ok) {
+    return;
+  }
+  const BlockId first = req.lba / sectors_per_block_;
+  const BlockId last = (req.lba + req.sector_count - 1) / sectors_per_block_;
+  for (BlockId block = first; block <= last; ++block) {
+    // Later-submitted writes of the same block supersede earlier ones; the
+    // elevator never reorders same-LBA requests (stable sort), so keeping
+    // the maximum completion matches the device's final content.
+    Nanos& slot = last_write_completion_[block];
+    if (completion > slot) {
+      slot = completion;
+    }
+  }
+}
+
+}  // namespace fsbench

@@ -74,6 +74,17 @@ struct Extent {
   bool operator==(const Extent& other) const = default;
 };
 
+// One cacheable page an operation touches: identified by (ino, index) for
+// the page cache and by `block` for the device. FS-global meta-data
+// (bitmaps, inode tables, indirect blocks, btree nodes) is keyed under
+// kMetaInode with index == block. Lives here (not filesystem.h) because the
+// transaction log tracks checkpoint targets as MetaRefs too.
+struct MetaRef {
+  InodeId ino = kInvalidInode;
+  uint64_t index = 0;
+  BlockId block = kInvalidBlock;
+};
+
 }  // namespace fsbench
 
 #endif  // SRC_SIM_TYPES_H_

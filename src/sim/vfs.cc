@@ -77,12 +77,16 @@ FsStatus Vfs::DemandRead(BlockId block, uint32_t count) {
 }
 
 void Vfs::HandleEvictions(const PageCache::EvictedBatch& evicted) {
+  Journal* journal = fs_->journal();
   for (const PageCache::Evicted& page : evicted) {
     if (page.dirty && page.block != kInvalidBlock) {
       scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
                                         fs_->sectors_per_block()},
                               clock_->now());
       ++stats_.writeback_pages;
+      if (journal != nullptr) {
+        journal->NoteHomeWrite(page.block);
+      }
     }
     // Demote RAM evictions into the flash tier (clean copies; durability is
     // handled by the writeback above).
@@ -118,14 +122,22 @@ FsStatus Vfs::ProcessMetaIo(const MetaIo& io) {
       clock_->Advance(scaled_meta_touch_);
       InsertPage(PageKey{ref.ino, ref.index}, ref.block, /*dirty=*/true);
       if (journal != nullptr) {
-        journal->LogMetadataBlock(ref.block);
+        journal->LogMetadata(ref);
       }
     }
   }
-  for (const MetaRef& ref : io.invalidations) {
-    cache_.Remove(PageKey{ref.ino, ref.index});
-    if (flash_ != nullptr) {
-      flash_->Remove(PageKey{ref.ino, ref.index});
+  if (!io.invalidations.empty()) {
+    Journal* journal = fs_->journal();
+    for (const MetaRef& ref : io.invalidations) {
+      cache_.Remove(PageKey{ref.ino, ref.index});
+      if (flash_ != nullptr) {
+        flash_->Remove(PageKey{ref.ino, ref.index});
+      }
+      // A dropped home block no longer needs checkpointing: its logged
+      // content is moot (the block was freed).
+      if (journal != nullptr) {
+        journal->NoteHomeWrite(ref.block);
+      }
     }
   }
   for (const InodeId ino : io.drop_files) {
@@ -137,13 +149,14 @@ FsStatus Vfs::ProcessMetaIo(const MetaIo& io) {
   return FsStatus::kOk;
 }
 
-void Vfs::SubmitWritebackScratch() {
+void Vfs::SubmitWritebackBatch(std::vector<PageCache::Evicted>& batch) {
   // Sort by device block so the elevator sees sequential runs.
-  std::sort(writeback_scratch_.begin(), writeback_scratch_.end(),
+  std::sort(batch.begin(), batch.end(),
             [](const PageCache::Evicted& a, const PageCache::Evicted& b) {
               return a.block < b.block;
             });
-  for (const PageCache::Evicted& page : writeback_scratch_) {
+  Journal* journal = fs_->journal();
+  for (const PageCache::Evicted& page : batch) {
     if (page.block == kInvalidBlock) {
       continue;
     }
@@ -151,7 +164,29 @@ void Vfs::SubmitWritebackScratch() {
                                       fs_->sectors_per_block()},
                             clock_->now());
     ++stats_.writeback_pages;
+    if (journal != nullptr) {
+      journal->NoteHomeWrite(page.block);
+    }
   }
+}
+
+size_t Vfs::WritebackForCheckpoint(const MetaRef* refs, size_t count, Nanos now) {
+  (void)now;  // submissions read the bound cursor, which the caller shares
+  checkpoint_scratch_.clear();
+  Journal* journal = fs_->journal();
+  for (size_t i = 0; i < count; ++i) {
+    const MetaRef& ref = refs[i];
+    if (!cache_.TakeDirtyPage(PageKey{ref.ino, ref.index}, &checkpoint_scratch_)) {
+      // No dirty page behind this ref: a prior writeback put the content
+      // home, or the page is gone (eviction already written back;
+      // whole-file drop on unlink freed the block). Either way the log
+      // copy is no longer owed to the platter.
+      journal->NoteHomeWrite(ref.block);
+    }
+  }
+  const size_t submitted = checkpoint_scratch_.size();
+  SubmitWritebackBatch(checkpoint_scratch_);
+  return submitted;
 }
 
 void Vfs::WritebackDirty(size_t max_pages) {
@@ -488,7 +523,7 @@ FsResult<Bytes> Vfs::Write(int fd, Bytes offset, Bytes length) {
       InsertPage(key, block.value, /*dirty=*/true);
       clock_->Advance(scaled_page_copy_);
       if (journal != nullptr) {
-        journal->LogDataBlock(block.value);
+        journal->LogData(MetaRef{file->ino, page, block.value});
       }
     }
   }

@@ -67,7 +67,7 @@ struct VfsStats {
   uint64_t io_errors = 0;
 };
 
-class Vfs {
+class Vfs : public CheckpointSink {
  public:
   // `flash` is an optional second-level cache tier (may be null): RAM
   // evictions are demoted into it and RAM misses probe it before disk.
@@ -116,6 +116,12 @@ class Vfs {
 
   // Drops the whole page cache (clean and dirty alike).
   void DropCaches();
+
+  // CheckpointSink: the transaction log reclaims space by asking for the
+  // still-dirty pages behind a committed transaction's home blocks to be
+  // written back (async, at `now`). Pages already clean, evicted or
+  // invalidated are reported straight back as at-home.
+  size_t WritebackForCheckpoint(const MetaRef* refs, size_t count, Nanos now) override;
 
   // --- Introspection ---
 
@@ -173,9 +179,11 @@ class Vfs {
   // device-block order (so the elevator sees sequential runs).
   void WritebackDirty(size_t max_pages);
 
-  // Sorts `writeback_scratch_` by device block and queues the pages as
-  // async writes (shared tail of WritebackDirty and the per-file Fsync).
-  void SubmitWritebackScratch();
+  // Sorts `batch` by device block and queues the pages as async writes,
+  // reporting each home write to the journal (shared tail of
+  // WritebackDirty, the per-file Fsync, and checkpoint writeback).
+  void SubmitWritebackBatch(std::vector<PageCache::Evicted>& batch);
+  void SubmitWritebackScratch() { SubmitWritebackBatch(writeback_scratch_); }
 
   // Inserts a page and processes evictions.
   void InsertPage(const PageKey& key, BlockId block, bool dirty);
@@ -207,6 +215,9 @@ class Vfs {
   // the hit path) and the writeback batch.
   MetaIo meta_scratch_;
   std::vector<PageCache::Evicted> writeback_scratch_;
+  // Separate from writeback_scratch_: checkpoint writeback can be forced
+  // from inside Fsync, while writeback_scratch_ is mid-use.
+  std::vector<PageCache::Evicted> checkpoint_scratch_;
 };
 
 }  // namespace fsbench

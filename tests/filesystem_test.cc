@@ -325,8 +325,8 @@ TEST(Ext3FsTest, JournalAttachment) {
   VirtualClock clock;
   DiskModel disk(params, 1);
   IoScheduler scheduler(&disk);
-  fs.AttachJournal(std::make_unique<Journal>(&scheduler, &clock, fs.journal_region(),
-                                             JournalConfig{}));
+  fs.AttachJournal(std::make_unique<JbdJournal>(&scheduler, &clock, fs.journal_region(),
+                                                JournalConfig{}));
   EXPECT_NE(fs.journal(), nullptr);
 }
 

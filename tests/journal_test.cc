@@ -1,9 +1,15 @@
+// Journal-client behaviour: JbdJournal (ext3) and CilJournal (xfs delayed
+// logging) over the generic transaction log. The log mechanism itself —
+// space accounting, checkpointing, stalls, wraparound — is covered by
+// tests/txn_log_test.cc.
 #include "src/sim/journal.h"
 
 #include <gtest/gtest.h>
 
 namespace fsbench {
 namespace {
+
+MetaRef Ref(BlockId block) { return MetaRef{1, block, block}; }
 
 struct JournalFixture {
   DiskParams params;
@@ -13,14 +19,18 @@ struct JournalFixture {
 
   JournalFixture() : disk(params, 1), scheduler(&disk) {}
 
-  Journal MakeJournal(JournalConfig config = {}) {
-    return Journal(&scheduler, &clock, Extent{1000, 8192}, config);
+  JbdJournal MakeJournal(JournalConfig config = {}) {
+    return JbdJournal(&scheduler, &clock, Extent{1000, 8192}, config);
+  }
+
+  CilJournal MakeCilJournal(JournalConfig config = {}) {
+    return CilJournal(&scheduler, &clock, Extent{1000, 8192}, config);
   }
 };
 
 TEST(JournalTest, EmptyCommitIsFree) {
   JournalFixture f;
-  Journal journal = f.MakeJournal();
+  JbdJournal journal = f.MakeJournal();
   const Nanos done = journal.CommitSync();
   EXPECT_EQ(done, f.clock.now());
   EXPECT_EQ(journal.stats().commits, 0u);
@@ -28,9 +38,9 @@ TEST(JournalTest, EmptyCommitIsFree) {
 
 TEST(JournalTest, SyncCommitWaitsForTheCommitRecord) {
   JournalFixture f;
-  Journal journal = f.MakeJournal();
-  journal.LogMetadataBlock(42);
-  journal.LogMetadataBlock(43);
+  JbdJournal journal = f.MakeJournal();
+  journal.LogMetadata(Ref(42));
+  journal.LogMetadata(Ref(43));
   const Nanos done = journal.CommitSync();
   EXPECT_GT(done, f.clock.now());
   EXPECT_EQ(journal.stats().commits, 1u);
@@ -41,22 +51,22 @@ TEST(JournalTest, SyncCommitWaitsForTheCommitRecord) {
 
 TEST(JournalTest, DuplicateBlocksCoalesceWithinTransaction) {
   JournalFixture f;
-  Journal journal = f.MakeJournal();
-  journal.LogMetadataBlock(42);
-  journal.LogMetadataBlock(42);
-  journal.LogMetadataBlock(42);
+  JbdJournal journal = f.MakeJournal();
+  journal.LogMetadata(Ref(42));
+  journal.LogMetadata(Ref(42));
+  journal.LogMetadata(Ref(42));
   EXPECT_EQ(journal.pending_blocks(), 1u);
 }
 
 TEST(JournalTest, OrderedModeIgnoresDataBlocks) {
   JournalFixture f;
-  Journal journal = f.MakeJournal();
-  journal.LogDataBlock(99);
+  JbdJournal journal = f.MakeJournal();
+  journal.LogData(Ref(99));
   EXPECT_EQ(journal.pending_blocks(), 0u);
   JournalConfig config;
   config.mode = JournalMode::kJournaled;
-  Journal data_journal = f.MakeJournal(config);
-  data_journal.LogDataBlock(99);
+  JbdJournal data_journal = f.MakeJournal(config);
+  data_journal.LogData(Ref(99));
   EXPECT_EQ(data_journal.pending_blocks(), 1u);
 }
 
@@ -64,8 +74,8 @@ TEST(JournalTest, PeriodicCommitFiresAfterInterval) {
   JournalFixture f;
   JournalConfig config;
   config.commit_interval = 5 * kSecond;
-  Journal journal = f.MakeJournal(config);
-  journal.LogMetadataBlock(1);
+  JbdJournal journal = f.MakeJournal(config);
+  journal.LogMetadata(Ref(1));
   journal.MaybePeriodicCommit();
   EXPECT_EQ(journal.stats().commits, 0u);  // too early
   f.clock.Advance(6 * kSecond);
@@ -78,21 +88,56 @@ TEST(JournalTest, PeriodicTimerResetsAfterCommit) {
   JournalFixture f;
   JournalConfig config;
   config.commit_interval = 5 * kSecond;
-  Journal journal = f.MakeJournal(config);
+  JbdJournal journal = f.MakeJournal(config);
   f.clock.Advance(6 * kSecond);
-  journal.LogMetadataBlock(1);
+  journal.LogMetadata(Ref(1));
   journal.MaybePeriodicCommit();
   EXPECT_EQ(journal.stats().commits, 1u);
-  journal.LogMetadataBlock(2);
+  journal.LogMetadata(Ref(2));
   journal.MaybePeriodicCommit();
   EXPECT_EQ(journal.stats().commits, 1u);  // timer restarted
 }
 
+TEST(JournalTest, CommitClockIsMonotoneAcrossSkewedCursors) {
+  // Regression (MT engine): a trailing thread cursor committing via fsync
+  // must not regress the periodic-commit timer. Cursor A commits at 10 s;
+  // cursor B — bound later but *behind* in virtual time — syncs at 2 s; at
+  // 12 s the interval (5 s) has not elapsed since the 10 s commit, so no
+  // periodic commit may fire.
+  JournalFixture f;
+  JournalConfig config;
+  config.commit_interval = 5 * kSecond;
+  JbdJournal journal = f.MakeJournal(config);
+
+  VirtualClock cursor_a;
+  VirtualClock cursor_b;
+  cursor_a.AdvanceTo(10 * kSecond);
+  cursor_b.AdvanceTo(2 * kSecond);
+
+  journal.BindClock(&cursor_a);
+  journal.LogMetadata(Ref(1));
+  journal.MaybePeriodicCommit();  // 10 s - 0 >= 5 s: commits
+  ASSERT_EQ(journal.stats().commits, 1u);
+
+  journal.BindClock(&cursor_b);
+  journal.LogMetadata(Ref(2));
+  journal.CommitSync();  // trailing cursor at 2 s
+  ASSERT_EQ(journal.stats().commits, 2u);
+
+  journal.BindClock(&cursor_a);
+  cursor_a.AdvanceTo(12 * kSecond);
+  journal.LogMetadata(Ref(3));
+  journal.MaybePeriodicCommit();
+  // Pre-fix behaviour: last commit time regressed to 2 s, so 12 s - 2 s
+  // >= 5 s fired a spurious commit. Monotone: 12 s - 10 s < 5 s.
+  EXPECT_EQ(journal.stats().commits, 2u);
+}
+
 TEST(JournalTest, JournalWritesAreSequentialOnDisk) {
   JournalFixture f;
-  Journal journal = f.MakeJournal();
+  JbdJournal journal = f.MakeJournal();
   for (BlockId b = 0; b < 32; ++b) {
-    journal.LogMetadataBlock(5000 + b * 97);
+    journal.LogMetadata(Ref(5000 + b * 97));
   }
   journal.CommitSync();
   // Sequential journal writes should mostly be streaming (no seeks beyond
@@ -101,18 +146,70 @@ TEST(JournalTest, JournalWritesAreSequentialOnDisk) {
             f.disk.stats().writes - 2);
 }
 
-TEST(JournalTest, HeadWrapsAroundRegion) {
+// --- CilJournal (delayed logging) -------------------------------------------
+
+TEST(CilJournalTest, DeltasBatchInMemoryUntilPushed) {
+  JournalFixture f;
+  CilJournal journal = f.MakeCilJournal();
+  for (BlockId b = 0; b < 16; ++b) {
+    journal.LogMetadata(Ref(100 + b));
+  }
+  // Nothing on disk yet: the CIL absorbed every delta.
+  EXPECT_EQ(journal.cil_blocks(), 16u);
+  EXPECT_EQ(journal.stats().commits, 0u);
+  EXPECT_EQ(f.disk.stats().writes, 0u);
+  f.scheduler.Drain(f.clock.now());
+  EXPECT_EQ(f.disk.stats().writes, 0u);
+
+  journal.CommitSync();
+  EXPECT_EQ(journal.cil_blocks(), 0u);
+  EXPECT_EQ(journal.stats().commits, 1u);
+  EXPECT_EQ(journal.stats().cil_pushes, 1u);
+  EXPECT_EQ(journal.stats().blocks_logged, 16u);
+  EXPECT_GT(f.disk.stats().writes, 0u);
+}
+
+TEST(CilJournalTest, RelogbgedBlocksCostOneCopyPerPush) {
+  // The delayed-logging win: a block re-dirtied N times between pushes hits
+  // the log once, where JBD would log it once per commit interval.
+  JournalFixture f;
+  CilJournal journal = f.MakeCilJournal();
+  for (int round = 0; round < 50; ++round) {
+    journal.LogMetadata(Ref(7));
+  }
+  EXPECT_EQ(journal.cil_blocks(), 1u);
+  EXPECT_EQ(journal.stats().cil_inserts, 50u);
+  journal.CommitSync();
+  EXPECT_EQ(journal.stats().blocks_logged, 1u);
+}
+
+TEST(CilJournalTest, CilPushesWhenItOutgrowsTheThreshold) {
   JournalFixture f;
   JournalConfig config;
-  Journal journal = Journal(&f.scheduler, &f.clock, Extent{1000, 8}, config);
-  // Each commit writes pending + 2 blocks; several commits must wrap the
-  // 8-block region without issue.
-  for (int tx = 0; tx < 10; ++tx) {
-    journal.LogMetadataBlock(100 + tx);
-    journal.LogMetadataBlock(200 + tx);
-    journal.CommitSync();
+  config.cil_push_blocks = 8;
+  CilJournal journal = f.MakeCilJournal(config);
+  for (BlockId b = 0; b < 8; ++b) {
+    journal.LogMetadata(Ref(200 + b));
   }
-  EXPECT_EQ(journal.stats().commits, 10u);
+  // The 8th distinct delta crossed the threshold: pushed without any fsync.
+  EXPECT_EQ(journal.cil_blocks(), 0u);
+  EXPECT_EQ(journal.stats().cil_pushes, 1u);
+  EXPECT_EQ(journal.stats().commits, 1u);
+  EXPECT_EQ(journal.stats().sync_commits, 0u);
+}
+
+TEST(CilJournalTest, PeriodicPushHonoursTheLogTimer) {
+  JournalFixture f;
+  JournalConfig config;
+  config.commit_interval = 30 * kSecond;
+  CilJournal journal = f.MakeCilJournal(config);
+  journal.LogMetadata(Ref(1));
+  f.clock.Advance(5 * kSecond);
+  journal.MaybePeriodicCommit();
+  EXPECT_EQ(journal.stats().commits, 0u);  // ext3 would have committed here
+  f.clock.Advance(26 * kSecond);
+  journal.MaybePeriodicCommit();
+  EXPECT_EQ(journal.stats().commits, 1u);
 }
 
 }  // namespace

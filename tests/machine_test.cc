@@ -82,7 +82,10 @@ TEST(MachineTest, BuildsEveryFileSystemKind) {
   EXPECT_NE(ext3.fs().journal(), nullptr);
   Machine xfs(FsKind::kXfs, config);
   EXPECT_STREQ(xfs.fs().name(), "xfs");
-  EXPECT_EQ(xfs.fs().journal(), nullptr);
+  // XFS journals through the delayed-logging adapter (CIL over the
+  // transaction log) since the txn-log refactor.
+  ASSERT_NE(xfs.fs().journal(), nullptr);
+  EXPECT_NE(xfs.fs().journal()->txn_log(), nullptr);
 }
 
 TEST(MachineTest, EvictionPolicyIsConfigurable) {

@@ -249,7 +249,7 @@ class ReferenceVfs {
         InsertPage(key, block.value, /*dirty=*/true);
         ChargeCpu(config_.page_copy_cost);
         if (journal != nullptr) {
-          journal->LogDataBlock(block.value);
+          journal->LogData(MetaRef{file->ino, page, block.value});
         }
       }
     }
@@ -531,12 +531,16 @@ class ReferenceVfs {
   }
 
   void HandleEvictions(const PageCache::EvictedBatch& evicted) {
+    Journal* journal = fs_->journal();
     for (const PageCache::Evicted& page : evicted) {
       if (page.dirty && page.block != kInvalidBlock) {
         scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
                                           fs_->sectors_per_block()},
                                 clock_->now());
         ++stats_.writeback_pages;
+        if (journal != nullptr) {
+          journal->NoteHomeWrite(page.block);
+        }
       }
     }
   }
@@ -566,11 +570,14 @@ class ReferenceVfs {
       ChargeCpu(config_.meta_touch_cost);
       InsertPage(PageKey{ref.ino, ref.index}, ref.block, /*dirty=*/true);
       if (journal != nullptr) {
-        journal->LogMetadataBlock(ref.block);
+        journal->LogMetadata(ref);
       }
     }
     for (const MetaRef& ref : io.invalidations) {
       cache_.Remove(PageKey{ref.ino, ref.index});
+      if (journal != nullptr) {
+        journal->NoteHomeWrite(ref.block);
+      }
     }
     for (const InodeId ino : io.drop_files) {
       cache_.RemoveFile(ino);
@@ -583,6 +590,7 @@ class ReferenceVfs {
               [](const PageCache::Evicted& a, const PageCache::Evicted& b) {
                 return a.block < b.block;
               });
+    Journal* journal = fs_->journal();
     for (const PageCache::Evicted& page : batch) {
       if (page.block == kInvalidBlock) {
         continue;
@@ -591,6 +599,9 @@ class ReferenceVfs {
                                         fs_->sectors_per_block()},
                               clock_->now());
       ++stats_.writeback_pages;
+      if (journal != nullptr) {
+        journal->NoteHomeWrite(page.block);
+      }
     }
   }
 
@@ -721,8 +732,9 @@ struct Stack {
         break;
       case FsKind::kExt3: {
         auto ext3 = std::make_unique<Ext3Fs>(kDevice, FsLayoutParams{}, &clock);
-        ext3->AttachJournal(std::make_unique<Journal>(&scheduler, &clock, ext3->journal_region(),
-                                                      JournalConfig{}));
+        ext3->AttachJournal(std::make_unique<JbdJournal>(&scheduler, &clock,
+                                                         ext3->journal_region(),
+                                                         JournalConfig{}));
         fs = std::move(ext3);
         break;
       }

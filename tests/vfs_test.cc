@@ -29,8 +29,9 @@ struct VfsFixture {
         break;
       case FsKind::kExt3: {
         auto ext3 = std::make_unique<Ext3Fs>(kDevice, FsLayoutParams{}, &clock);
-        ext3->AttachJournal(std::make_unique<Journal>(&scheduler, &clock,
-                                                      ext3->journal_region(), JournalConfig{}));
+        ext3->AttachJournal(std::make_unique<JbdJournal>(&scheduler, &clock,
+                                                         ext3->journal_region(),
+                                                         JournalConfig{}));
         fs = std::move(ext3);
         break;
       }
