@@ -75,6 +75,7 @@ RunResult Experiment::RunOnce(const MachineFactory& machine_factory,
   MetricsConfig metrics_config;
   metrics_config.timeline_interval = config_.timeline_interval;
   metrics_config.histogram_slice = config_.histogram_slice;
+  // Pre-run origin read, before any cursor exists. detlint: base-clock
   metrics_config.origin = machine->clock().now() + config_.warmup;
   MetricsCollector metrics(metrics_config);
 

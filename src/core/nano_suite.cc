@@ -25,7 +25,7 @@ NanoResult NanoSuite::IoSequentialBandwidth(const MachineFactory& factory) const
   for (int run = 0; run < config_.runs; ++run) {
     std::unique_ptr<Machine> machine = factory(config_.base_seed + run);
     IoScheduler& scheduler = machine->scheduler();
-    VirtualClock& clock = machine->clock();
+    VirtualClock& clock = machine->clock();  // detlint: base-clock
     // Raw sequential 256 KiB reads across the span; no file system involved.
     constexpr uint32_t kSectors = 512;  // 256 KiB
     const uint64_t start_lba = machine->disk().total_sectors() / 4;
@@ -50,7 +50,7 @@ NanoResult NanoSuite::IoRandomReadLatency(const MachineFactory& factory) const {
   for (int run = 0; run < config_.runs; ++run) {
     std::unique_ptr<Machine> machine = factory(config_.base_seed + run);
     IoScheduler& scheduler = machine->scheduler();
-    VirtualClock& clock = machine->clock();
+    VirtualClock& clock = machine->clock();  // detlint: base-clock
     Rng rng(config_.base_seed + run);
     const uint64_t span_sectors = config_.io_span / 512;
     const uint64_t base = machine->disk().total_sectors() / 4;
@@ -83,7 +83,7 @@ NanoResult NanoSuite::OnDiskRandomRead(const MachineFactory& factory) const {
       continue;
     }
     machine->vfs().DropCaches();
-    VirtualClock& clock = machine->clock();
+    VirtualClock& clock = machine->clock();  // detlint: base-clock
     const Nanos t0 = clock.now();
     const Nanos end = t0 + config_.duration;
     uint64_t ops = 0;
@@ -114,7 +114,7 @@ NanoResult NanoSuite::OnDiskSequentialRead(const MachineFactory& factory) const 
     if (!fd.ok()) {
       continue;
     }
-    VirtualClock& clock = machine->clock();
+    VirtualClock& clock = machine->clock();  // detlint: base-clock
     const Nanos t0 = clock.now();
     Bytes offset = 0;
     constexpr Bytes kIo = 256 * kKiB;
@@ -142,7 +142,7 @@ NanoResult NanoSuite::CacheHitLatency(const MachineFactory& factory) const {
     if (workload.Setup(ctx) != FsStatus::kOk || workload.Prewarm(ctx) != FsStatus::kOk) {
       continue;
     }
-    VirtualClock& clock = machine->clock();
+    VirtualClock& clock = machine->clock();  // detlint: base-clock
     RunningStats latency;
     const Nanos end = clock.now() + config_.duration;
     while (clock.now() < end) {
@@ -170,7 +170,7 @@ NanoResult NanoSuite::CacheWarmupFillRate(const MachineFactory& factory) const {
       continue;
     }
     machine->vfs().DropCaches();
-    VirtualClock& clock = machine->clock();
+    VirtualClock& clock = machine->clock();  // detlint: base-clock
     const Nanos t0 = clock.now();
     const Nanos end = t0 + config_.duration;
     while (clock.now() < end) {
@@ -278,7 +278,7 @@ NanoResult NanoSuite::MetadataCreateRate(const MachineFactory& factory) const {
     if (workload.Setup(ctx) != FsStatus::kOk) {
       continue;
     }
-    VirtualClock& clock = machine->clock();
+    VirtualClock& clock = machine->clock();  // detlint: base-clock
     const Nanos t0 = clock.now();
     const Nanos end = t0 + config_.duration;
     uint64_t ops = 0;
@@ -310,7 +310,7 @@ NanoResult NanoSuite::MetadataStatHot(const MachineFactory& factory) const {
       }
     }
     Rng rng(config_.base_seed + run);
-    VirtualClock& clock = machine->clock();
+    VirtualClock& clock = machine->clock();  // detlint: base-clock
     const Nanos t0 = clock.now();
     const Nanos end = t0 + config_.duration;
     uint64_t ops = 0;
@@ -349,7 +349,7 @@ NanoResult NanoSuite::ScalingEfficiency(const MachineFactory& factory) const {
     }
     vfs.DropCaches();
     Rng rng(seed);
-    VirtualClock& clock = machine->clock();
+    VirtualClock& clock = machine->clock();  // detlint: base-clock
     const Nanos t0 = clock.now();
     const Nanos end = t0 + config_.duration;
     uint64_t ops = 0;

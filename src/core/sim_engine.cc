@@ -40,6 +40,8 @@ SimEngineResult SimEngine::Run(MetricsCollector* metrics) {
   SimEngineResult result;
   result.per_thread_ops.assign(threads_.size(), 0);
 
+  // The engine owns cursor scheduling; the base clock (= thread 0's cursor)
+  // is the run's time origin and end-of-run frontier. detlint: base-clock
   VirtualClock& base = machine_->clock();
   const Nanos measure_from = base.now() + config_.warmup;
   const Nanos end = measure_from + config_.duration;

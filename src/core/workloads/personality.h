@@ -25,8 +25,8 @@ enum class FlowOp : uint8_t {
 };
 
 struct FlowOpMix {
-  FlowOp op;
-  double weight;
+  FlowOp op = FlowOp::kWholeFileRead;
+  double weight = 0.0;
 };
 
 struct PersonalityConfig {

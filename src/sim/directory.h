@@ -44,8 +44,8 @@ class Directory {
   // Slot and inode together from a single index probe — the resolution hot
   // path needs both (slot for the scan-cost model, ino for the result).
   struct Entry {
-    uint64_t slot;
-    InodeId ino;
+    uint64_t slot = 0;
+    InodeId ino = kInvalidInode;
   };
   std::optional<Entry> Find(std::string_view name) const {
     const uint32_t id = index_[Probe(name, HashName(name))];

@@ -1,6 +1,8 @@
 #include "src/sim/flash_tier.h"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 namespace fsbench {
 
@@ -51,13 +53,21 @@ void FlashTier::Remove(const PageKey& key) {
 }
 
 void FlashTier::RemoveFile(InodeId ino) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->first.ino == ino) {
-      lru_.erase(it->second.lru_it);
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  // Collect-sort-erase: the matching keys are gathered under hash order
+  // (erasure is a set operation, so collection order is immaterial), then
+  // removed in page order so any future per-eviction charging stays a pure
+  // function of (config, seed) rather than of the hash seed.
+  std::vector<uint64_t> pages;
+  for (const auto& [key, entry] : entries_) {  // detlint: order-insensitive
+    if (key.ino == ino) {
+      pages.push_back(key.index);
     }
+  }
+  std::sort(pages.begin(), pages.end());
+  for (uint64_t index : pages) {
+    const auto it = entries_.find(PageKey{ino, index});
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
   }
 }
 

@@ -51,6 +51,11 @@ class FlashTier {
   void RemoveFile(InodeId ino);
   void Clear();
 
+  // Forces the identity table to at least `buckets` buckets. Tier behaviour
+  // must be identical whatever the bucket count — the determinism regression
+  // test drives two differently-rehashed tiers through one op sequence.
+  void RehashForTest(size_t buckets) { entries_.rehash(buckets); }
+
   size_t size() const { return entries_.size(); }
   size_t capacity_pages() const { return capacity_pages_; }
   const FlashTierConfig& config() const { return config_; }

@@ -186,6 +186,8 @@ class CilJournal : public Journal {
 
   VirtualClock* clock_;
   TxnLog log_;
+  // Determinism audit (detlint R1): cil_set_ is lookup/insert-only, never
+  // iterated; the push order that reaches the log is cil_'s insertion order.
   std::vector<MetaRef> cil_;             // insertion order
   std::unordered_set<BlockId> cil_set_;  // dedup across the whole context
 };

@@ -47,8 +47,11 @@ class ShadowDisk : public IoCompletionObserver {
   }
 
   // Blocks whose latest write completes after `t`: in flight at the crash.
+  // The reduction below is a pure count — invariant under the map's
+  // iteration order — which is what the annotation asserts.
   uint64_t VolatileCount(Nanos t) const {
     uint64_t count = 0;
+    // detlint: order-insensitive
     for (const auto& [block, completion] : last_write_completion_) {
       if (completion > t) {
         ++count;

@@ -170,6 +170,10 @@ class TxnLog {
   uint64_t used_blocks_ = 0;  // blocks held by live transactions
   size_t live_begin_ = 0;     // first un-checkpointed record in records_
 
+  // Determinism audit (detlint R1): current_set_ and home_write_event_ are
+  // lookup/insert-only — never iterated. Everything order-bearing (the log
+  // itself, commit records) lives in current_tx_/records_, which keep
+  // insertion order.
   std::vector<MetaRef> current_tx_;           // insertion order
   std::unordered_set<BlockId> current_set_;   // dedup within the transaction
 

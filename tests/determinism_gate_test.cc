@@ -1,0 +1,229 @@
+// The determinism gate: the (config, seed) purity contract as a red/green
+// check. A canonical multi-threaded crash-recovery configuration — the most
+// machinery any run exercises at once (MT engine cursors, shared device
+// timeline, journal commits, crash injection, shadow-disk durability,
+// recovery replay) — is run twice, and a full digest of every RunResult
+// field must match bit for bit. detlint (tools/detlint) enforces the same
+// contract statically; this test is the dynamic complement that catches
+// whatever a token scanner cannot (allocator-order effects, float
+// accumulation order, scheduler ties).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "src/core/experiment.h"
+#include "src/core/workloads/postmark_like.h"
+#include "src/sim/recovery.h"
+
+namespace fsbench {
+namespace {
+
+// FNV-1a over explicitly appended fields: field order is part of the
+// digest, so a value migrating between fields cannot cancel out.
+class Digest {
+ public:
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 1099511628211ULL;
+    }
+  }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Bool(bool v) { U64(v ? 1 : 0); }
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = 14695981039346656037ULL;
+};
+
+void DigestHistogram(Digest& d, const LatencyHistogram& h) {
+  d.U64(h.total());
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    d.U64(h.count(b));
+  }
+}
+
+void DigestRunningStats(Digest& d, const RunningStats& s) {
+  d.U64(s.count());
+  d.F64(s.mean());
+  d.F64(s.variance());
+  d.F64(s.min());
+  d.F64(s.max());
+  d.F64(s.sum());
+}
+
+void DigestVfsStats(Digest& d, const VfsStats& s) {
+  d.U64(s.reads);
+  d.U64(s.writes);
+  d.U64(s.creates);
+  d.U64(s.unlinks);
+  d.U64(s.stats_calls);
+  d.U64(s.opens);
+  d.U64(s.fsyncs);
+  d.I64(s.bytes_read);
+  d.I64(s.bytes_written);
+  d.U64(s.data_page_hits);
+  d.U64(s.data_page_misses);
+  d.U64(s.flash_hits);
+  d.U64(s.demand_requests);
+  d.U64(s.readahead_pages);
+  d.U64(s.writeback_pages);
+  d.U64(s.io_errors);
+}
+
+void DigestDiskStats(Digest& d, const DiskStats& s) {
+  d.U64(s.reads);
+  d.U64(s.writes);
+  d.U64(s.sectors_read);
+  d.U64(s.sectors_written);
+  d.U64(s.seeks);
+  d.U64(s.buffer_hits);
+  d.U64(s.sequential_hits);
+  d.I64(s.total_service_time);
+  d.I64(s.total_seek_time);
+  d.I64(s.total_rotation_time);
+  d.I64(s.total_transfer_time);
+  d.U64(s.errors);
+}
+
+void DigestSchedulerStats(Digest& d, const IoSchedulerStats& s) {
+  d.U64(s.sync_requests);
+  d.U64(s.async_requests);
+  d.U64(s.async_serviced);
+  d.U64(s.async_errors);
+  d.I64(s.total_sync_wait);
+  d.I64(s.total_sync_queue_delay);
+  d.U64(s.max_queue_depth);
+}
+
+void DigestCrashReport(Digest& d, const CrashReport& r) {
+  d.I64(r.crash_time);
+  d.U64(r.ops_issued);
+  d.U64(r.recovery_watermark);
+  d.Bool(r.used_journal);
+  d.U64(r.durable_txns);
+  d.U64(r.replayed_txns);
+  d.U64(r.torn_txns);
+  d.U64(r.replay_log_blocks);
+  d.U64(r.replay_home_blocks);
+  d.U64(r.fsck_blocks);
+  d.I64(r.recovery_latency);
+  d.U64(r.dirty_pages_lost);
+  d.U64(r.volatile_blocks);
+  d.Bool(r.recovered_consistent);
+}
+
+uint64_t DigestRunResult(const RunResult& r) {
+  Digest d;
+  d.Bool(r.ok);
+  d.U64(static_cast<uint64_t>(r.error));
+  d.U64(r.ops);
+  d.I64(r.measured_duration);
+  d.F64(r.ops_per_second);
+  DigestRunningStats(d, r.latency);
+  DigestHistogram(d, r.histogram);
+  d.U64(r.throughput_series.size());
+  for (double v : r.throughput_series) {
+    d.F64(v);
+  }
+  d.I64(r.timeline_interval);
+  d.U64(r.histogram_slices.size());
+  for (const LatencyHistogram& h : r.histogram_slices) {
+    DigestHistogram(d, h);
+  }
+  d.I64(r.histogram_slice);
+  d.F64(r.cache_hit_ratio);
+  DigestVfsStats(d, r.vfs_stats);
+  DigestDiskStats(d, r.disk_stats);
+  DigestSchedulerStats(d, r.scheduler_stats);
+  d.U64(r.per_thread_ops.size());
+  for (uint64_t ops : r.per_thread_ops) {
+    d.U64(ops);
+  }
+  d.Bool(r.crash_report.has_value());
+  if (r.crash_report.has_value()) {
+    DigestCrashReport(d, *r.crash_report);
+  }
+  return d.value();
+}
+
+// The canonical gate configuration: 4 simulated threads of fsync-heavy
+// postmark on ext3 under a small cache, crashing mid-run with the replay
+// consistency check on.
+MachineFactory GateMachine(FsKind kind, JournalMode mode) {
+  return [kind, mode](uint64_t seed) {
+    MachineConfig config;
+    config.ram = 110 * kMiB;
+    config.os_reserved = 102 * kMiB;
+    config.journal.mode = mode;
+    config.xfs_journal.mode = mode;
+    config.seed = seed;
+    return std::make_unique<Machine>(kind, config);
+  };
+}
+
+ThreadedWorkloadFactory GateWorkload() {
+  PostmarkConfig pm;
+  pm.initial_files = 50;
+  pm.min_size = 512;
+  pm.max_size = 16 * kKiB;
+  pm.fsync_every = 4;
+  return MtPostmarkFactory(pm);
+}
+
+ExperimentConfig GateConfig() {
+  ExperimentConfig config;
+  config.runs = 2;  // two seeds per experiment: jitter draws are in the digest's blast radius
+  config.duration = 60 * kSecond;
+  config.threads = 4;
+  config.base_seed = 11;
+  config.crash = CrashScenario{/*at_op=*/600, /*at_time=*/0, /*replay_check=*/true};
+  return config;
+}
+
+class DeterminismGate : public ::testing::TestWithParam<FsKind> {};
+
+TEST_P(DeterminismGate, RunTwiceBitIdenticalDigest) {
+  const ExperimentConfig config = GateConfig();
+  const MachineFactory machines = GateMachine(GetParam(), JournalMode::kOrdered);
+
+  const ExperimentResult first = Experiment(config).Run(machines, GateWorkload());
+  const ExperimentResult second = Experiment(config).Run(machines, GateWorkload());
+
+  ASSERT_EQ(first.runs.size(), second.runs.size());
+  for (size_t i = 0; i < first.runs.size(); ++i) {
+    EXPECT_EQ(DigestRunResult(first.runs[i]), DigestRunResult(second.runs[i]))
+        << "run " << i << " digest diverged — the (config, seed) contract is broken";
+  }
+  // The gate must be exercising what it claims to: a crash that recovered
+  // consistently on every run, with real multi-thread interleaving.
+  for (const RunResult& run : first.runs) {
+    ASSERT_TRUE(run.crash_report.has_value());
+    EXPECT_TRUE(run.crash_report->recovered_consistent);
+    EXPECT_EQ(run.per_thread_ops.size(), 4u);
+  }
+  // Different seeds must NOT collide (a constant digest would also "pass").
+  ASSERT_GE(first.runs.size(), 2u);
+  EXPECT_NE(DigestRunResult(first.runs[0]), DigestRunResult(first.runs[1]));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFs, DeterminismGate,
+                         ::testing::Values(FsKind::kExt2, FsKind::kExt3, FsKind::kXfs),
+                         [](const ::testing::TestParamInfo<FsKind>& info) {
+                           switch (info.param) {
+                             case FsKind::kExt2: return "ext2";
+                             case FsKind::kExt3: return "ext3";
+                             case FsKind::kXfs: return "xfs";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace fsbench

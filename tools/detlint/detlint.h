@@ -1,0 +1,104 @@
+// detlint — the determinism linter.
+//
+// The simulator's contract is that every result is a pure function of
+// (config, seed). That contract is easy to state and easy to break: one
+// range-for over an unordered_map whose side effects reach a stat counter,
+// one wall-clock read, one pointer-keyed std::set, and run-twice equality
+// silently depends on allocator layout or the hash seed of the day. detlint
+// is a repo-specific static-analysis pass (token/decl level, no compiler
+// dependency) that mechanically enforces the rules the contract rests on.
+// It runs over src/ as a ctest, so a violation is a red build, not a code
+// review hope.
+//
+// Rules:
+//   R1  order-insensitive iteration. No iteration (range-for, .begin()
+//       family) over std::unordered_map/unordered_set variables unless the
+//       loop is annotated order-insensitive (see ANNOTATIONS below). Hash
+//       iteration order is implementation-defined and changes with
+//       rehashing; anything result-affecting downstream of such a loop is
+//       nondeterministic.
+//   R2  no ambient entropy. Wall-clock, randomness and environment reads
+//       (system_clock, steady_clock, time(), rand(), random_device,
+//       getenv(), std::this_thread, ...) are banned in result-affecting
+//       code (src/sim, src/core). All time comes from VirtualClock; all
+//       randomness from seeded Rng.
+//   R3  clock discipline. Machine::clock() — the global base clock — may
+//       be read only at cursor binding sites (lines that call BindCursor /
+//       BindClock) or at sites annotated base-clock. Everything else must
+//       charge time against the bound per-thread cursor (PR-4 invariant).
+//   R4  deterministic struct state. Every scalar member (integers, floats,
+//       bools, enums, pointers, and repo scalar aliases like Nanos/BlockId)
+//       of a `struct` defined in a src/ header must carry a default member
+//       initializer. Aggregate structs (the *Stats family, configs,
+//       reports) are routinely value-compared and digested; an
+//       uninitialized pad of garbage breaks run-twice equality. Class-type
+//       members (std::vector, std::string, ...) default-construct
+//       deterministically and are exempt.
+//   R5  no pointer-ordered containers. Ordered containers and priority
+//       queues keyed on pointers (std::set<T*>, std::map<T*, V>), and
+//       std::sort comparators that compare pointer parameters, order by
+//       allocator addresses — different every run.
+//
+// ANNOTATIONS — suppressions are explicit, auditable, and themselves
+// linted (an unknown tag is a finding):
+//
+//   // detlint: order-insensitive
+//       On (or on the line above) an unordered-container loop: every
+//       observable effect of this loop is invariant under iteration order
+//       (pure reductions: count, sum, min/max; or collect-then-sort).
+//       Example: ShadowDisk::VolatileCount counts map entries — any order
+//       yields the same count.
+//
+//   // detlint: base-clock
+//       On (or above) a Machine::clock() read: this site deliberately uses
+//       the base clock — it *is* a binding site (constructing thread 0's
+//       cursor), or it is single-threaded setup/teardown code that runs
+//       while no cursor is bound (nano_suite measurement loops,
+//       experiment-origin reads).
+//
+// Scope and pairing: files are scanned as one project. A .cc file shares
+// its same-stem header's container declarations (flash_tier.cc sees
+// flash_tier.h's entries_), and enum/alias names are collected globally
+// before rules run. R2/R3 apply only under src/sim and src/core; R1/R5
+// everywhere scanned; R4 to headers.
+//
+// What detlint is not: a compiler. It lexes (comments, strings and
+// preprocessor directives stripped; annotations preserved) and pattern-
+// matches declarations and call sites. That is enough to catch every
+// hazard class above at the cost of a convention or two (declare unordered
+// members with their type spelled out, not through an opaque typedef chain
+// — direct `using X = std::unordered_map<...>` aliases are followed).
+#ifndef TOOLS_DETLINT_DETLINT_H_
+#define TOOLS_DETLINT_DETLINT_H_
+
+#include <string>
+#include <vector>
+
+namespace fsbench::detlint {
+
+// One source file presented to the linter. `rel` is the repo-relative path
+// (forward slashes); rule scoping (src/sim, src/core, *.h) and same-stem
+// header/source pairing key off it.
+struct SourceFile {
+  std::string rel;
+  std::string text;
+};
+
+struct Finding {
+  std::string file;     // rel path of the offending file
+  int line = 0;         // 1-based
+  std::string rule;     // "R1".."R5" (or "R0" for a bad annotation)
+  std::string message;  // human-readable, one line
+};
+
+// Lints `files` as one project: pass 1 collects enums, scalar aliases and
+// unordered-container declarations; pass 2 applies R1–R5. Findings are
+// sorted by (file, line, rule) and deduplicated.
+std::vector<Finding> Lint(const std::vector<SourceFile>& files);
+
+// Formats a finding as "file:line: [Rn] message".
+std::string FormatFinding(const Finding& f);
+
+}  // namespace fsbench::detlint
+
+#endif  // TOOLS_DETLINT_DETLINT_H_

@@ -1,0 +1,104 @@
+// detlint CLI: scans .h/.cc/.cpp files under the given paths and prints one
+// line per finding. Exit status 1 when anything was found — this is what the
+// `detlint_src` ctest (and the CI lint job) runs over src/.
+//
+//   detlint [--root <dir>] <path>...
+//
+// Paths are resolved against --root (default: current directory) and
+// reported relative to it, so rule scoping (src/sim, src/core) works no
+// matter where the build tree lives.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/detlint/detlint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using fsbench::detlint::Finding;
+using fsbench::detlint::SourceFile;
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string RelPath(const fs::path& p, const fs::path& root) {
+  std::string rel = fs::relative(p, root).generic_string();
+  return rel;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "detlint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: detlint [--root <dir>] <path>...\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "detlint: no paths given (try: detlint --root <repo> src)\n";
+    return 2;
+  }
+
+  std::vector<SourceFile> files;
+  for (const std::string& arg : paths) {
+    const fs::path p = fs::path(arg).is_absolute() ? fs::path(arg) : root / arg;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      std::vector<fs::path> found;
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          found.push_back(entry.path());
+        }
+      }
+      // Directory iteration order is OS-dependent; the scan (and its output)
+      // must not be.
+      std::sort(found.begin(), found.end());
+      for (const fs::path& f : found) {
+        files.push_back({RelPath(f, root), ReadFile(f)});
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back({RelPath(p, root), ReadFile(p)});
+    } else {
+      std::cerr << "detlint: no such file or directory: " << p << "\n";
+      return 2;
+    }
+  }
+
+  const std::vector<Finding> findings = fsbench::detlint::Lint(files);
+  for (const Finding& f : findings) {
+    std::cout << fsbench::detlint::FormatFinding(f) << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << "detlint: " << findings.size() << " finding(s) in " << files.size()
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "detlint: " << files.size() << " file(s) clean\n";
+  return 0;
+}

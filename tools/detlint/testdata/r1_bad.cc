@@ -1,0 +1,44 @@
+// detlint fixture: R1 violations — iteration over unordered containers
+// without an order-insensitive annotation. Not compiled; scanned by
+// detlint_test as src/sim/r1_bad.cc.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Tier {
+  std::unordered_map<unsigned long, int> entries_;
+  std::unordered_set<unsigned long> keys_;
+  unsigned long charge_ = 0;
+
+  // BAD: range-for over an unordered_map member; eviction charging order
+  // follows the hash seed.
+  void ChargeAll() {
+    for (const auto& [key, value] : entries_) {
+      charge_ += static_cast<unsigned long>(value);
+    }
+  }
+
+  // BAD: iterator-walk form of the same hazard.
+  void EraseMatching(unsigned long ino) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->first == ino) {
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // BAD: unordered_set is no better than unordered_map.
+  unsigned long First() {
+    unsigned long first = 0;
+    for (unsigned long k : keys_) {
+      first = k;
+      break;
+    }
+    return first;
+  }
+};
+
+}  // namespace fixture

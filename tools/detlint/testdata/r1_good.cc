@@ -1,0 +1,51 @@
+// detlint fixture: R1-clean code — unordered containers used for lookup
+// only, iterated with an annotation, or iterated after key collection +
+// sort. Scanned by detlint_test as src/sim/r1_good.cc.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Tier {
+  std::unordered_map<unsigned long, int> entries_;
+  unsigned long count_ = 0;
+
+  // GOOD: lookup/insert/erase by key never observes hash order.
+  void Touch(unsigned long key) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      entries_.erase(it);
+    }
+    entries_.emplace(key, 1);
+  }
+
+  // GOOD: a pure order-invariant reduction, annotated as such.
+  unsigned long CountPositive() const {
+    unsigned long n = 0;
+    // detlint: order-insensitive
+    for (const auto& [key, value] : entries_) {
+      if (value > 0) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  // GOOD: collect keys under annotation, then sort before the
+  // result-affecting walk.
+  void EraseMatching(unsigned long ino) {
+    std::vector<unsigned long> victims;
+    for (const auto& [key, value] : entries_) {  // detlint: order-insensitive
+      if (key == ino) {
+        victims.push_back(key);
+      }
+    }
+    std::sort(victims.begin(), victims.end());
+    for (unsigned long k : victims) {
+      entries_.erase(k);
+    }
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// detlint fixture: R2 violations — ambient entropy in result-affecting
+// code. Scanned by detlint_test as src/sim/r2_bad.cc.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+// BAD: wall-clock reads.
+long WallClockNow() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+// BAD: steady_clock is still host time, not virtual time.
+long MonotonicNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// BAD: libc time and rand.
+unsigned LibcEntropy() {
+  unsigned x = static_cast<unsigned>(time(nullptr));
+  x ^= static_cast<unsigned>(rand());
+  x ^= static_cast<unsigned>(std::rand());
+  return x;
+}
+
+// BAD: hardware entropy and the environment.
+unsigned HardwareSeed() {
+  std::random_device rd;
+  const char* env = getenv("FSBENCH_SEED");
+  return rd() + (env != nullptr ? 1u : 0u);
+}
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// detlint fixture: R2-clean code — virtual time and seeded randomness only,
+// plus the lookalikes the linter must not trip on. Scanned by detlint_test
+// as src/sim/r2_good.cc.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+class VirtualClock {
+ public:
+  int64_t now() const { return now_ns_; }
+  void Advance(int64_t d) { now_ns_ += d; }
+
+ private:
+  int64_t now_ns_ = 0;
+};
+
+struct Machine {
+  VirtualClock& clock() { return clock_; }
+  VirtualClock clock_;
+};
+
+// GOOD: "time(s)" inside a string literal is not a call; mtime/ctime are
+// ordinary identifiers; machine.clock() is a member call, not libc clock().
+std::string Describe(Machine& machine) {
+  int64_t mtime = machine.clock().now();  // detlint: base-clock
+  int64_t ctime = mtime;
+  return "time(s) elapsed: " + std::to_string(mtime + ctime);
+}
+
+// GOOD: seeded deterministic generator (xorshift), no ambient entropy.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// detlint fixture: R3 violations — reading the machine's base clock away
+// from a binding site, without the base-clock annotation. Under the MT
+// engine this charges a thread's work against the wrong timeline. Scanned
+// by detlint_test as src/sim/r3_bad.cc.
+#include <cstdint>
+
+namespace fixture {
+
+class VirtualClock {
+ public:
+  int64_t now() const { return now_ns_; }
+  void Advance(int64_t d) { now_ns_ += d; }
+
+ private:
+  int64_t now_ns_ = 0;
+};
+
+struct Machine {
+  VirtualClock& clock() { return clock_; }
+  VirtualClock clock_;
+};
+
+// BAD: operation code reaching around the bound cursor to the base clock.
+int64_t ChargeOp(Machine& machine) {
+  machine.clock().Advance(100);
+  return machine.clock().now();
+}
+
+// BAD: pointer form.
+int64_t ReadOrigin(Machine* machine) {
+  return machine->clock().now();
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// detlint fixture: R3-clean code — base-clock access only at binding sites
+// or under an explicit annotation. Scanned by detlint_test as
+// src/sim/r3_good.cc.
+#include <cstdint>
+
+namespace fixture {
+
+class VirtualClock {
+ public:
+  int64_t now() const { return now_ns_; }
+  void Advance(int64_t d) { now_ns_ += d; }
+
+ private:
+  int64_t now_ns_ = 0;
+};
+
+struct Machine {
+  VirtualClock& clock() { return clock_; }
+  void BindCursor(VirtualClock* cursor) { bound_ = cursor; }
+  VirtualClock clock_;
+  VirtualClock* bound_ = nullptr;
+};
+
+// GOOD: binding the base clock back as thread 0's cursor is what
+// BindCursor lines are for.
+void RestoreDefault(Machine& machine) {
+  machine.BindCursor(&machine.clock());
+}
+
+// GOOD: single-threaded setup code may use the base clock deliberately,
+// with the annotation making that auditable.
+int64_t MeasureOrigin(Machine& machine) {
+  // detlint: base-clock
+  VirtualClock& clock = machine.clock();
+  clock.Advance(5);
+  return clock.now();
+}
+
+// GOOD: operation code charges the bound cursor, never the base clock.
+void ChargeOp(VirtualClock* cursor) {
+  cursor->Advance(100);
+}
+
+}  // namespace fixture

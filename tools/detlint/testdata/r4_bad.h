@@ -1,0 +1,27 @@
+// detlint fixture: R4 violations — scalar struct members without default
+// member initializers. Scanned by detlint_test as src/sim/r4_bad.h.
+#ifndef FIXTURE_R4_BAD_H_
+#define FIXTURE_R4_BAD_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+enum class Mode : uint8_t { kFast, kSafe };
+
+// BAD: every scalar member here is indeterminate until first assignment —
+// value-comparing or digesting a default-constructed instance reads garbage.
+struct Stats {
+  uint64_t hits;
+  uint64_t misses;
+  double ratio;
+  bool warmed;
+  Mode mode;
+  const char* label;
+  std::string name;  // class type: fine either way, not the violation here
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_R4_BAD_H_

@@ -1,0 +1,35 @@
+// detlint fixture: R4-clean header — every scalar member carries a default
+// member initializer; class-type members default-construct. Scanned by
+// detlint_test as src/sim/r4_good.h.
+#ifndef FIXTURE_R4_GOOD_H_
+#define FIXTURE_R4_GOOD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+enum class Mode : uint8_t { kFast, kSafe };
+
+using Nanos = int64_t;
+
+struct Stats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  double ratio = 0.0;
+  bool warmed = false;
+  Mode mode = Mode::kFast;
+  Nanos elapsed = 0;
+  const char* label = nullptr;
+  uint64_t buckets[4] = {};
+  std::string name;
+  std::vector<uint64_t> samples;
+
+  bool Warm() const { return warmed; }
+  static Stats Zero() { return Stats{}; }
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_R4_GOOD_H_

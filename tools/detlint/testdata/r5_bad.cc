@@ -1,0 +1,27 @@
+// detlint fixture: R5 violations — pointer-keyed ordered containers and
+// pointer-comparison sorts order by allocator addresses. Scanned by
+// detlint_test as src/sim/r5_bad.cc.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Inode {
+  unsigned long ino = 0;
+};
+
+// BAD: iteration order of these follows malloc, different every run.
+struct Index {
+  std::set<Inode*> live_;
+  std::map<const Inode*, unsigned long> sizes_;
+};
+
+// BAD: sorting by raw pointer value.
+void SortByAddress(std::vector<Inode*>* inodes) {
+  std::sort(inodes->begin(), inodes->end(),
+            [](const Inode* a, const Inode* b) { return a < b; });
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// detlint fixture: R5-clean code — ordered containers keyed on stable ids,
+// sorts comparing stable fields. Scanned by detlint_test as
+// src/sim/r5_good.cc.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Inode {
+  unsigned long ino = 0;
+};
+
+// GOOD: keys are value ids, ordering is the same in every run.
+struct Index {
+  std::set<unsigned long> live_;
+  std::map<unsigned long, unsigned long> sizes_;
+};
+
+// GOOD: sorting pointers by a stable field of the pointee.
+void SortByIno(std::vector<Inode*>* inodes) {
+  std::sort(inodes->begin(), inodes->end(),
+            [](const Inode* a, const Inode* b) { return a->ino < b->ino; });
+}
+
+}  // namespace fixture
