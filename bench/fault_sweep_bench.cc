@@ -1,0 +1,228 @@
+// Device-fault sweep: the reliability benchmark axis Section 2 asks for and
+// Table 1's steady-state benchmarks never exercise. Real devices fail
+// partially — latent sector errors, transient firmware hiccups, slow-I/O
+// tails — and how a file system behaves as the fault rate climbs (soldier
+// on? remount read-only? collapse?) is a result no healthy-device run can
+// produce.
+//
+// The sweep crosses fault rate x {ext2, ext3, xfs} x block-layer policy
+// {none, retry, retry+remap} over an fsync-heavy postmark churn and
+// reports, per cell:
+//   - throughput (ops/s over the full configured window — a file system
+//     that dies read-only halfway keeps its dead air in the denominator),
+//   - p99 operation latency (retries and backoff live in the tail),
+//   - failed/absorbed ops, retries, remaps, and whether the file system
+//     ended the run remounted read-only with an aborted journal.
+// Everything is virtual-time deterministic per seed; results go to
+// BENCH_faults.json for PR-over-PR tracking.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/workloads/postmark_like.h"
+#include "src/util/ascii.h"
+
+namespace fsbench {
+namespace {
+
+struct PolicyCell {
+  const char* name;
+  RetryPolicy policy;
+  // Drive-internal error recovery budget paired with the policy. A host
+  // with no retry logic depends on the drive's deep-recovery heroics (long
+  // desktop-class budget); a retrying block layer caps the drive's recovery
+  // (ERC/TLER) because it owns recovery itself and wants fast error
+  // reports. The pairing is what the firmware knob exists for.
+  Nanos drive_recovery;
+};
+
+struct CellResult {
+  std::string fs;
+  std::string policy;
+  double rate = 0.0;
+  double ops_per_second = 0.0;
+  Nanos p99 = 0;
+  RunResult run;
+};
+
+MachineFactory FaultyMachine(FsKind kind, double rate, const PolicyCell& cell) {
+  const RetryPolicy policy = cell.policy;
+  const Nanos drive_recovery = cell.drive_recovery;
+  return [kind, rate, policy, drive_recovery](uint64_t seed) {
+    MachineConfig config = PaperTestbedConfig();
+    // Just above the OS reservation: a few MiB of page cache, so the churn
+    // load's reads actually reach the (faulty) device — fully-cached reads
+    // would hide every read-path fault.
+    config.ram = 110 * kMiB;
+    // Drive-internal error recovery before an unrecoverable error surfaces:
+    // grinding re-reads and ECC heroics make a reported EIO far more
+    // expensive than a clean access. Budget per policy, see PolicyCell.
+    config.disk.error_recovery_time = drive_recovery;
+    config.seed = seed;
+    config.retry = policy;
+    // One knob sweeps all three fault classes, weighted by how devices
+    // actually fail: transient faults dominate (drive-internal retries and
+    // ECC near-misses are far more common than media loss), latent-bad
+    // regions arrive at the base rate (each one poisons every access it
+    // receives, so a small region fraction is already a storm), slow-I/O
+    // tails at the base rate.
+    config.faults.transient_rate = std::min(0.5, 5.0 * rate);
+    config.faults.persistent_rate = rate;
+    config.faults.slow_rate = rate;
+    config.faults.slow_multiplier = 8.0;
+    // Fine-grained remapping: a small region keeps the post-remap tax low
+    // (fewer files straddle the redirected hole), and many small slices keep
+    // each spare close to the region it replaces, so a remapped access costs
+    // a short hop instead of a cross-disk stroke.
+    config.faults.region_sectors = 256;  // 128 KiB regions
+    config.faults.spare_regions = 512;
+    return std::make_unique<Machine>(kind, config);
+  };
+}
+
+int Run(const BenchArgs& args) {
+  PrintHeader("Device-fault sweep: throughput and degraded mode vs fault rate",
+              "section 2 'reliability in the face of failures' (unmeasured in Table 1)");
+
+  const Nanos duration = BenchDuration(args, 30 * kSecond, 120 * kSecond, 5 * kSecond);
+  const std::vector<double> rates = args.smoke
+                                        ? std::vector<double>{0.0, 0.02}
+                                        : std::vector<double>{0.0, 0.005, 0.01, 0.02};
+
+  // Larger files than the recovery bench on purpose: a whole-file read
+  // spans several demand batches, so a fault mid-read throws away the
+  // batches already paid for — the wasted work a retry policy earns back.
+  PostmarkConfig pm;
+  pm.initial_files = args.smoke ? 40 : 150;
+  pm.min_size = 64 * kKiB;
+  pm.max_size = 512 * kKiB;
+  // Read-heavy mail-server mix: most device traffic is synchronous demand
+  // reads, the path where a fault's cost lands on the operation that paid
+  // for it. Appends + fsync keep journal commits (the log-fault target)
+  // flowing.
+  pm.read_bias = 0.9;
+  pm.data_fraction = 0.8;
+  pm.fsync_every = 8;
+
+  const FsKind fs_kinds[] = {FsKind::kExt2, FsKind::kExt3, FsKind::kXfs};
+  const char* fs_names[] = {"ext2", "ext3", "xfs"};
+  // Short initial backoff: the retry cost should be the physical re-attempt
+  // (the head moved, the platter turned), not a policy sleep. The no-retry
+  // host leaves the drive's desktop-class deep recovery (~150 ms per
+  // surfaced error) in place — it is the only recovery there is; retrying
+  // hosts cap it ERC/TLER-style at 10 ms and own recovery themselves.
+  const PolicyCell policies[] = {
+      {"none", RetryPolicy{1, FromMillis(0.1), 2.0, false}, FromMillis(150)},
+      {"retry", RetryPolicy{6, FromMillis(0.1), 2.0, false}, FromMillis(10)},
+      {"retry+remap", RetryPolicy{6, FromMillis(0.1), 2.0, true}, FromMillis(10)},
+  };
+
+  std::vector<CellResult> results;
+  AsciiTable table;
+  table.SetHeader({"fs", "policy", "rate", "ops/s", "p99 ms", "failed", "retries", "remaps",
+                   "ro", "jrnl abort"});
+  for (size_t f = 0; f < 3; ++f) {
+    for (const PolicyCell& pol : policies) {
+      for (const double rate : rates) {
+        ExperimentConfig config;
+        config.runs = args.smoke ? 1 : 4;
+        config.duration = duration;
+        config.threads = 4;
+        config.base_seed = args.seed;
+        config.continue_on_error = true;
+        const ExperimentResult result =
+            Experiment(config).Run(FaultyMachine(fs_kinds[f], rate, pol),
+                                   MtPostmarkFactory(pm));
+        if (!result.AllOk()) {
+          std::fprintf(stderr, "FAILED: %s %s rate=%g error=%s\n", fs_names[f], pol.name, rate,
+                       FsStatusName(result.runs[0].error));
+          return 1;
+        }
+        CellResult cell;
+        cell.fs = fs_names[f];
+        cell.policy = pol.name;
+        cell.rate = rate;
+        // Throughput/p99 are means across the runs (per-seed trajectories
+        // through a fault field are noisy); counters and degraded-mode flags
+        // come from the representative first run.
+        cell.run = result.runs[0];
+        cell.ops_per_second = result.throughput.mean;
+        cell.p99 = result.merged_histogram.ApproxPercentile(0.99);
+        const FaultSummary& fault = cell.run.fault;
+        table.AddRow({cell.fs, cell.policy, FormatDouble(rate, 3),
+                      FormatDouble(cell.ops_per_second, 1),
+                      FormatDouble(static_cast<double>(cell.p99) / kMillisecond, 2),
+                      std::to_string(cell.run.failed_ops), std::to_string(fault.retries),
+                      std::to_string(fault.remapped_regions), fault.remounted_ro ? "yes" : "-",
+                      fault.journal_aborted ? "yes" : "-"});
+        results.push_back(std::move(cell));
+      }
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "reading: at rate 0 the three policies are byte-identical (the plan is\n"
+      "off; retry policy never engages). As the rate climbs, no-retry ext3/xfs\n"
+      "hit a journal-log write fault almost immediately and spend the rest of\n"
+      "the window remounted read-only — near-zero throughput — while ext2\n"
+      "(errors=continue) absorbs EIOs op by op, each one costing the drive's\n"
+      "full deep-recovery grind before it surfaces. Retrying hosts cap drive\n"
+      "recovery (ERC/TLER) and absorb the transient class themselves, pushing\n"
+      "the collapse out to the first *persistent* log fault; remapping absorbs\n"
+      "those too, so retry+remap >= retry >= none, at the price of\n"
+      "retry/backoff time in the p99 tail. That ordering — and the read-only\n"
+      "cliff — is the reliability result steady-state benchmarks cannot show.\n");
+
+  const char* path = "BENCH_faults.json";
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"schema\": 1,\n  \"bench\": \"fault_sweep\",\n  \"seed\": %llu,\n"
+               "  \"results\": [\n",
+               static_cast<unsigned long long>(args.seed));
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CellResult& cell = results[i];
+    const FaultSummary& fault = cell.run.fault;
+    std::fprintf(
+        out,
+        "    {\"fs\": \"%s\", \"policy\": \"%s\", \"rate\": %g, \"ops_per_second\": %.2f, "
+        "\"p99_ms\": %.3f, \"ops\": %llu, \"failed_ops\": %llu, \"device_errors\": %llu, "
+        "\"transient_faults\": %llu, \"persistent_faults\": %llu, \"slow_ios\": %llu, "
+        "\"retries\": %llu, \"backoff_ms\": %.3f, \"remapped_regions\": %llu, "
+        "\"spare_regions_left\": %llu, \"meta_io_failures\": %llu, \"degraded_reads\": %llu, "
+        "\"readonly_rejects\": %llu, \"remounted_ro\": %s, \"journal_aborted\": %s}%s\n",
+        cell.fs.c_str(), cell.policy.c_str(), cell.rate, cell.ops_per_second,
+        static_cast<double>(cell.p99) / kMillisecond,
+        static_cast<unsigned long long>(cell.run.ops),
+        static_cast<unsigned long long>(cell.run.failed_ops),
+        static_cast<unsigned long long>(fault.device_errors),
+        static_cast<unsigned long long>(fault.transient_faults),
+        static_cast<unsigned long long>(fault.persistent_faults),
+        static_cast<unsigned long long>(fault.slow_ios),
+        static_cast<unsigned long long>(fault.retries),
+        static_cast<double>(fault.retry_backoff_time) / kMillisecond,
+        static_cast<unsigned long long>(fault.remapped_regions),
+        static_cast<unsigned long long>(fault.spare_regions_left),
+        static_cast<unsigned long long>(fault.meta_io_failures),
+        static_cast<unsigned long long>(fault.degraded_reads),
+        static_cast<unsigned long long>(fault.readonly_rejects),
+        fault.remounted_ro ? "true" : "false", fault.journal_aborted ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fsbench
+
+int main(int argc, char** argv) {
+  return fsbench::Run(fsbench::ParseBenchArgs(argc, argv));
+}

@@ -24,6 +24,7 @@ SimEngineConfig BaseEngineConfig(const ExperimentConfig& config) {
   engine_config.framework_overhead = config.framework_overhead;
   engine_config.max_ops = config.max_ops;
   engine_config.prewarm = config.prewarm;
+  engine_config.continue_on_error = config.continue_on_error;
   return engine_config;
 }
 
@@ -103,6 +104,27 @@ RunResult Experiment::RunOnce(const MachineFactory& machine_factory,
   result.disk_stats = machine->disk().stats();
   result.scheduler_stats = machine->scheduler().stats();
   result.per_thread_ops = engine_result.per_thread_ops;
+  result.failed_ops = engine_result.failed_ops;
+
+  FaultSummary& fault = result.fault;
+  fault.device_errors = result.disk_stats.errors;
+  if (const FaultPlan* plan = machine->disk().fault_plan(); plan != nullptr) {
+    fault.transient_faults = plan->stats().transient_faults;
+    fault.persistent_faults = plan->stats().persistent_faults;
+    fault.slow_ios = plan->stats().slow_ios;
+  }
+  fault.retries = result.scheduler_stats.retries;
+  fault.retry_backoff_time = result.scheduler_stats.retry_backoff_time;
+  fault.remapped_regions = machine->disk().remapped_regions();
+  fault.spare_regions_left = machine->disk().spare_regions_left();
+  fault.sync_io_failures = result.scheduler_stats.sync_errors;
+  fault.async_io_failures = result.scheduler_stats.async_errors;
+  fault.meta_io_failures = machine->fs().meta_io_failures();
+  fault.journal_aborted = machine->fs().journal_aborted();
+  fault.remounted_ro = machine->fs().read_only();
+  fault.degraded_reads = result.vfs_stats.degraded_reads;
+  fault.readonly_rejects = result.vfs_stats.readonly_rejects;
+  fault.failed_ops = engine_result.failed_ops;
 
   if (engine_result.crashed) {
     CrashReport report =

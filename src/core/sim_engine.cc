@@ -84,7 +84,7 @@ SimEngineResult SimEngine::Run(MetricsCollector* metrics) {
     if (next == nullptr) {
       break;
     }
-    if (config_.max_ops != 0 && total_ops >= config_.max_ops) {
+    if (config_.max_ops != 0 && total_ops + result.failed_ops >= config_.max_ops) {
       break;
     }
     if (crash_mode) {
@@ -109,6 +109,19 @@ SimEngineResult SimEngine::Run(MetricsCollector* metrics) {
     const Nanos start = next->cursor.now();
     const FsResult<OpType> op = next->workload->Step(next->ctx);
     if (!op.ok()) {
+      if (config_.continue_on_error && op.status == FsStatus::kIoError) {
+        // The failed attempt charged its device + CPU time to the cursor, so
+        // the loop still makes forward progress; the op just isn't recorded.
+        ++result.failed_ops;
+        next->cursor.Advance(overhead);
+        continue;
+      }
+      if (config_.continue_on_error && op.status == FsStatus::kReadOnly) {
+        ++result.failed_ops;
+        ++result.retired_threads;
+        next->done = true;
+        continue;
+      }
       machine_->BindCursor(&base);
       result.error = op.status;
       return result;
@@ -139,6 +152,12 @@ SimEngineResult SimEngine::Run(MetricsCollector* metrics) {
   for (size_t i = 0; i < threads_.size(); ++i) {
     result.per_thread_ops[i] = threads_[i]->ops;
     end_time = std::max(end_time, threads_[i]->cursor.now());
+  }
+  if (config_.continue_on_error && !result.crashed && config_.duration != 0) {
+    // Threads retired by kReadOnly stop early; the measured window does not.
+    // A run whose file system collapsed read-only halfway still divides its
+    // ops by the full configured duration — that collapse *is* the result.
+    end_time = std::max(end_time, end);
   }
   base.AdvanceTo(end_time);
   result.end_time = end_time;

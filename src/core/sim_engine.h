@@ -43,6 +43,15 @@ struct SimEngineConfig {
   // start at or past measure_from + `crash_at_time`.
   uint64_t crash_at_op = 0;
   Nanos crash_at_time = 0;
+  // Degraded-mode semantics (device-fault axis). When set, an op failing
+  // with kIoError is counted (failed_ops) and the thread keeps issuing —
+  // the failed attempt already consumed virtual time at the device. An op
+  // failing with kReadOnly permanently retires its thread (a real benchmark
+  // process dies when the file system drops to read-only under it); the run
+  // continues for the remaining threads and end_time still spans the full
+  // configured window so throughput denominators stay honest. Any other
+  // failure ends the run exactly as without the flag.
+  bool continue_on_error = false;
 };
 
 struct SimEngineResult {
@@ -51,6 +60,8 @@ struct SimEngineResult {
   Nanos measure_from = 0;
   Nanos end_time = 0;  // largest cursor when the loop stopped
   uint64_t total_ops = 0;
+  uint64_t failed_ops = 0;      // ops absorbed by continue_on_error
+  uint64_t retired_threads = 0; // threads killed by kReadOnly
   std::vector<uint64_t> per_thread_ops;
   // Crash mode only.
   bool crashed = false;

@@ -66,11 +66,15 @@ FsResult<OpType> PostmarkLikeWorkload::Step(WorkloadContext& ctx) {
 
   const bool create = live_.empty() || ctx.rng.NextDouble() < config_.create_bias;
   if (create) {
-    const FsStatus status = ctx.vfs->CreateFile(PathFor(next_id_));
+    // Burn the id on the attempt, not on success: a create can fail with
+    // EIO *after* its directory entry landed (fault mid-journaling), and
+    // reusing the name would turn every later create into EEXIST.
+    const uint64_t id = next_id_++;
+    const FsStatus status = ctx.vfs->CreateFile(PathFor(id));
     if (status != FsStatus::kOk) {
       return FsResult<OpType>::Error(status);
     }
-    live_.push_back(next_id_++);
+    live_.push_back(id);
     return FsResult<OpType>::Ok(OpType::kCreate);
   }
   const size_t idx = ctx.rng.NextBelow(live_.size());

@@ -18,6 +18,14 @@ DiskModel::DiskModel(const DiskParams& params, uint64_t seed) : params_(params),
   revolution_time_ = kSecond * 60 / params_.rpm;
 }
 
+void DiskModel::EnableFaults(const FaultPlanConfig& config, uint64_t seed) {
+  fault_plan_.emplace(config, seed);
+  region_sectors_ = config.region_sectors;
+  spare_regions_ = config.spare_regions;
+  assert(region_sectors_ > 0);
+  assert(spare_regions_ * region_sectors_ < total_sectors_);
+}
+
 uint64_t DiskModel::CylinderOf(uint64_t lba) const { return lba / sectors_per_cylinder_; }
 
 Nanos DiskModel::SeekTime(uint64_t from_cylinder, uint64_t to_cylinder) const {
@@ -42,25 +50,87 @@ Nanos DiskModel::TransferTime(uint32_t sector_count) const {
   return static_cast<Nanos>(revs * static_cast<double>(revolution_time_));
 }
 
+bool DiskModel::OverlapsInjectedError(uint64_t lba, uint32_t sector_count) const {
+  if (error_extents_.empty()) {
+    return false;
+  }
+  // Extents starting at or after lba + sector_count cannot overlap; extents
+  // starting more than max_error_extent_ sectors before lba cannot reach it.
+  const uint64_t scan_from = lba >= max_error_extent_ ? lba - max_error_extent_ + 1 : 0;
+  for (auto it = error_extents_.lower_bound(scan_from);
+       it != error_extents_.end() && it->first < lba + sector_count; ++it) {
+    if (it->first + it->second > lba) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::optional<Nanos> DiskModel::Access(const IoRequest& req) {
+  return AccessEx(req, 0).service;
+}
+
+AccessResult DiskModel::AccessEx(const IoRequest& req, Nanos now) {
   assert(req.sector_count > 0);
   assert(req.lba + req.sector_count <= total_sectors_);
 
-  if (!error_lbas_.empty()) {
-    const auto it = error_lbas_.lower_bound(req.lba);
-    if (it != error_lbas_.end() && *it < req.lba + req.sector_count) {
-      ++stats_.errors;
-      return std::nullopt;
+  // Redirect remapped regions to their spares before any fault check: the
+  // damage lives at the original location, the spare serves cleanly.
+  uint64_t lba = req.lba;
+  bool remapped = false;
+  if (!remap_.empty()) {
+    const auto it = remap_.find(req.lba / region_sectors_);
+    if (it != remap_.end()) {
+      lba = it->second + req.lba % region_sectors_;
+      remapped = true;
+      if (lba + req.sector_count > total_sectors_) {
+        // A request straddling the end of the last spare: clamp (pure timing
+        // model, no data lives at these addresses).
+        lba = total_sectors_ - req.sector_count;
+      }
     }
   }
 
+  FaultDecision decision;
+  if (fault_plan_) {
+    decision = fault_plan_->Evaluate(lba, now, remapped);
+  }
+  if (decision.kind == FaultKind::kNone && OverlapsInjectedError(lba, req.sector_count)) {
+    // Legacy injected extents behave like persistent media damage.
+    decision.kind = FaultKind::kPersistent;
+  }
+
+  AccessResult result;
+  const uint64_t target_cylinder = CylinderOf(lba);
+
+  if (decision.kind != FaultKind::kNone) {
+    // The attempt really happened: the head sought, the platter turned, the
+    // transfer was attempted before ECC gave up. Charge that time and move
+    // the head, but leave the buffer and transfer counters untouched.
+    ++stats_.errors;
+    const Nanos seek = SeekTime(head_cylinder_, target_cylinder);
+    if (seek > 0) {
+      ++stats_.seeks;
+    }
+    const Nanos rotation =
+        static_cast<Nanos>(rng_.NextDouble() * static_cast<double>(revolution_time_));
+    stats_.total_seek_time += seek;
+    stats_.total_rotation_time += rotation;
+    result.fail_time = params_.command_overhead + seek + rotation +
+                       TransferTime(req.sector_count) + params_.error_recovery_time;
+    stats_.total_fault_time += result.fail_time;
+    result.fault = decision.kind;
+    head_cylinder_ = target_cylinder;
+    has_last_ = false;  // a failed attempt breaks any streaming run
+    return result;
+  }
+
   Nanos service = params_.command_overhead;
-  const uint64_t target_cylinder = CylinderOf(req.lba);
 
   const bool buffer_hit = req.kind == IoKind::kRead && buffer_end_lba_ > buffer_start_lba_ &&
-                          req.lba >= buffer_start_lba_ &&
-                          req.lba + req.sector_count <= buffer_end_lba_;
-  const bool streaming = has_last_ && req.lba == last_end_lba_;
+                          lba >= buffer_start_lba_ &&
+                          lba + req.sector_count <= buffer_end_lba_;
+  const bool streaming = has_last_ && lba == last_end_lba_;
 
   if (buffer_hit) {
     // Served from the on-drive buffer at interface speed; no mechanical work.
@@ -92,18 +162,24 @@ std::optional<Nanos> DiskModel::Access(const IoRequest& req) {
     if (req.kind == IoKind::kRead) {
       // The drive buffers the whole track(s) it just read over, up to the
       // buffer size; a subsequent read inside that range is a buffer hit.
-      const uint64_t track_start =
-          req.lba / params_.sectors_per_track * params_.sectors_per_track;
+      const uint64_t track_start = lba / params_.sectors_per_track * params_.sectors_per_track;
       const uint64_t max_buffer_sectors = params_.buffer_bytes / params_.sector_bytes;
       buffer_start_lba_ = track_start;
       buffer_end_lba_ =
-          std::min(req.lba + std::max<uint64_t>(req.sector_count, params_.sectors_per_track),
+          std::min(lba + std::max<uint64_t>(req.sector_count, params_.sectors_per_track),
                    track_start + max_buffer_sectors);
     }
   }
 
-  head_cylinder_ = CylinderOf(req.lba + req.sector_count - 1);
-  last_end_lba_ = req.lba + req.sector_count;
+  if (decision.slow) {
+    // Slow-I/O fault: the request completes, but internal drive retries /
+    // recalibration multiply the whole service time (tail-latency class).
+    service = static_cast<Nanos>(static_cast<double>(service) * decision.slow_multiplier);
+    result.slow = true;
+  }
+
+  head_cylinder_ = CylinderOf(lba + req.sector_count - 1);
+  last_end_lba_ = lba + req.sector_count;
   has_last_ = true;
 
   if (req.kind == IoKind::kRead) {
@@ -113,16 +189,59 @@ std::optional<Nanos> DiskModel::Access(const IoRequest& req) {
     ++stats_.writes;
     stats_.sectors_written += req.sector_count;
     // Writes invalidate any overlapping buffered range.
-    if (req.lba < buffer_end_lba_ && req.lba + req.sector_count > buffer_start_lba_) {
+    if (lba < buffer_end_lba_ && lba + req.sector_count > buffer_start_lba_) {
       buffer_start_lba_ = buffer_end_lba_ = 0;
     }
   }
   stats_.total_service_time += service;
-  return service;
+  result.service = service;
+  return result;
 }
 
-void DiskModel::InjectError(uint64_t lba) { error_lbas_.insert(lba); }
+void DiskModel::InjectError(uint64_t lba, uint32_t sector_count) {
+  assert(sector_count > 0);
+  uint64_t& span = error_extents_[lba];
+  span = std::max<uint64_t>(span, sector_count);
+  max_error_extent_ = std::max(max_error_extent_, sector_count);
+}
 
-void DiskModel::ClearErrors() { error_lbas_.clear(); }
+void DiskModel::ClearErrors() {
+  error_extents_.clear();
+  max_error_extent_ = 0;
+}
+
+bool DiskModel::RemapRegion(uint64_t lba) {
+  const uint64_t region = lba / region_sectors_;
+  if (remap_.count(region) != 0) {
+    return true;
+  }
+  if (remap_.size() >= spare_regions_) {
+    return false;  // spares exhausted: the fault surfaces as EIO
+  }
+  // Spares are distributed across the LBA space (one slot at the end of each
+  // of spare_regions_ equal slices), like real drives' per-zone spare
+  // tracks: a remapped region keeps seeking near its original neighborhood
+  // instead of paying a full stroke to a pool at the top of the disk. The
+  // slot nearest the bad region wins; ties and collisions probe outward
+  // deterministically.
+  const uint64_t slice = total_sectors_ / spare_regions_;
+  const uint64_t preferred = std::min(lba / slice, spare_regions_ - 1);
+  uint64_t slot = spare_regions_;
+  uint64_t best_distance = ~0ULL;
+  for (uint64_t s = 0; s < spare_regions_; ++s) {
+    if (spare_slots_used_.count(s) != 0) {
+      continue;
+    }
+    const uint64_t distance = s > preferred ? s - preferred : preferred - s;
+    if (distance < best_distance) {
+      best_distance = distance;
+      slot = s;
+    }
+  }
+  spare_slots_used_.insert(slot);
+  const uint64_t spare_start = (slot + 1) * slice - region_sectors_;
+  remap_.emplace(region, spare_start);
+  return true;
+}
 
 }  // namespace fsbench

@@ -8,13 +8,29 @@
 // cheap. Service times are returned to the caller (the IoScheduler), which
 // owns queueing; the DiskModel itself is a pure service-time oracle plus
 // head-position state.
+//
+// Fault behavior comes from two sources evaluated per access attempt:
+//   - an optional seeded FaultPlan (EnableFaults) drawing transient /
+//     persistent / slow-I/O verdicts from (config, seed), and
+//   - the legacy injected-error extents (InjectError), which behave like
+//     persistent media damage over an explicit sector range.
+// A failed attempt still costs mechanical time (seek + rotation + transfer
+// of the doomed request) — the head really moved — returned as
+// AccessResult::fail_time so the scheduler can charge the device timeline.
+// Persistent damage can be remapped region-by-region into a bounded spare
+// pool distributed across the LBA space like real drives' per-zone spare
+// tracks (RemapRegion); remapped requests are redirected before any fault
+// evaluation, so the spare region serves them cleanly from a nearby slice.
 #ifndef SRC_SIM_DISK_MODEL_H_
 #define SRC_SIM_DISK_MODEL_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
 
+#include "src/sim/fault_plan.h"
 #include "src/sim/types.h"
 #include "src/util/rng.h"
 #include "src/util/units.h"
@@ -42,6 +58,13 @@ struct DiskParams {
   uint64_t interface_rate = 150 * 1000 * 1000;
   // On-drive buffer used as a read track cache.
   Bytes buffer_bytes = 8 * kMiB;
+  // Time the drive spends in internal error recovery (re-reads, ECC
+  // heroics, head offsets) before reporting an unrecoverable error — the
+  // dominant cost of a surfaced fault on real hardware (desktop drives take
+  // hundreds of ms to seconds; TLER/ERC firmware caps it). Charged on every
+  // failed attempt on top of the mechanical time. Default 0 preserves the
+  // historical fail-fast behavior.
+  Nanos error_recovery_time = 0;
 };
 
 // Operation kind for a single device request.
@@ -52,6 +75,9 @@ struct IoRequest {
   IoKind kind = IoKind::kRead;
   uint64_t lba = 0;           // first sector
   uint32_t sector_count = 0;  // must be > 0
+  // Metadata or journal-log payload: a permanent write failure on a meta
+  // request is what trips a journaled file system into remount-read-only.
+  bool meta = false;
 };
 
 // Cumulative counters; cheap to copy.
@@ -67,7 +93,21 @@ struct DiskStats {
   Nanos total_seek_time = 0;
   Nanos total_rotation_time = 0;
   Nanos total_transfer_time = 0;
+  // Faulted access attempts (any kind), cumulative for the device's life —
+  // ClearErrors() removes injected damage but never rewinds this counter.
   uint64_t errors = 0;
+  // Mechanical time burned by failed attempts (not part of service time).
+  Nanos total_fault_time = 0;
+};
+
+// Outcome of one access attempt. Exactly one of `service` (success) or
+// `fault != kNone` (failure, with `fail_time` the device time consumed by
+// the doomed attempt) holds.
+struct AccessResult {
+  std::optional<Nanos> service;
+  FaultKind fault = FaultKind::kNone;
+  bool slow = false;     // completed but fault-plan slow-I/O multiplied it
+  Nanos fail_time = 0;   // device time consumed when fault != kNone
 };
 
 class DiskModel {
@@ -76,17 +116,40 @@ class DiskModel {
   // seed and request sequence produce identical service times.
   DiskModel(const DiskParams& params, uint64_t seed);
 
-  // Computes the service time for `req`, updates head position, buffer and
-  // statistics. Returns std::nullopt if the request hits an injected fault
-  // (the time until the failure is still accounted internally).
+  // Attaches a seeded fault plan. `seed` feeds the plan's own RNG stream,
+  // kept separate from the rotational-latency stream so a disabled plan is
+  // byte-identical to no plan at all.
+  void EnableFaults(const FaultPlanConfig& config, uint64_t seed);
+
+  // Computes the outcome of `req` issued at virtual time `now` (consulted
+  // only by the fault plan's burst window): service time on success, fault
+  // kind + consumed device time on failure. Updates head position, buffer
+  // and statistics either way.
+  AccessResult AccessEx(const IoRequest& req, Nanos now);
+
+  // Legacy entry point: service time or std::nullopt on a fault. Identical
+  // to AccessEx but discards fault detail (and evaluates bursts at now=0).
   std::optional<Nanos> Access(const IoRequest& req);
 
-  // Fault injection: any request overlapping `lba` fails until cleared.
-  void InjectError(uint64_t lba);
+  // Fault injection: any request overlapping [lba, lba + sector_count)
+  // fails until cleared or remapped. The default span is one file-system
+  // block (4 KiB), so legacy single-argument call sites poison the whole
+  // block they name rather than only its first sector.
+  void InjectError(uint64_t lba, uint32_t sector_count = 8);
+  // Removes injected damage. Deliberately does NOT reset DiskStats::errors:
+  // the counter is the device's lifetime error tally (like a SMART
+  // attribute), not a view of the currently-injected set.
   void ClearErrors();
+
+  // Remaps the fault region containing `lba` into the spare pool. Returns
+  // true if the region is (now) remapped, false when spares are exhausted.
+  bool RemapRegion(uint64_t lba);
+  uint64_t remapped_regions() const { return remap_.size(); }
+  uint64_t spare_regions_left() const { return spare_regions_ - remap_.size(); }
 
   const DiskParams& params() const { return params_; }
   const DiskStats& stats() const { return stats_; }
+  const FaultPlan* fault_plan() const { return fault_plan_ ? &*fault_plan_ : nullptr; }
   uint64_t total_sectors() const { return total_sectors_; }
   uint64_t total_cylinders() const { return total_cylinders_; }
 
@@ -97,6 +160,8 @@ class DiskModel {
   Nanos revolution_time() const { return revolution_time_; }
 
  private:
+  bool OverlapsInjectedError(uint64_t lba, uint32_t sector_count) const;
+
   DiskParams params_;
   Rng rng_;
   uint64_t total_sectors_;
@@ -112,7 +177,21 @@ class DiskModel {
   uint64_t buffer_start_lba_ = 0;
   uint64_t buffer_end_lba_ = 0;
 
-  std::set<uint64_t> error_lbas_;
+  // Injected persistent damage: start sector -> sector count.
+  std::map<uint64_t, uint64_t> error_extents_;
+  uint32_t max_error_extent_ = 0;  // longest injected extent, for overlap scans
+
+  std::optional<FaultPlan> fault_plan_;
+  // Remap granularity/spares; overridden by EnableFaults from the plan's
+  // config so plan regions and remap regions coincide.
+  uint64_t region_sectors_ = 2048;
+  uint64_t spare_regions_ = 64;
+  // Bad region index -> start sector of its spare. Lookup-only (never
+  // iterated), so hash order cannot leak into results.
+  std::unordered_map<uint64_t, uint64_t> remap_;
+  // Spare slots already handed out (index into the distributed spare slices).
+  std::set<uint64_t> spare_slots_used_;
+
   DiskStats stats_;
 };
 

@@ -25,6 +25,10 @@ class Ext2Fs : public FileSystem {
                            /*max_window=*/32, /*random_cluster=*/2};
   }
 
+  // errors=continue: with no journal there is no atomicity to protect, so a
+  // lost metadata write is counted and the file system soldiers on.
+  bool RemountRoOnWriteError() const override { return false; }
+
   // Indirect-block slot numbering for `page`, appended to `slots`. Slot
   // indices address Inode::indirect_blocks; exposed for tests.
   void IndirectSlotsFor(uint64_t page, std::vector<uint64_t>* slots) const;

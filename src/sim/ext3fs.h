@@ -31,6 +31,10 @@ class Ext3Fs : public Ext2Fs {
 
   Nanos per_op_cpu_overhead() const override { return 2 * kMicrosecond; }
 
+  // errors=remount-ro (the distro default): a lost metadata or log write
+  // aborts the journal and freezes the namespace read-only.
+  bool RemountRoOnWriteError() const override { return true; }
+
  private:
   Extent journal_region_;
 };

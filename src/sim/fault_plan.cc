@@ -1,0 +1,68 @@
+#include "src/sim/fault_plan.h"
+
+#include <cassert>
+
+namespace fsbench {
+
+FaultPlan::FaultPlan(const FaultPlanConfig& config, uint64_t seed)
+    : config_(config), seed_(seed), rng_(seed ^ 0xfa017bad5eedULL) {
+  assert(config_.region_sectors > 0);
+  assert(config_.transient_rate >= 0.0 && config_.transient_rate <= 1.0);
+  assert(config_.persistent_rate >= 0.0 && config_.persistent_rate <= 1.0);
+  assert(config_.slow_rate >= 0.0 && config_.slow_rate <= 1.0);
+}
+
+bool FaultPlan::RegionIsBad(uint64_t lba) const {
+  if (config_.persistent_rate <= 0.0) {
+    return false;
+  }
+  // Stateless hash verdict: splitmix64 over (seed, region) gives each region
+  // an order-independent uniform draw, so the bad set is fixed at "mkfs
+  // time" rather than discovered in request order.
+  uint64_t state = seed_ ^ (RegionOf(lba) * 0x9e3779b97f4a7c15ULL);
+  const uint64_t h = SplitMix64(state);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < config_.persistent_rate;
+}
+
+FaultDecision FaultPlan::Evaluate(uint64_t lba, Nanos now, bool remapped) {
+  FaultDecision decision;
+  if (!config_.enabled()) {
+    return decision;
+  }
+  // One transient and one slow draw per attempt, unconditionally, so the
+  // stream position depends only on the attempt count — not on which rates
+  // are ahead of others in the config.
+  const double transient_u = rng_.NextDouble();
+  const double slow_u = rng_.NextDouble();
+
+  if (!remapped && RegionIsBad(lba)) {
+    ++stats_.persistent_faults;
+    decision.kind = FaultKind::kPersistent;
+    return decision;
+  }
+
+  const bool in_burst = config_.burst_duration > 0 && now >= config_.burst_start &&
+                        now < config_.burst_start + config_.burst_duration;
+  double transient_rate = config_.transient_rate;
+  if (in_burst) {
+    transient_rate *= config_.burst_factor;
+  }
+  if (transient_u < transient_rate) {
+    ++stats_.transient_faults;
+    if (in_burst) {
+      ++stats_.burst_faults;
+    }
+    decision.kind = FaultKind::kTransient;
+    return decision;
+  }
+
+  if (slow_u < config_.slow_rate) {
+    ++stats_.slow_ios;
+    decision.slow = true;
+    decision.slow_multiplier = config_.slow_multiplier;
+  }
+  return decision;
+}
+
+}  // namespace fsbench

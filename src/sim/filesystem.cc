@@ -28,8 +28,25 @@ const char* FsStatusName(FsStatus status) {
       return "EBADF";
     case FsStatus::kInvalid:
       return "EINVAL";
+    case FsStatus::kReadOnly:
+      return "EROFS";
   }
   return "?";
+}
+
+void FileSystem::NoteMetaIoFailure() {
+  ++meta_io_failures_;
+  if (read_only_ || !RemountRoOnWriteError()) {
+    return;
+  }
+  // errors=remount-ro: the journal can no longer guarantee atomicity once a
+  // metadata or log write has been lost, so it is aborted and every further
+  // mutation is refused with kReadOnly. ext2 (no journal) overrides the
+  // policy hook and keeps going — errors=continue.
+  read_only_ = true;
+  if (journal_ != nullptr) {
+    journal_->Abort();
+  }
 }
 
 const char* FsKindName(FsKind kind) {

@@ -137,6 +137,23 @@ class FileSystem {
   // Extra per-operation CPU cost (journaling bookkeeping etc.).
   virtual Nanos per_op_cpu_overhead() const { return 0; }
 
+  // --- Device-fault error semantics ---
+
+  // Called by the VFS when a metadata read or a metadata/log write failed
+  // permanently at the block layer (the retry policy was exhausted).
+  // Journaled file systems react with errors=remount-ro: the journal is
+  // aborted and the fs refuses further mutations with kReadOnly; ext2
+  // soldiers on and merely counts the failure.
+  void NoteMetaIoFailure();
+
+  // Policy hook behind NoteMetaIoFailure. Default: remount read-only iff a
+  // journal is attached (atomicity is gone once its writes are lost).
+  virtual bool RemountRoOnWriteError() const { return journal_ != nullptr; }
+
+  bool read_only() const { return read_only_; }
+  bool journal_aborted() const { return journal_ != nullptr && journal_->aborted(); }
+  uint64_t meta_io_failures() const { return meta_io_failures_; }
+
   // --- Introspection / fsck ---
 
   // fsck-lite: every mapped block allocated exactly once, dirents point at
@@ -247,6 +264,8 @@ class FileSystem {
   uint64_t next_dir_group_ = 0;
   uint64_t reserved_blocks_ = 0;  // mkfs-reserved (headers, journal) for fsck accounting
   std::unique_ptr<Journal> journal_;
+  bool read_only_ = false;         // entered on meta failure when the policy says so
+  uint64_t meta_io_failures_ = 0;  // permanent metadata/log I/O failures observed
 
  private:
   void InitGroups();

@@ -19,6 +19,62 @@ void IoScheduler::AdmitInflight(Nanos completion) {
   std::push_heap(inflight_.begin(), inflight_.end(), std::greater<>());
 }
 
+std::optional<Nanos> IoScheduler::AttemptWithRetry(const IoRequest& req, Nanos start, Nanos* end,
+                                                   Nanos* device_end) {
+  Nanos t = start;
+  Nanos backoff_total = 0;
+  uint32_t attempt = 1;
+  Nanos backoff = policy_.initial_backoff;
+  bool tried_remap = false;
+  for (;;) {
+    const AccessResult result = disk_->AccessEx(req, t);
+    if (result.service.has_value()) {
+      *end = t + *result.service;
+      *device_end = *end - backoff_total;
+      return *end;
+    }
+    t += result.fail_time;  // the doomed attempt occupied the device
+    if (result.fault == FaultKind::kPersistent) {
+      if (policy_.remap && !tried_remap && disk_->RemapRegion(req.lba)) {
+        // The region is remapped into the spare pool; re-issue immediately —
+        // the redirected request reads/writes the spare, not the bad media.
+        tried_remap = true;
+        ++stats_.remaps;
+        continue;
+      }
+      // A medium error is deterministic: the drive already exhausted its
+      // internal retries, so re-issuing the same LBAs can only burn device
+      // time. Fail fast — remapping is the only policy that helps.
+      *end = t;
+      *device_end = t - backoff_total;
+      return std::nullopt;
+    }
+    if (attempt >= policy_.max_attempts) {
+      *end = t;
+      *device_end = t - backoff_total;
+      return std::nullopt;
+    }
+    ++attempt;
+    ++stats_.retries;
+    stats_.retry_backoff_time += backoff;
+    // The backoff advances the request's own timeline but not the device's:
+    // the drive is free between the host's reissues, so the queue behind this
+    // request reclaims the gap (credited back via *device_end).
+    t += backoff;
+    backoff_total += backoff;
+    backoff = static_cast<Nanos>(static_cast<double>(backoff) * policy_.backoff_multiplier);
+  }
+}
+
+void IoScheduler::NotifyFailure(const IoRequest& req, Nanos at) {
+  if (observer_ != nullptr) {
+    observer_->OnIoComplete(req, at, /*ok=*/false);
+  }
+  if (error_sink_ != nullptr && req.kind == IoKind::kWrite) {
+    error_sink_->OnWriteError(req, at);
+  }
+}
+
 void IoScheduler::ServicePending(Nanos from) {
   if (pending_.empty()) {
     return;
@@ -38,7 +94,12 @@ void IoScheduler::ServicePending(Nanos from) {
     std::rotate(pending_.begin(), ahead, pending_.end());
   }
   Nanos t = std::max(busy_until_, from);
-  for (const PendingRequest& pending : pending_) {
+  // The service pass may re-enter the scheduler: a permanent write failure
+  // notifies the error sink, and the file system's reaction (journal abort)
+  // must not observe a half-serviced queue. Swap the batch out first.
+  std::vector<PendingRequest> batch;
+  batch.swap(pending_);
+  for (const PendingRequest& pending : batch) {
     const IoRequest& req = pending.req;
     // Causality: a thread with an earlier cursor may trigger this pass, but
     // the device cannot start a request before it was submitted.
@@ -46,23 +107,31 @@ void IoScheduler::ServicePending(Nanos from) {
     if (dispatch_log_ != nullptr) {
       dispatch_log_->push_back(req.lba);
     }
-    const std::optional<Nanos> service = disk_->Access(req);
+    Nanos end = t;
+    Nanos device_end = t;
+    const std::optional<Nanos> completion = AttemptWithRetry(req, t, &end, &device_end);
     ++stats_.async_serviced;
     head_lba_ = req.lba + req.sector_count;
-    if (!service.has_value()) {
+    if (!completion.has_value()) {
       ++stats_.async_errors;
-      if (observer_ != nullptr) {
-        observer_->OnIoComplete(req, t, /*ok=*/false);
-      }
+      t = device_end;  // failed attempts still occupied the device
+      NotifyFailure(req, end);
       continue;
     }
-    t += *service;
-    AdmitInflight(t);
+    // The device frees up at device_end (backoff gaps are reclaimed by the
+    // queue); the request itself completes at *completion.
+    t = device_end;
+    AdmitInflight(*completion);
     if (observer_ != nullptr) {
-      observer_->OnIoComplete(req, t, /*ok=*/true);
+      observer_->OnIoComplete(req, *completion, /*ok=*/true);
     }
   }
-  pending_.clear();
+  if (pending_.empty() && batch.capacity() > pending_.capacity()) {
+    // Keep the larger buffer to stay allocation-free in steady state (only
+    // when no re-entrant submission repopulated the queue meanwhile).
+    batch.clear();
+    pending_.swap(batch);
+  }
   busy_until_ = std::max(t, busy_until_);
 }
 
@@ -78,23 +147,24 @@ std::optional<Nanos> IoScheduler::SubmitSync(const IoRequest& req, Nanos now) {
   if (dispatch_log_ != nullptr) {
     dispatch_log_->push_back(req.lba);
   }
-  const std::optional<Nanos> service = disk_->Access(req);
+  Nanos end = start;
+  Nanos device_end = start;
+  const std::optional<Nanos> completion = AttemptWithRetry(req, start, &end, &device_end);
   head_lba_ = req.lba + req.sector_count;
-  if (!service.has_value()) {
-    if (observer_ != nullptr) {
-      observer_->OnIoComplete(req, start, /*ok=*/false);
-    }
+  if (!completion.has_value()) {
+    ++stats_.sync_errors;
+    busy_until_ = std::max(busy_until_, device_end);  // the failed attempts burned device time
+    NotifyFailure(req, end);
     return std::nullopt;
   }
-  const Nanos completion = start + *service;
-  busy_until_ = completion;
-  AdmitInflight(completion);
-  stats_.total_sync_wait += completion - now;
+  busy_until_ = std::max(busy_until_, device_end);
+  AdmitInflight(*completion);
+  stats_.total_sync_wait += *completion - now;
   stats_.total_sync_queue_delay += start - now;
   if (observer_ != nullptr) {
-    observer_->OnIoComplete(req, completion, /*ok=*/true);
+    observer_->OnIoComplete(req, *completion, /*ok=*/true);
   }
-  return completion;
+  return *completion;
 }
 
 void IoScheduler::SubmitAsync(const IoRequest& req, Nanos now) {

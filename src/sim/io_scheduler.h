@@ -16,6 +16,15 @@
 // min-heap and retired as later submissions observe time passing, so
 // `max_queue_depth` counts in-flight requests plus queued async plus the
 // arriving request — not merely the async backlog.
+//
+// The scheduler is also where fault-handling policy lives (the block layer's
+// role on a real host): every submission runs through a retry loop —
+// transient faults are re-attempted up to RetryPolicy::max_attempts with
+// exponential virtual-time backoff, persistent faults can trigger a one-time
+// region remap into the disk's spare pool, and only a request that exhausts
+// the policy surfaces as an error. Permanent *write* failures are reported
+// to an IoWriteErrorSink (the VFS), which lets file systems react —
+// journaled ones abort and remount read-only.
 #ifndef SRC_SIM_IO_SCHEDULER_H_
 #define SRC_SIM_IO_SCHEDULER_H_
 
@@ -42,11 +51,42 @@ class IoCompletionObserver {
   virtual void OnIoComplete(const IoRequest& req, Nanos completion, bool ok) = 0;
 };
 
+// Notified when a write fails permanently (the retry policy is exhausted).
+// Implemented by the VFS, which forwards metadata/log failures to the file
+// system's error handler. Read failures are not reported here: synchronous
+// reads surface their error to the issuing operation directly.
+class IoWriteErrorSink {
+ public:
+  virtual ~IoWriteErrorSink() = default;
+  virtual void OnWriteError(const IoRequest& req, Nanos now) = 0;
+};
+
+// Block-layer fault handling policy. Defaults are the historical behavior:
+// one attempt, no remapping — every device fault surfaces immediately.
+struct RetryPolicy {
+  // Total attempts per request, including the first (1 = no retries).
+  // Applies to transient faults only: a persistent (medium-error) verdict is
+  // deterministic, so the scheduler fails it fast rather than burning
+  // attempts — remapping is the only policy that rescues those.
+  uint32_t max_attempts = 1;
+  // Virtual-time wait before the first re-attempt; doubles (well,
+  // multiplies) on each subsequent one.
+  Nanos initial_backoff = FromMillis(0.5);
+  double backoff_multiplier = 2.0;
+  // Remap a persistently-bad region into the disk's spare pool on first
+  // failure (at most once per request), then re-issue immediately.
+  bool remap = false;
+};
+
 struct IoSchedulerStats {
   uint64_t sync_requests = 0;
   uint64_t async_requests = 0;
   uint64_t async_serviced = 0;
-  uint64_t async_errors = 0;
+  uint64_t async_errors = 0;   // async requests that failed permanently
+  uint64_t sync_errors = 0;    // sync requests that failed permanently
+  uint64_t retries = 0;        // re-attempts issued by the retry policy
+  uint64_t remaps = 0;         // region remaps triggered by persistent faults
+  Nanos retry_backoff_time = 0;      // virtual time spent backing off
   Nanos total_sync_wait = 0;         // queueing delay + service for sync requests
   Nanos total_sync_queue_delay = 0;  // device-busy wait alone (start - submit)
   size_t max_queue_depth = 0;        // in-flight + queued async + the arriving request
@@ -59,8 +99,8 @@ class IoScheduler {
   // Issues a synchronous request from a thread whose cursor reads `now`.
   // Pending async requests are serviced first (they were admitted before the
   // sync arrival). Returns the absolute completion time (>= now); the caller
-  // is responsible for advancing its cursor. Returns std::nullopt on an
-  // injected device error.
+  // is responsible for advancing its cursor. Returns std::nullopt when the
+  // request failed permanently (device fault surviving the retry policy).
   std::optional<Nanos> SubmitSync(const IoRequest& req, Nanos now);
 
   // Queues an asynchronous request submitted at `now`; it consumes device
@@ -84,6 +124,8 @@ class IoScheduler {
   size_t inflight() const { return inflight_.size(); }
   const IoSchedulerStats& stats() const { return stats_; }
   SchedulerKind kind() const { return kind_; }
+  const RetryPolicy& retry_policy() const { return policy_; }
+  void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
 
   // Test hook: when set, the LBA of every request is appended in dispatch
   // order (async services and sync submissions alike).
@@ -92,7 +134,24 @@ class IoScheduler {
   // Crash-tracking hook (see IoCompletionObserver above).
   void set_completion_observer(IoCompletionObserver* observer) { observer_ = observer; }
 
+  // Degraded-mode hook (see IoWriteErrorSink above).
+  void set_write_error_sink(IoWriteErrorSink* sink) { error_sink_ = sink; }
+
  private:
+  // Runs `req` through the retry/remap policy starting at `start`. On
+  // success returns the completion time; on permanent failure returns
+  // std::nullopt. `*end` is always set to the requester-visible end of the
+  // request (last completion or last failed attempt, including backoffs).
+  // `*device_end` is the time the device itself goes free: backoff waits are
+  // host-side — a real drive serves other queued commands while the host
+  // sits out its reissue delay — so they are charged to the requester's
+  // latency but credited back to the device timeline.
+  std::optional<Nanos> AttemptWithRetry(const IoRequest& req, Nanos start, Nanos* end,
+                                        Nanos* device_end);
+
+  // Shared permanent-failure tail: observer + write-error sink.
+  void NotifyFailure(const IoRequest& req, Nanos at);
+
   // Services pending async requests starting no earlier than `from`.
   void ServicePending(Nanos from);
 
@@ -109,6 +168,7 @@ class IoScheduler {
 
   DiskModel* disk_;
   SchedulerKind kind_;
+  RetryPolicy policy_;
   Nanos busy_until_ = 0;
   // One past the last dispatched LBA: the elevator's head position.
   uint64_t head_lba_ = 0;
@@ -116,6 +176,7 @@ class IoScheduler {
   std::vector<Nanos> inflight_;  // min-heap of admitted completion times
   std::vector<uint64_t>* dispatch_log_ = nullptr;
   IoCompletionObserver* observer_ = nullptr;
+  IoWriteErrorSink* error_sink_ = nullptr;
   IoSchedulerStats stats_;
 };
 

@@ -6,7 +6,7 @@ namespace fsbench {
 
 Nanos Journal::CommitToLog(TxnLog& log, VirtualClock* clock, bool sync) {
   const uint64_t logged = log.pending_blocks();
-  if (logged == 0) {
+  if (aborted_ || logged == 0) {
     return clock->now();
   }
   const Nanos completion = log.Commit(sync);
@@ -46,6 +46,9 @@ CilJournal::CilJournal(IoScheduler* scheduler, VirtualClock* clock, Extent regio
            TxnLogConfig{config.block_sectors, config.checkpoint_threshold}) {}
 
 void CilJournal::LogMetadata(const MetaRef& ref) {
+  if (aborted_) {
+    return;  // the CIL of an aborted journal is frozen
+  }
   ++stats_.cil_inserts;
   if (cil_set_.insert(ref.block).second) {
     cil_.push_back(ref);

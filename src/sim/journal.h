@@ -98,6 +98,17 @@ class Journal {
   // machine after the VFS exists.
   virtual void set_checkpoint_sink(CheckpointSink* sink) { (void)sink; }
 
+  // Aborts the journal (errors=remount-ro): further logging and commits
+  // become no-ops. Flag-setting only — the abort may fire re-entrantly from
+  // a failed log write inside a commit (see TxnLog::Abort).
+  virtual void Abort() {
+    aborted_ = true;
+    if (TxnLog* log = txn_log(); log != nullptr) {
+      log->Abort();
+    }
+  }
+  bool aborted() const { return aborted_; }
+
   // Crash bookkeeping: workload operations with index <= `op` have fully
   // logged their updates (engine-set at op boundaries in crash mode).
   void SetOpWatermark(uint64_t op) {
@@ -120,6 +131,7 @@ class Journal {
   JournalConfig config_;
   JournalStats stats_;
   Nanos last_commit_time_ = 0;
+  bool aborted_ = false;
 };
 
 // Ext3's JBD-flavoured client: every logged block goes straight into the

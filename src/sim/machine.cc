@@ -52,7 +52,13 @@ Machine::Machine(FsKind fs_kind, const MachineConfig& config)
   const double cpu_scale = uniform_pm(config_.cpu_jitter);
 
   disk_ = std::make_unique<DiskModel>(disk_params, config_.seed ^ 0xd15c0000ULL);
+  if (config_.faults.enabled()) {
+    // The plan's stream is separate from the disk's rotational stream, so a
+    // run with all fault rates zero is byte-identical to one without a plan.
+    disk_->EnableFaults(config_.faults, config_.seed ^ 0xfa1c7000ULL);
+  }
   scheduler_ = std::make_unique<IoScheduler>(disk_.get(), config_.scheduler);
+  scheduler_->set_retry_policy(config_.retry);
 
   switch (fs_kind) {
     case FsKind::kExt2:
@@ -102,6 +108,9 @@ Machine::Machine(FsKind fs_kind, const MachineConfig& config)
   if (Journal* journal = fs_->journal(); journal != nullptr) {
     journal->set_checkpoint_sink(vfs_.get());
   }
+  // Permanent write failures propagate VFS-ward so the file system can
+  // react (journal abort + remount-read-only on metadata/log loss).
+  scheduler_->set_write_error_sink(vfs_.get());
 }
 
 void Machine::EnableCrashTracking() {

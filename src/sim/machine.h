@@ -54,6 +54,11 @@ struct MachineConfig {
   std::optional<ReadaheadConfig> readahead_override;
   // Optional second-level cache (flash) tier - see src/sim/flash_tier.h.
   std::optional<FlashTierConfig> flash;
+  // Device-fault axis: a seeded fault plan (off by default — all rates 0)
+  // and the block layer's retry/remap policy (default: one attempt, no
+  // remap, i.e. the historical surface-every-fault behavior).
+  FaultPlanConfig faults;
+  RetryPolicy retry;
   uint64_t seed = 42;
 };
 

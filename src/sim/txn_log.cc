@@ -13,6 +13,9 @@ TxnLog::TxnLog(IoScheduler* scheduler, VirtualClock* clock, Extent region,
 }
 
 void TxnLog::Add(const MetaRef& ref) {
+  if (aborted_) {
+    return;
+  }
   if (current_set_.insert(ref.block).second) {
     current_tx_.push_back(ref);
   }
@@ -90,7 +93,7 @@ Nanos TxnLog::WriteChunk(const MetaRef* refs, uint64_t count, bool sync) {
   for (uint64_t i = 0; i < blocks_to_write; ++i) {
     const uint64_t offset = (head_block_ + i) % region_.count;
     const IoRequest req{IoKind::kWrite, (region_.start + offset) * config_.block_sectors,
-                        config_.block_sectors};
+                        config_.block_sectors, /*meta=*/true};
     if (sync && i + 1 == blocks_to_write) {
       // Only the commit record is waited on.
       if (const auto done = scheduler_->SubmitSync(req, clock_->now()); done.has_value()) {
@@ -115,7 +118,7 @@ Nanos TxnLog::WriteChunk(const MetaRef* refs, uint64_t count, bool sync) {
 }
 
 Nanos TxnLog::Commit(bool sync) {
-  if (current_tx_.empty()) {
+  if (aborted_ || current_tx_.empty()) {
     return clock_->now();
   }
   // A transaction larger than the log region cannot exist on disk: it is
@@ -135,6 +138,11 @@ Nanos TxnLog::Commit(bool sync) {
     const bool last = offset + count == current_tx_.size();
     completion = WriteChunk(current_tx_.data() + offset, count, sync && last);
     offset += count;
+    if (aborted_) {
+      // A log write inside WriteChunk failed permanently and the write-error
+      // sink aborted us re-entrantly; stop writing chunks to a dead log.
+      break;
+    }
   }
   stats_.blocks_logged += current_tx_.size();
   ++stats_.commits;

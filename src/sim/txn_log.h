@@ -90,6 +90,14 @@ class TxnLog {
   // empty transaction is free and writes nothing.
   Nanos Commit(bool sync);
 
+  // Aborts the log (errors=remount-ro path): Add and Commit become no-ops.
+  // Deliberately sets a flag and nothing else — the abort fires re-entrantly
+  // from the write-error sink *inside* a commit's own failed log write, so
+  // mutating current_tx_/records_ here would pull state out from under the
+  // committing frame.
+  void Abort() { aborted_ = true; }
+  bool aborted() const { return aborted_; }
+
   // --- Checkpoint coupling ---
 
   // The VFS reports every home block that no longer needs checkpointing:
@@ -183,6 +191,7 @@ class TxnLog {
   std::unordered_map<BlockId, uint64_t> home_write_event_;
 
   uint64_t op_watermark_ = 0;
+  bool aborted_ = false;
   bool retain_history_ = false;
   std::deque<TxnRecord> records_;
   TxnLogStats stats_;

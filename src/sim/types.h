@@ -31,6 +31,7 @@ enum class FsStatus {
   kNotEmpty,    // ENOTEMPTY
   kBadHandle,   // EBADF
   kInvalid,     // EINVAL
+  kReadOnly,    // EROFS (fs remounted read-only after a metadata/log failure)
 };
 
 // Human-readable name for an FsStatus ("kOk" -> "OK", etc.).

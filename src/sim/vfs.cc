@@ -63,10 +63,10 @@ double Vfs::DataHitRatio() const {
   return total == 0 ? 0.0 : static_cast<double>(stats_.data_page_hits) / total;
 }
 
-FsStatus Vfs::DemandRead(BlockId block, uint32_t count) {
+FsStatus Vfs::DemandRead(BlockId block, uint32_t count, bool meta) {
   ++stats_.demand_requests;
   const IoRequest req{IoKind::kRead, block * fs_->sectors_per_block(),
-                      count * fs_->sectors_per_block()};
+                      count * fs_->sectors_per_block(), meta};
   const std::optional<Nanos> completion = scheduler_->SubmitSync(req, clock_->now());
   if (!completion.has_value()) {
     ++stats_.io_errors;
@@ -81,7 +81,7 @@ void Vfs::HandleEvictions(const PageCache::EvictedBatch& evicted) {
   for (const PageCache::Evicted& page : evicted) {
     if (page.dirty && page.block != kInvalidBlock) {
       scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
-                                        fs_->sectors_per_block()},
+                                        fs_->sectors_per_block(), page.key.ino == kMetaInode},
                               clock_->now());
       ++stats_.writeback_pages;
       if (journal != nullptr) {
@@ -109,7 +109,7 @@ FsStatus Vfs::ProcessMetaIo(const MetaIo& io) {
     clock_->Advance(scaled_meta_touch_);
     const PageKey key{ref.ino, ref.index};
     if (!cache_.Lookup(key)) {
-      const FsStatus status = DemandRead(ref.block, 1);
+      const FsStatus status = DemandRead(ref.block, 1, /*meta=*/true);
       if (status != FsStatus::kOk) {
         return status;
       }
@@ -161,12 +161,23 @@ void Vfs::SubmitWritebackBatch(std::vector<PageCache::Evicted>& batch) {
       continue;
     }
     scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
-                                      fs_->sectors_per_block()},
+                                      fs_->sectors_per_block(), page.key.ino == kMetaInode},
                             clock_->now());
     ++stats_.writeback_pages;
     if (journal != nullptr) {
       journal->NoteHomeWrite(page.block);
     }
+  }
+}
+
+void Vfs::OnWriteError(const IoRequest& req, Nanos now) {
+  (void)now;  // bookkeeping only; no time is charged to the failing writer
+  ++stats_.write_errors;
+  if (req.meta) {
+    ++stats_.meta_write_errors;
+    // A lost metadata or journal-log write: the file system decides whether
+    // this means remount-read-only (journal abort) or soldiering on.
+    fs_->NoteMetaIoFailure();
   }
 }
 
@@ -275,6 +286,10 @@ FsResult<int> Vfs::Open(std::string_view path, bool create) {
   std::string_view leaf;
   FsResult<InodeId> ino = ResolvePath(path, ResolveMode::kOpen, &parent, &leaf);
   if (!ino.ok() && create && ino.status == FsStatus::kNotFound && parent != kInvalidInode) {
+    if (fs_->read_only()) {
+      ++stats_.readonly_rejects;
+      return FsResult<int>::Error(FsStatus::kReadOnly);
+    }
     meta_scratch_.Reset();
     ino = fs_->Create(parent, leaf, FileType::kRegular, &meta_scratch_);
     const FsStatus meta = ProcessMetaIo(meta_scratch_);
@@ -357,6 +372,9 @@ FsResult<Bytes> Vfs::Read(int fd, Bytes offset, Bytes length) {
   }
   ++stats_.reads;
   clock_->Advance(scaled_syscall_plus_op_);
+  if (fs_->read_only()) {
+    ++stats_.degraded_reads;  // still served: degraded mode is read-only, not dead
+  }
 
   meta_scratch_.Reset();
   const FsResult<FileAttr> attr = fs_->Stat(file->ino, &meta_scratch_);
@@ -467,6 +485,12 @@ FsResult<Bytes> Vfs::Write(int fd, Bytes offset, Bytes length) {
   }
   ++stats_.writes;
   clock_->Advance(scaled_syscall_plus_op_);
+  // Degraded mode: a remounted-read-only fs refuses mutations. Checked after
+  // the syscall charge so rejected operations still consume virtual time.
+  if (fs_->read_only()) {
+    ++stats_.readonly_rejects;
+    return FsResult<Bytes>::Error(FsStatus::kReadOnly);
+  }
 
   meta_scratch_.Reset();
   const FsResult<FileAttr> attr = fs_->Stat(file->ino, &meta_scratch_);
@@ -547,6 +571,10 @@ FsResult<Bytes> Vfs::Write(int fd, Bytes offset, Bytes length) {
 
 FsStatus Vfs::CreateFile(std::string_view path) {
   clock_->Advance(scaled_syscall_plus_op_);
+  if (fs_->read_only()) {
+    ++stats_.readonly_rejects;
+    return FsStatus::kReadOnly;
+  }
   InodeId parent = kInvalidInode;
   std::string_view leaf;
   const FsResult<InodeId> parent_result = ResolvePath(path, ResolveMode::kParent, &parent, &leaf);
@@ -570,6 +598,10 @@ FsStatus Vfs::CreateFile(std::string_view path) {
 
 FsStatus Vfs::Mkdir(std::string_view path) {
   clock_->Advance(scaled_syscall_plus_op_);
+  if (fs_->read_only()) {
+    ++stats_.readonly_rejects;
+    return FsStatus::kReadOnly;
+  }
   InodeId parent = kInvalidInode;
   std::string_view leaf;
   const FsResult<InodeId> parent_result = ResolvePath(path, ResolveMode::kParent, &parent, &leaf);
@@ -588,6 +620,10 @@ FsStatus Vfs::Mkdir(std::string_view path) {
 
 FsStatus Vfs::Unlink(std::string_view path) {
   clock_->Advance(scaled_syscall_plus_op_);
+  if (fs_->read_only()) {
+    ++stats_.readonly_rejects;
+    return FsStatus::kReadOnly;
+  }
   InodeId parent = kInvalidInode;
   std::string_view leaf;
   const FsResult<InodeId> parent_result = ResolvePath(path, ResolveMode::kParent, &parent, &leaf);
@@ -642,6 +678,10 @@ FsResult<std::vector<std::string>> Vfs::ReadDir(std::string_view path) {
 
 FsStatus Vfs::Truncate(std::string_view path, Bytes new_size) {
   clock_->Advance(scaled_syscall_plus_op_);
+  if (fs_->read_only()) {
+    ++stats_.readonly_rejects;
+    return FsStatus::kReadOnly;
+  }
   const FsResult<InodeId> ino = ResolvePath(path, ResolveMode::kFull, nullptr, nullptr);
   if (!ino.ok()) {
     return ino.status;

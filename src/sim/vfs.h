@@ -65,9 +65,14 @@ struct VfsStats {
   uint64_t readahead_pages = 0;
   uint64_t writeback_pages = 0;
   uint64_t io_errors = 0;
+  // Device-fault / degraded-mode accounting.
+  uint64_t write_errors = 0;       // permanent device write failures observed
+  uint64_t meta_write_errors = 0;  // subset that hit metadata or journal-log writes
+  uint64_t degraded_reads = 0;     // reads served while the fs was read-only
+  uint64_t readonly_rejects = 0;   // mutations refused with kReadOnly
 };
 
-class Vfs : public CheckpointSink {
+class Vfs : public CheckpointSink, public IoWriteErrorSink {
  public:
   // `flash` is an optional second-level cache tier (may be null): RAM
   // evictions are demoted into it and RAM misses probe it before disk.
@@ -123,6 +128,11 @@ class Vfs : public CheckpointSink {
   // invalidated are reported straight back as at-home.
   size_t WritebackForCheckpoint(const MetaRef* refs, size_t count, Nanos now) override;
 
+  // IoWriteErrorSink: the scheduler reports a write that failed permanently
+  // (retry policy exhausted). Metadata/log failures are forwarded to the
+  // file system, which may remount itself read-only (journal abort).
+  void OnWriteError(const IoRequest& req, Nanos now) override;
+
   // --- Introspection ---
 
   PageCache& cache() { return cache_; }
@@ -168,8 +178,9 @@ class Vfs : public CheckpointSink {
   FsStatus ProcessMetaIo(const MetaIo& io);
 
   // Reads `count` device blocks at `block` synchronously; advances the
-  // clock to completion.
-  FsStatus DemandRead(BlockId block, uint32_t count);
+  // clock to completion. `meta` tags the request as metadata for the fault
+  // plumbing.
+  FsStatus DemandRead(BlockId block, uint32_t count, bool meta = false);
 
   // Handles pages evicted by a cache insert: dirty ones are queued as async
   // writes.

@@ -36,6 +36,10 @@ class XfsFs : public FileSystem {
 
   Nanos per_op_cpu_overhead() const override { return 1 * kMicrosecond; }
 
+  // XFS shuts down the filesystem on log I/O errors (xfs_force_shutdown);
+  // modeled as the same remount-read-only degraded mode.
+  bool RemountRoOnWriteError() const override { return true; }
+
   // Extents held inline in the inode before the btree kicks in.
   static constexpr size_t kInlineExtents = 4;
   // Extent records per btree node block.

@@ -76,6 +76,10 @@ void DigestVfsStats(Digest& d, const VfsStats& s) {
   d.U64(s.readahead_pages);
   d.U64(s.writeback_pages);
   d.U64(s.io_errors);
+  d.U64(s.write_errors);
+  d.U64(s.meta_write_errors);
+  d.U64(s.degraded_reads);
+  d.U64(s.readonly_rejects);
 }
 
 void DigestDiskStats(Digest& d, const DiskStats& s) {
@@ -91,6 +95,7 @@ void DigestDiskStats(Digest& d, const DiskStats& s) {
   d.I64(s.total_rotation_time);
   d.I64(s.total_transfer_time);
   d.U64(s.errors);
+  d.I64(s.total_fault_time);
 }
 
 void DigestSchedulerStats(Digest& d, const IoSchedulerStats& s) {
@@ -98,9 +103,32 @@ void DigestSchedulerStats(Digest& d, const IoSchedulerStats& s) {
   d.U64(s.async_requests);
   d.U64(s.async_serviced);
   d.U64(s.async_errors);
+  d.U64(s.sync_errors);
+  d.U64(s.retries);
+  d.U64(s.remaps);
+  d.I64(s.retry_backoff_time);
   d.I64(s.total_sync_wait);
   d.I64(s.total_sync_queue_delay);
   d.U64(s.max_queue_depth);
+}
+
+void DigestFaultSummary(Digest& d, const FaultSummary& f) {
+  d.U64(f.device_errors);
+  d.U64(f.transient_faults);
+  d.U64(f.persistent_faults);
+  d.U64(f.slow_ios);
+  d.U64(f.retries);
+  d.I64(f.retry_backoff_time);
+  d.U64(f.remapped_regions);
+  d.U64(f.spare_regions_left);
+  d.U64(f.sync_io_failures);
+  d.U64(f.async_io_failures);
+  d.U64(f.meta_io_failures);
+  d.Bool(f.journal_aborted);
+  d.Bool(f.remounted_ro);
+  d.U64(f.degraded_reads);
+  d.U64(f.readonly_rejects);
+  d.U64(f.failed_ops);
 }
 
 void DigestCrashReport(Digest& d, const CrashReport& r) {
@@ -147,6 +175,8 @@ uint64_t DigestRunResult(const RunResult& r) {
   for (uint64_t ops : r.per_thread_ops) {
     d.U64(ops);
   }
+  d.U64(r.failed_ops);
+  DigestFaultSummary(d, r.fault);
   d.Bool(r.crash_report.has_value());
   if (r.crash_report.has_value()) {
     DigestCrashReport(d, *r.crash_report);
@@ -210,6 +240,44 @@ TEST_P(DeterminismGate, RunTwiceBitIdenticalDigest) {
     EXPECT_EQ(run.per_thread_ops.size(), 4u);
   }
   // Different seeds must NOT collide (a constant digest would also "pass").
+  ASSERT_GE(first.runs.size(), 2u);
+  EXPECT_NE(DigestRunResult(first.runs[0]), DigestRunResult(first.runs[1]));
+}
+
+// The same purity contract under the device-fault engine: retries, backoff,
+// remapping and (on the journaled file systems) a possible mid-run
+// remount-read-only must all replay bit-identically from (config, seed).
+TEST_P(DeterminismGate, FaultyRunTwiceBitIdenticalDigest) {
+  ExperimentConfig config = GateConfig();
+  config.crash.reset();  // degraded mode instead of a crash
+  config.continue_on_error = true;
+  const FsKind kind = GetParam();
+  const MachineFactory machines = [kind](uint64_t seed) {
+    MachineConfig machine_config;
+    machine_config.ram = 110 * kMiB;
+    machine_config.os_reserved = 102 * kMiB;
+    machine_config.seed = seed;
+    machine_config.faults.transient_rate = 0.05;
+    machine_config.faults.persistent_rate = 0.01;
+    machine_config.faults.slow_rate = 0.01;
+    machine_config.faults.region_sectors = 256;
+    machine_config.retry = RetryPolicy{4, FromMillis(0.2), 2.0, /*remap=*/true};
+    return std::make_unique<Machine>(kind, machine_config);
+  };
+
+  const ExperimentResult first = Experiment(config).Run(machines, GateWorkload());
+  const ExperimentResult second = Experiment(config).Run(machines, GateWorkload());
+
+  ASSERT_EQ(first.runs.size(), second.runs.size());
+  for (size_t i = 0; i < first.runs.size(); ++i) {
+    EXPECT_EQ(DigestRunResult(first.runs[i]), DigestRunResult(second.runs[i]))
+        << "faulty run " << i << " digest diverged — fault draws are not seed-pure";
+  }
+  // The gate must actually be exercising the fault machinery.
+  for (const RunResult& run : first.runs) {
+    EXPECT_GT(run.fault.device_errors, 0u);
+    EXPECT_GT(run.fault.retries, 0u);
+  }
   ASSERT_GE(first.runs.size(), 2u);
   EXPECT_NE(DigestRunResult(first.runs[0]), DigestRunResult(first.runs[1]));
 }

@@ -127,6 +127,104 @@ TEST(FailureInjectionTest, FsConsistencySurvivesFaults) {
   EXPECT_TRUE(machine->fs().CheckConsistency(&error)) << error;
 }
 
+// --- Degraded-mode matrix: errors=remount-ro vs errors=continue ---
+
+// Poisons every sector of the file system's journal/log region, so the next
+// commit's writes fail permanently (default retry policy: one attempt).
+void PoisonExtent(Machine& machine, const Extent& region) {
+  const uint32_t spb = machine.fs().sectors_per_block();
+  machine.disk().InjectError(region.start * spb, static_cast<uint32_t>(region.count * spb));
+}
+
+// Churns writes + fsyncs until the file system trips into read-only mode
+// (or gives up after a bounded number of rounds — the caller asserts).
+void ChurnUntilReadOnly(Machine& machine) {
+  Vfs& vfs = machine.vfs();
+  const auto fd = vfs.Open("/churn", /*create=*/true);
+  ASSERT_TRUE(fd.ok());
+  for (int round = 0; round < 10 && !machine.fs().read_only(); ++round) {
+    vfs.Write(fd.value, static_cast<Bytes>(round) * 16 * kKiB, 16 * kKiB);
+    vfs.Fsync(fd.value);
+  }
+}
+
+TEST(FailureInjectionTest, Ext3LogWriteFailureRemountsReadOnly) {
+  auto machine = SmallMachine(FsKind::kExt3);
+  Vfs& vfs = machine->vfs();
+  // Seed a readable file before the fault so degraded reads have a target.
+  ASSERT_EQ(vfs.MakeFile("/keep", 16 * kKiB), FsStatus::kOk);
+  auto* ext3 = dynamic_cast<Ext3Fs*>(&machine->fs());
+  ASSERT_NE(ext3, nullptr);
+  PoisonExtent(*machine, ext3->journal_region());
+
+  ChurnUntilReadOnly(*machine);
+  // Losing journal writes forfeits atomicity: ext3 aborts the journal and
+  // remounts read-only.
+  EXPECT_TRUE(machine->fs().read_only());
+  EXPECT_TRUE(machine->fs().journal_aborted());
+  EXPECT_GE(machine->fs().meta_io_failures(), 1u);
+  EXPECT_GE(vfs.stats().meta_write_errors, 1u);
+
+  // Degraded mode is read-only, not dead: mutations are refused, reads are
+  // still served.
+  EXPECT_EQ(vfs.CreateFile("/new"), FsStatus::kReadOnly);
+  EXPECT_EQ(vfs.Unlink("/keep"), FsStatus::kReadOnly);
+  EXPECT_GE(vfs.stats().readonly_rejects, 2u);
+  const auto fd = vfs.Open("/keep");
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(vfs.Read(fd.value, 0, 4 * kKiB).ok());
+  EXPECT_GE(vfs.stats().degraded_reads, 1u);
+}
+
+TEST(FailureInjectionTest, XfsLogWriteFailureRemountsReadOnly) {
+  auto machine = SmallMachine(FsKind::kXfs);
+  Vfs& vfs = machine->vfs();
+  ASSERT_EQ(vfs.MakeFile("/keep", 16 * kKiB), FsStatus::kOk);
+  auto* xfs = dynamic_cast<XfsFs*>(&machine->fs());
+  ASSERT_NE(xfs, nullptr);
+  PoisonExtent(*machine, xfs->journal_region());
+
+  // The CIL batches deltas in memory; each fsync forces a log push into the
+  // poisoned region.
+  ChurnUntilReadOnly(*machine);
+  EXPECT_TRUE(machine->fs().read_only());
+  EXPECT_TRUE(machine->fs().journal_aborted());
+  EXPECT_EQ(vfs.CreateFile("/new"), FsStatus::kReadOnly);
+  const auto fd = vfs.Open("/keep");
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(vfs.Read(fd.value, 0, 4 * kKiB).ok());
+  EXPECT_GE(vfs.stats().degraded_reads, 1u);
+}
+
+TEST(FailureInjectionTest, Ext2SoldiersOnAfterMetaWriteFailure) {
+  auto machine = SmallMachine(FsKind::kExt2);
+  Vfs& vfs = machine->vfs();
+  ASSERT_EQ(vfs.MakeFile("/f", 16 * kKiB), FsStatus::kOk);
+  // Poison the block of the inode table holding /f's inode: fsync writes it
+  // back and the write fails permanently.
+  const auto attr = vfs.Stat("/f");
+  ASSERT_TRUE(attr.ok());
+  const Inode* inode = machine->fs().FindInode(attr.value.ino);
+  ASSERT_NE(inode, nullptr);
+  machine->disk().InjectError(inode->itable_block * machine->fs().sectors_per_block());
+
+  const auto fd = vfs.Open("/f");
+  ASSERT_TRUE(fd.ok());
+  // Extend the file: the allocation dirties the inode table block, whose
+  // writeback then hits the injected damage.
+  ASSERT_TRUE(vfs.Write(fd.value, 16 * kKiB, 16 * kKiB).ok());
+  vfs.Fsync(fd.value);
+  vfs.SyncAll();
+
+  // ext2 has no journal to lose: the failure is counted, nothing more
+  // (errors=continue), and the fs keeps accepting work.
+  EXPECT_GE(machine->fs().meta_io_failures(), 1u);
+  EXPECT_FALSE(machine->fs().read_only());
+  EXPECT_FALSE(machine->fs().journal_aborted());
+  EXPECT_EQ(vfs.stats().readonly_rejects, 0u);
+  EXPECT_EQ(vfs.CreateFile("/still-writable"), FsStatus::kOk);
+}
+
 TEST(FailureInjectionTest, Ext3FsyncSurvivesJournalRegionFault) {
   auto machine = SmallMachine(FsKind::kExt3);
   Vfs& vfs = machine->vfs();
