@@ -72,6 +72,10 @@ RunResult Experiment::RunOnce(const MachineFactory& machine_factory,
     result.error = prepared;
     return result;
   }
+  // Deferred-clock fault plans count kill/onset/burst times from here —
+  // the measured window — rather than from mkfs; no-op otherwise.
+  // Pre-run origin read, before any cursor exists. detlint: base-clock
+  machine->StartFaultClock(machine->clock().now());
 
   MetricsConfig metrics_config;
   metrics_config.timeline_interval = config_.timeline_interval;
@@ -101,22 +105,27 @@ RunResult Experiment::RunOnce(const MachineFactory& machine_factory,
   result.histogram_slice = config_.histogram_slice;
   result.cache_hit_ratio = machine->vfs().DataHitRatio();
   result.vfs_stats = machine->vfs().stats();
-  result.disk_stats = machine->disk().stats();
-  result.scheduler_stats = machine->scheduler().stats();
+  result.disk_stats = machine->AggregateDiskStats();
+  result.scheduler_stats = machine->AggregateSchedulerStats();
   result.per_thread_ops = engine_result.per_thread_ops;
   result.failed_ops = engine_result.failed_ops;
+  if (BlockArray* array = machine->array(); array != nullptr) {
+    result.array = array->summary();
+  }
 
   FaultSummary& fault = result.fault;
   fault.device_errors = result.disk_stats.errors;
-  if (const FaultPlan* plan = machine->disk().fault_plan(); plan != nullptr) {
-    fault.transient_faults = plan->stats().transient_faults;
-    fault.persistent_faults = plan->stats().persistent_faults;
-    fault.slow_ios = plan->stats().slow_ios;
+  for (size_t d = 0; d < machine->device_count(); ++d) {
+    if (const FaultPlan* plan = machine->disk(d).fault_plan(); plan != nullptr) {
+      fault.transient_faults += plan->stats().transient_faults;
+      fault.persistent_faults += plan->stats().persistent_faults;
+      fault.slow_ios += plan->stats().slow_ios;
+    }
+    fault.remapped_regions += machine->disk(d).remapped_regions();
+    fault.spare_regions_left += machine->disk(d).spare_regions_left();
   }
   fault.retries = result.scheduler_stats.retries;
   fault.retry_backoff_time = result.scheduler_stats.retry_backoff_time;
-  fault.remapped_regions = machine->disk().remapped_regions();
-  fault.spare_regions_left = machine->disk().spare_regions_left();
   fault.sync_io_failures = result.scheduler_stats.sync_errors;
   fault.async_io_failures = result.scheduler_stats.async_errors;
   fault.meta_io_failures = machine->fs().meta_io_failures();

@@ -113,6 +113,9 @@ struct RunResult {
   // Device-fault axis (all-zero when faults are off and nothing failed).
   uint64_t failed_ops = 0;
   FaultSummary fault;
+  // Redundancy-layer record (all-zero when no array is configured; disk and
+  // scheduler stats above are then per-device sums).
+  ArraySummary array;
   // Crash-scenario outcome (set iff the config asked for a crash).
   std::optional<CrashReport> crash_report;
 };

@@ -140,8 +140,8 @@ SimEngineResult SimEngine::Run(MetricsCollector* metrics) {
       // cache and the device idle by this thread's local time — a crash now
       // loses nothing.
       if (machine_->vfs().cache().dirty_count() == 0 &&
-          machine_->scheduler().pending_async() == 0 &&
-          machine_->scheduler().busy_until() <= next->cursor.now()) {
+          machine_->TotalPendingAsync() == 0 &&
+          machine_->MaxBusyUntil() <= next->cursor.now()) {
         result.stable_watermark = total_ops;
       }
     }

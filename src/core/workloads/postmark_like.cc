@@ -26,6 +26,31 @@ FsStatus PostmarkLikeWorkload::Setup(WorkloadContext& ctx) {
     }
     live_.push_back(next_id_++);
   }
+  // Cold tail: written here, never entered into live_, so Step never touches
+  // them again. Unlike the MakeFile pool above (allocate-only), these go
+  // through the real write path, so the bytes actually land on the device —
+  // cold data exists on media, not just in the block map. One SyncAll after
+  // the whole batch (not a per-file fsync): the writeback lands as a single
+  // elevator sweep instead of paying a drain per file.
+  for (uint64_t i = 0; i < config_.cold_files; ++i) {
+    const std::string path = config_.dir + "/cold" + std::to_string(i);
+    const FsStatus created = ctx.vfs->CreateFile(path);
+    if (created != FsStatus::kOk) {
+      return created;
+    }
+    const FsResult<int> fd = ctx.vfs->Open(path);
+    if (!fd.ok()) {
+      return fd.status;
+    }
+    const FsResult<Bytes> written = ctx.vfs->Write(fd.value, 0, RandomSize(ctx.rng));
+    ctx.vfs->Close(fd.value);
+    if (!written.ok()) {
+      return written.status;
+    }
+  }
+  if (config_.cold_files > 0) {
+    ctx.vfs->SyncAll();
+  }
   return FsStatus::kOk;
 }
 

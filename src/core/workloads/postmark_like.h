@@ -24,6 +24,13 @@ struct PostmarkConfig {
   // Fsync the written file after every Nth append transaction (0 = never);
   // the durability knob crash-recovery scenarios sweep.
   uint64_t fsync_every = 0;
+  // Files written once at setup and never opened again: a cold-data tail
+  // (archives, old logs). Real file sets are mostly cold — transactions
+  // churn a small working set while the bulk just sits there. Latent media
+  // defects under cold data are what background scrubs exist to find;
+  // foreground traffic cannot race the scrub to them because it never
+  // returns.
+  uint64_t cold_files = 0;
 };
 
 class PostmarkLikeWorkload : public Workload {

@@ -20,10 +20,43 @@ DiskModel::DiskModel(const DiskParams& params, uint64_t seed) : params_(params),
 
 void DiskModel::EnableFaults(const FaultPlanConfig& config, uint64_t seed) {
   fault_plan_.emplace(config, seed);
-  region_sectors_ = config.region_sectors;
-  spare_regions_ = config.spare_regions;
+  ConfigureSpares(config.region_sectors, config.spare_regions);
+}
+
+void DiskModel::ConfigureSpares(uint64_t region_sectors, uint64_t spare_regions) {
+  region_sectors_ = region_sectors;
+  spare_regions_ = spare_regions;
   assert(region_sectors_ > 0);
   assert(spare_regions_ * region_sectors_ < total_sectors_);
+}
+
+bool DiskModel::IsDead(Nanos now) {
+  if (dead_latched_) {
+    return true;
+  }
+  if (fault_plan_ && fault_plan_->DeviceDeadAt(now)) {
+    dead_latched_ = true;
+  }
+  return dead_latched_;
+}
+
+void DiskModel::StartFaultClock(Nanos origin) {
+  if (fault_plan_.has_value()) {
+    fault_plan_->StartClock(origin);
+  }
+}
+
+bool DiskModel::RegionLatentBad(uint64_t lba, Nanos now) const {
+  const uint64_t region = lba / region_sectors_;
+  if (remap_.count(region) != 0) {
+    return false;  // already repaired into the spare pool
+  }
+  if (fault_plan_ && fault_plan_->RegionIsBad(lba, now)) {
+    return true;
+  }
+  const uint64_t region_start = region * region_sectors_;
+  const uint64_t span = std::min(region_sectors_, total_sectors_ - region_start);
+  return OverlapsInjectedError(region_start, static_cast<uint32_t>(span));
 }
 
 uint64_t DiskModel::CylinderOf(uint64_t lba) const { return lba / sectors_per_cylinder_; }
@@ -73,6 +106,19 @@ std::optional<Nanos> DiskModel::Access(const IoRequest& req) {
 AccessResult DiskModel::AccessEx(const IoRequest& req, Nanos now) {
   assert(req.sector_count > 0);
   assert(req.lba + req.sector_count <= total_sectors_);
+
+  if (IsDead(now)) {
+    // The device is gone: the command times out at the controller without
+    // any mechanical work (there is no head to move). No RNG draws either,
+    // so a killed device consumes nothing from the rotational stream.
+    ++stats_.errors;
+    AccessResult result;
+    result.fault = FaultKind::kPersistent;
+    result.fail_time = params_.command_overhead + params_.error_recovery_time;
+    stats_.total_fault_time += result.fail_time;
+    has_last_ = false;
+    return result;
+  }
 
   // Redirect remapped regions to their spares before any fault check: the
   // damage lives at the original location, the spare serves cleanly.
@@ -211,6 +257,9 @@ void DiskModel::ClearErrors() {
 }
 
 bool DiskModel::RemapRegion(uint64_t lba) {
+  if (dead_latched_) {
+    return false;  // nothing to remap to: the whole device is gone
+  }
   const uint64_t region = lba / region_sectors_;
   if (remap_.count(region) != 0) {
     return true;

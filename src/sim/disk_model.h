@@ -121,6 +121,28 @@ class DiskModel {
   // byte-identical to no plan at all.
   void EnableFaults(const FaultPlanConfig& config, uint64_t seed);
 
+  // Sets the remap granularity and spare-pool size without attaching a
+  // plan, so spare accounting reflects the configured pool even when every
+  // fault rate is zero (EnableFaults applies the same override).
+  void ConfigureSpares(uint64_t region_sectors, uint64_t spare_regions);
+
+  // Arms the fault plan's deferred clock at `origin` (see
+  // FaultPlanConfig::deferred_clock). No-op without a plan or on an
+  // absolute-clock plan.
+  void StartFaultClock(Nanos origin);
+
+  // Whole-device failure (FaultPlanConfig::device_kill_time): true once
+  // `now` has reached the kill time on the plan's clock. The verdict
+  // latches — a device that has died stays dead for every later query
+  // regardless of `now` — so the array's lazy detection cannot resurrect it.
+  bool IsDead(Nanos now);
+  bool dead() const { return dead_latched_; }
+
+  // Whether the region containing `lba` is latent-bad as of `now` and not
+  // yet remapped: the scrub's detection probe. Pure query — no RNG draws, no
+  // stats, no head movement.
+  bool RegionLatentBad(uint64_t lba, Nanos now) const;
+
   // Computes the outcome of `req` issued at virtual time `now` (consulted
   // only by the fault plan's burst window): service time on success, fault
   // kind + consumed device time on failure. Updates head position, buffer
@@ -146,6 +168,7 @@ class DiskModel {
   bool RemapRegion(uint64_t lba);
   uint64_t remapped_regions() const { return remap_.size(); }
   uint64_t spare_regions_left() const { return spare_regions_ - remap_.size(); }
+  uint64_t region_sectors() const { return region_sectors_; }
 
   const DiskParams& params() const { return params_; }
   const DiskStats& stats() const { return stats_; }
@@ -182,6 +205,8 @@ class DiskModel {
   uint32_t max_error_extent_ = 0;  // longest injected extent, for overlap scans
 
   std::optional<FaultPlan> fault_plan_;
+  // Whole-device death latch (see IsDead).
+  bool dead_latched_ = false;
   // Remap granularity/spares; overridden by EnableFaults from the plan's
   // config so plan regions and remap regions coincide.
   uint64_t region_sectors_ = 2048;

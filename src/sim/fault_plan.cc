@@ -10,9 +10,25 @@ FaultPlan::FaultPlan(const FaultPlanConfig& config, uint64_t seed)
   assert(config_.transient_rate >= 0.0 && config_.transient_rate <= 1.0);
   assert(config_.persistent_rate >= 0.0 && config_.persistent_rate <= 1.0);
   assert(config_.slow_rate >= 0.0 && config_.slow_rate <= 1.0);
+  if (!config_.deferred_clock) {
+    origin_ = 0;
+  }
 }
 
-bool FaultPlan::RegionIsBad(uint64_t lba) const {
+void FaultPlan::StartClock(Nanos origin) {
+  if (!origin_.has_value()) {
+    origin_ = origin;
+  }
+}
+
+bool FaultPlan::DeviceDeadAt(Nanos now) const {
+  if (config_.device_kill_time <= 0 || !origin_.has_value()) {
+    return false;
+  }
+  return now >= *origin_ + config_.device_kill_time;
+}
+
+bool FaultPlan::RegionIsBad(uint64_t lba, Nanos now) const {
   if (config_.persistent_rate <= 0.0) {
     return false;
   }
@@ -22,7 +38,21 @@ bool FaultPlan::RegionIsBad(uint64_t lba) const {
   uint64_t state = seed_ ^ (RegionOf(lba) * 0x9e3779b97f4a7c15ULL);
   const uint64_t h = SplitMix64(state);
   const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
-  return u < config_.persistent_rate;
+  if (u >= config_.persistent_rate) {
+    return false;
+  }
+  if (config_.defect_onset_spread > 0) {
+    if (!origin_.has_value()) {
+      return false;  // deferred clock not armed yet: no defect has developed
+    }
+    // Second draw from the same stream: when this region's defect develops.
+    const uint64_t h2 = SplitMix64(state);
+    const double onset_u = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+    const Nanos onset =
+        static_cast<Nanos>(onset_u * static_cast<double>(config_.defect_onset_spread));
+    return now >= *origin_ + onset;
+  }
+  return true;
 }
 
 FaultDecision FaultPlan::Evaluate(uint64_t lba, Nanos now, bool remapped) {
@@ -36,14 +66,15 @@ FaultDecision FaultPlan::Evaluate(uint64_t lba, Nanos now, bool remapped) {
   const double transient_u = rng_.NextDouble();
   const double slow_u = rng_.NextDouble();
 
-  if (!remapped && RegionIsBad(lba)) {
+  if (!remapped && RegionIsBad(lba, now)) {
     ++stats_.persistent_faults;
     decision.kind = FaultKind::kPersistent;
     return decision;
   }
 
-  const bool in_burst = config_.burst_duration > 0 && now >= config_.burst_start &&
-                        now < config_.burst_start + config_.burst_duration;
+  const bool in_burst = config_.burst_duration > 0 && origin_.has_value() &&
+                        now >= *origin_ + config_.burst_start &&
+                        now < *origin_ + config_.burst_start + config_.burst_duration;
   double transient_rate = config_.transient_rate;
   if (in_burst) {
     transient_rate *= config_.burst_factor;

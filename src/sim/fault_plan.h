@@ -24,6 +24,7 @@
 #define SRC_SIM_FAULT_PLAN_H_
 
 #include <cstdint>
+#include <optional>
 
 #include "src/util/rng.h"
 #include "src/util/units.h"
@@ -51,15 +52,36 @@ struct FaultPlanConfig {
   // injection); independent of the failure draws.
   double slow_rate = 0.0;
   double slow_multiplier = 8.0;
+  // Grown defects: when nonzero, each persistent-bad region develops at a
+  // per-region onset time drawn uniformly in [0, defect_onset_spread] by a
+  // second stateless hash draw. Before its onset the region serves normally,
+  // so data written early goes bad underneath later — the latent sector
+  // errors a background scrub exists to find. 0 = bad from mkfs time on.
+  Nanos defect_onset_spread = 0;
   // Fault burst: inside [burst_start, burst_start + burst_duration) of
   // virtual time the transient rate is multiplied by burst_factor
   // (correlated error storms; duration 0 disables the window).
   Nanos burst_start = 0;
   Nanos burst_duration = 0;
   double burst_factor = 1.0;
+  // Whole-device failure: at this virtual time the device stops responding —
+  // every later access fails fast with a persistent verdict (no mechanical
+  // work, no remap escape). 0 = never. The redundancy layer is what turns
+  // this from "the run dies" into a degraded-array scenario.
+  Nanos device_kill_time = 0;
+  // When true, the time axis of the knobs above (defect onsets, the burst
+  // window, the device kill) starts at a runtime origin armed by
+  // FaultPlan::StartClock instead of at virtual time 0, and those
+  // time-dependent faults are held off until the clock is armed. Experiments
+  // arm the clock after Prepare, so "kill at 3 s" means 3 s into the
+  // measured window rather than 3 s into setup — whose virtual duration
+  // would otherwise silently swallow the whole fault schedule. Regions with
+  // no onset spread stay bad from mkfs time on regardless.
+  bool deferred_clock = false;
 
   bool enabled() const {
-    return transient_rate > 0.0 || persistent_rate > 0.0 || slow_rate > 0.0;
+    return transient_rate > 0.0 || persistent_rate > 0.0 || slow_rate > 0.0 ||
+           device_kill_time > 0;
   }
 };
 
@@ -87,9 +109,20 @@ class FaultPlan {
   // still apply — they model the electronics, not the media.
   FaultDecision Evaluate(uint64_t lba, Nanos now, bool remapped);
 
-  // Stateless persistent verdict for the region containing `lba`; identical
-  // for every access of the run regardless of order.
-  bool RegionIsBad(uint64_t lba) const;
+  // Stateless persistent verdict for the region containing `lba` as of
+  // virtual time `now`: identical for every access of the run regardless of
+  // order, and monotone in `now` (a region that has developed its defect
+  // stays bad until remapped).
+  bool RegionIsBad(uint64_t lba, Nanos now) const;
+
+  // Whole-device death verdict at `now` (device_kill_time, on the plan's
+  // clock). Stateless; the DiskModel latches the answer.
+  bool DeviceDeadAt(Nanos now) const;
+
+  // Arms a deferred clock (no-op on absolute-clock plans): time-dependent
+  // faults measure from `origin` on. First call wins, so re-arming across
+  // phases cannot move a schedule that is already running.
+  void StartClock(Nanos origin);
 
   uint64_t RegionOf(uint64_t lba) const { return lba / config_.region_sectors; }
 
@@ -101,6 +134,9 @@ class FaultPlan {
   uint64_t seed_;
   Rng rng_;
   FaultPlanStats stats_;
+  // Origin of the fault-time axis. Absolute-clock plans run from 0; a
+  // deferred clock holds time-dependent faults off until StartClock arms it.
+  std::optional<Nanos> origin_;
 };
 
 }  // namespace fsbench

@@ -39,6 +39,28 @@ namespace fsbench {
 
 enum class SchedulerKind : uint8_t { kFifo, kElevator };
 
+// Abstract block endpoint the upper layers (VFS, journal, TxnLog) issue
+// requests against. A single IoScheduler is the degenerate case; a
+// BlockArray (src/sim/block_array.h) composes several scheduler+disk pairs
+// into a redundant geometry behind the same three entry points. Everything
+// is clockless: callers pass their own virtual time.
+class BlockIo {
+ public:
+  virtual ~BlockIo() = default;
+
+  // Synchronous request at the caller's time `now`; returns the absolute
+  // completion time, or std::nullopt on permanent failure.
+  virtual std::optional<Nanos> SubmitSync(const IoRequest& req, Nanos now) = 0;
+
+  // Background request admitted at `now`; serviced before the next sync
+  // request or Drain().
+  virtual void SubmitAsync(const IoRequest& req, Nanos now) = 0;
+
+  // Services all queued background work; returns the time the device(s) go
+  // idle (>= now).
+  virtual Nanos Drain(Nanos now) = 0;
+};
+
 // Observes the moment a request's completion time is determined (admission
 // for sync requests, the service pass for async ones). Used by ShadowDisk to
 // track durable-vs-volatile block state for crash injection; null (the
@@ -92,7 +114,7 @@ struct IoSchedulerStats {
   size_t max_queue_depth = 0;        // in-flight + queued async + the arriving request
 };
 
-class IoScheduler {
+class IoScheduler : public BlockIo {
  public:
   explicit IoScheduler(DiskModel* disk, SchedulerKind kind = SchedulerKind::kElevator);
 
@@ -101,19 +123,19 @@ class IoScheduler {
   // sync arrival). Returns the absolute completion time (>= now); the caller
   // is responsible for advancing its cursor. Returns std::nullopt when the
   // request failed permanently (device fault surviving the retry policy).
-  std::optional<Nanos> SubmitSync(const IoRequest& req, Nanos now);
+  std::optional<Nanos> SubmitSync(const IoRequest& req, Nanos now) override;
 
   // Queues an asynchronous request submitted at `now`; it consumes device
   // time in the background and is serviced before the next sync request or
   // Drain(). The submission time is kept: a request never occupies the
   // device before it existed, even when a thread with an earlier cursor
   // triggers the service pass.
-  void SubmitAsync(const IoRequest& req, Nanos now);
+  void SubmitAsync(const IoRequest& req, Nanos now) override;
 
   // Services all queued async requests. Returns the time the device goes
   // idle (>= now). Idempotent: with nothing pending it just reports the
   // idle time.
-  Nanos Drain(Nanos now);
+  Nanos Drain(Nanos now) override;
 
   // Absolute virtual time until which the device is busy with already
   // admitted work.
@@ -123,6 +145,7 @@ class IoScheduler {
   // Admitted requests not yet retired against the last observed time.
   size_t inflight() const { return inflight_.size(); }
   const IoSchedulerStats& stats() const { return stats_; }
+  DiskModel* disk() { return disk_; }
   SchedulerKind kind() const { return kind_; }
   const RetryPolicy& retry_policy() const { return policy_; }
   void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }

@@ -18,11 +18,11 @@ Nanos Journal::CommitToLog(TxnLog& log, VirtualClock* clock, bool sync) {
 
 // --- JbdJournal --------------------------------------------------------------
 
-JbdJournal::JbdJournal(IoScheduler* scheduler, VirtualClock* clock, Extent region,
+JbdJournal::JbdJournal(BlockIo* io, VirtualClock* clock, Extent region,
                        const JournalConfig& config)
     : Journal(config),
       clock_(clock),
-      log_(scheduler, clock, region,
+      log_(io, clock, region,
            TxnLogConfig{config.block_sectors, config.checkpoint_threshold}) {}
 
 void JbdJournal::MaybePeriodicCommit() {
@@ -38,11 +38,11 @@ Nanos JbdJournal::CommitSync() {
 
 // --- CilJournal --------------------------------------------------------------
 
-CilJournal::CilJournal(IoScheduler* scheduler, VirtualClock* clock, Extent region,
+CilJournal::CilJournal(BlockIo* io, VirtualClock* clock, Extent region,
                        const JournalConfig& config)
     : Journal(config),
       clock_(clock),
-      log_(scheduler, clock, region,
+      log_(io, clock, region,
            TxnLogConfig{config.block_sectors, config.checkpoint_threshold}) {}
 
 void CilJournal::LogMetadata(const MetaRef& ref) {

@@ -140,7 +140,7 @@ class JbdJournal : public Journal {
  public:
   // `region` is the reserved on-disk area (in blocks of block_sectors) the
   // log wraps around in.
-  JbdJournal(IoScheduler* scheduler, VirtualClock* clock, Extent region,
+  JbdJournal(BlockIo* io, VirtualClock* clock, Extent region,
              const JournalConfig& config);
 
   void BindClock(VirtualClock* clock) override {
@@ -169,7 +169,7 @@ class JbdJournal : public Journal {
 // them into the transaction log as one compound transaction.
 class CilJournal : public Journal {
  public:
-  CilJournal(IoScheduler* scheduler, VirtualClock* clock, Extent region,
+  CilJournal(BlockIo* io, VirtualClock* clock, Extent region,
              const JournalConfig& config);
 
   void BindClock(VirtualClock* clock) override {

@@ -51,14 +51,62 @@ Machine::Machine(FsKind fs_kind, const MachineConfig& config)
 
   const double cpu_scale = uniform_pm(config_.cpu_jitter);
 
-  disk_ = std::make_unique<DiskModel>(disk_params, config_.seed ^ 0xd15c0000ULL);
-  if (config_.faults.enabled()) {
-    // The plan's stream is separate from the disk's rotational stream, so a
-    // run with all fault rates zero is byte-identical to one without a plan.
-    disk_->EnableFaults(config_.faults, config_.seed ^ 0xfa1c7000ULL);
+  // Device fleet: data devices (1 without an array), then hot spares, then
+  // the optional dedicated journal device. Every device draws its rotational
+  // and fault streams from its own seed (device 0 keeps the historical
+  // derivation bit-for-bit); the per-run jitter scale is machine-wide — the
+  // devices share a chassis, not a seed.
+  const size_t data_devices = config_.array.enabled() ? config_.array.devices : 1;
+  const size_t spare_devices = config_.array.enabled() ? config_.array.hot_spares : 0;
+  const size_t total_devices =
+      data_devices + spare_devices + (config_.array.journal_device ? 1 : 0);
+  for (size_t d = 0; d < total_devices; ++d) {
+    const uint64_t stride = 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(d);
+    auto disk = std::make_unique<DiskModel>(disk_params, config_.seed ^ 0xd15c0000ULL ^ stride);
+    // Spare accounting always reflects the configured pool, even when every
+    // fault rate is zero and no plan is attached (FaultSummary consistency).
+    disk->ConfigureSpares(config_.faults.region_sectors, config_.faults.spare_regions);
+    if (config_.faults.enabled()) {
+      // The plan's stream is separate from the disk's rotational stream, so a
+      // run with all fault rates zero is byte-identical to one without a plan.
+      FaultPlanConfig plan = config_.faults;
+      if (d != config_.array.kill_device || d >= data_devices) {
+        plan.device_kill_time = 0;  // the kill names exactly one data device
+      }
+      disk->EnableFaults(plan, config_.seed ^ 0xfa1c7000ULL ^ stride);
+    }
+    auto scheduler = std::make_unique<IoScheduler>(disk.get(), config_.scheduler);
+    scheduler->set_retry_policy(config_.retry);
+    disks_.push_back(std::move(disk));
+    schedulers_.push_back(std::move(scheduler));
   }
-  scheduler_ = std::make_unique<IoScheduler>(disk_.get(), config_.scheduler);
-  scheduler_->set_retry_policy(config_.retry);
+  if (config_.array.journal_device) {
+    journal_device_ = total_devices - 1;
+  }
+  if (config_.array.enabled()) {
+    std::vector<IoScheduler*> data;
+    std::vector<IoScheduler*> spares;
+    for (size_t d = 0; d < data_devices; ++d) {
+      data.push_back(schedulers_[d].get());
+    }
+    for (size_t d = data_devices; d < data_devices + spare_devices; ++d) {
+      spares.push_back(schedulers_[d].get());
+    }
+    array_ = std::make_unique<BlockArray>(config_.array, std::move(data), std::move(spares));
+    // Replica write failures route through the array, which absorbs them
+    // while redundancy holds and forwards set-wide losses to the VFS.
+    for (size_t d = 0; d < data_devices + spare_devices; ++d) {
+      schedulers_[d]->set_write_error_sink(array_.get());
+    }
+  }
+
+  // The journal writes to its own device when one is configured; otherwise
+  // it shares the data endpoint (array or single device).
+  BlockIo* const data_io =
+      array_ != nullptr ? static_cast<BlockIo*>(array_.get()) : schedulers_[0].get();
+  BlockIo* const journal_io =
+      journal_device_ != SIZE_MAX ? static_cast<BlockIo*>(schedulers_[journal_device_].get())
+                                  : data_io;
 
   switch (fs_kind) {
     case FsKind::kExt2:
@@ -71,7 +119,7 @@ Machine::Machine(FsKind fs_kind, const MachineConfig& config)
       // ShadowDisk's durability map must agree on the block size.
       JournalConfig journal_config = config_.journal;
       journal_config.block_sectors = ext3->sectors_per_block();
-      ext3->AttachJournal(std::make_unique<JbdJournal>(scheduler_.get(), &clock_,
+      ext3->AttachJournal(std::make_unique<JbdJournal>(journal_io, &clock_,
                                                        ext3->journal_region(), journal_config));
       fs_ = std::move(ext3);
       break;
@@ -81,7 +129,7 @@ Machine::Machine(FsKind fs_kind, const MachineConfig& config)
                                          config_.xfs_log_blocks);
       JournalConfig journal_config = config_.xfs_journal;
       journal_config.block_sectors = xfs->sectors_per_block();
-      xfs->AttachJournal(std::make_unique<CilJournal>(scheduler_.get(), &clock_,
+      xfs->AttachJournal(std::make_unique<CilJournal>(journal_io, &clock_,
                                                       xfs->journal_region(), journal_config));
       fs_ = std::move(xfs);
       break;
@@ -103,14 +151,23 @@ Machine::Machine(FsKind fs_kind, const MachineConfig& config)
     flash_config.page_size = vfs_config.page_size;
     flash_ = std::make_unique<FlashTier>(flash_config);
   }
-  vfs_ = std::make_unique<Vfs>(&clock_, scheduler_.get(), fs_.get(), vfs_config, flash_.get());
+  vfs_ = std::make_unique<Vfs>(&clock_, data_io, fs_.get(), vfs_config, flash_.get());
   // The journal checkpoints by asking the VFS to write dirty pages home.
   if (Journal* journal = fs_->journal(); journal != nullptr) {
     journal->set_checkpoint_sink(vfs_.get());
   }
   // Permanent write failures propagate VFS-ward so the file system can
-  // react (journal abort + remount-read-only on metadata/log loss).
-  scheduler_->set_write_error_sink(vfs_.get());
+  // react (journal abort + remount-read-only on metadata/log loss). With an
+  // array, the array sits in between: it absorbs replica failures while the
+  // set still has a live copy and forwards only set-wide losses.
+  if (array_ != nullptr) {
+    array_->set_downstream_sink(vfs_.get());
+  } else {
+    schedulers_[0]->set_write_error_sink(vfs_.get());
+  }
+  if (journal_device_ != SIZE_MAX) {
+    schedulers_[journal_device_]->set_write_error_sink(vfs_.get());
+  }
 }
 
 void Machine::EnableCrashTracking() {
@@ -118,12 +175,81 @@ void Machine::EnableCrashTracking() {
     return;
   }
   shadow_ = std::make_unique<ShadowDisk>(fs_->sectors_per_block());
-  scheduler_->set_completion_observer(shadow_.get());
+  // Every device reports completions: with a mirror the replicas write the
+  // same physical LBAs, so the shadow map stays consistent (striped
+  // geometries remap LBAs and are not supported by crash tracking).
+  for (const std::unique_ptr<IoScheduler>& scheduler : schedulers_) {
+    scheduler->set_completion_observer(shadow_.get());
+  }
   if (Journal* journal = fs_->journal(); journal != nullptr) {
     if (TxnLog* log = journal->txn_log(); log != nullptr) {
       log->set_retain_history(true);
     }
   }
+}
+
+Nanos Machine::MaxBusyUntil() const {
+  Nanos busy = 0;
+  for (const std::unique_ptr<IoScheduler>& scheduler : schedulers_) {
+    busy = std::max(busy, scheduler->busy_until());
+  }
+  return busy;
+}
+
+size_t Machine::TotalPendingAsync() const {
+  size_t pending = 0;
+  for (const std::unique_ptr<IoScheduler>& scheduler : schedulers_) {
+    pending += scheduler->pending_async();
+  }
+  return pending;
+}
+
+Nanos Machine::DrainAll(Nanos now) {
+  Nanos idle = now;
+  for (const std::unique_ptr<IoScheduler>& scheduler : schedulers_) {
+    idle = std::max(idle, scheduler->Drain(now));
+  }
+  return idle;
+}
+
+DiskStats Machine::AggregateDiskStats() const {
+  DiskStats total;
+  for (const std::unique_ptr<DiskModel>& disk : disks_) {
+    const DiskStats& s = disk->stats();
+    total.reads += s.reads;
+    total.writes += s.writes;
+    total.sectors_read += s.sectors_read;
+    total.sectors_written += s.sectors_written;
+    total.seeks += s.seeks;
+    total.buffer_hits += s.buffer_hits;
+    total.sequential_hits += s.sequential_hits;
+    total.total_service_time += s.total_service_time;
+    total.total_seek_time += s.total_seek_time;
+    total.total_rotation_time += s.total_rotation_time;
+    total.total_transfer_time += s.total_transfer_time;
+    total.errors += s.errors;
+    total.total_fault_time += s.total_fault_time;
+  }
+  return total;
+}
+
+IoSchedulerStats Machine::AggregateSchedulerStats() const {
+  IoSchedulerStats total;
+  for (const std::unique_ptr<IoScheduler>& scheduler : schedulers_) {
+    const IoSchedulerStats& s = scheduler->stats();
+    total.sync_requests += s.sync_requests;
+    total.async_requests += s.async_requests;
+    total.async_serviced += s.async_serviced;
+    total.async_errors += s.async_errors;
+    total.sync_errors += s.sync_errors;
+    total.retries += s.retries;
+    total.remaps += s.remaps;
+    total.retry_backoff_time += s.retry_backoff_time;
+    total.total_sync_wait += s.total_sync_wait;
+    total.total_sync_queue_delay += s.total_sync_queue_delay;
+    total.max_queue_depth = std::max(total.max_queue_depth, s.max_queue_depth);
+  }
+  return total;
 }
 
 void Machine::BindCursor(VirtualClock* cursor) {

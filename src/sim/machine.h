@@ -16,6 +16,7 @@
 
 #include <memory>
 
+#include "src/sim/block_array.h"
 #include "src/sim/clock.h"
 #include "src/sim/disk_model.h"
 #include "src/sim/ext2fs.h"
@@ -59,6 +60,11 @@ struct MachineConfig {
   // remap, i.e. the historical surface-every-fault behavior).
   FaultPlanConfig faults;
   RetryPolicy retry;
+  // Block-redundancy layer (src/sim/block_array.h). kSingle keeps today's
+  // single-device stack byte-identically; any other geometry interposes a
+  // BlockArray over `array.devices` disk+scheduler pairs (plus hot spares
+  // and, optionally, a dedicated journal device).
+  ArrayConfig array;
   uint64_t seed = 42;
 };
 
@@ -97,13 +103,44 @@ class Machine {
     }
   }
 
-  DiskModel& disk() { return *disk_; }
+  // Device 0 (the only device of the classic single-disk stack).
+  DiskModel& disk() { return *disks_[0]; }
+  IoScheduler& scheduler() { return *schedulers_[0]; }
+  // Per-device access: data devices first, then hot spares, then the
+  // dedicated journal device (when configured).
+  size_t device_count() const { return disks_.size(); }
+  DiskModel& disk(size_t d) { return *disks_[d]; }
+  IoScheduler& scheduler(size_t d) { return *schedulers_[d]; }
+  // The redundancy layer; null when config.array is kSingle.
+  BlockArray* array() { return array_.get(); }
+  // The block endpoint the VFS issues against (array or device 0).
+  BlockIo& io() { return array_ != nullptr ? static_cast<BlockIo&>(*array_) : *schedulers_[0]; }
+
   FlashTier* flash() { return flash_.get(); }  // null when not configured
-  IoScheduler& scheduler() { return *scheduler_; }
   FileSystem& fs() { return *fs_; }
   Vfs& vfs() { return *vfs_; }
   const MachineConfig& config() const { return config_; }
   FsKind fs_kind() const { return fs_kind_; }
+
+  // Arms every device's deferred fault clock at `origin` (see
+  // FaultPlanConfig::deferred_clock); no-op on absolute-clock plans.
+  // Experiments call this after Prepare so kill/onset/burst knobs count
+  // from the measured window's start.
+  void StartFaultClock(Nanos origin) {
+    for (const auto& disk : disks_) {
+      disk->StartFaultClock(origin);
+    }
+  }
+
+  // Whole-machine device-timeline views (the MT engine's stable-point check
+  // and crash recovery must see every device, not just device 0).
+  Nanos MaxBusyUntil() const;
+  size_t TotalPendingAsync() const;
+  Nanos DrainAll(Nanos now);
+
+  // Summed per-device counters (max for max_queue_depth) for reporting.
+  DiskStats AggregateDiskStats() const;
+  IoSchedulerStats AggregateSchedulerStats() const;
 
   // Effective page-cache capacity after the per-run OS reservation draw.
   size_t cache_capacity_pages() const { return cache_capacity_pages_; }
@@ -112,8 +149,10 @@ class Machine {
   MachineConfig config_;
   FsKind fs_kind_;
   VirtualClock clock_;
-  std::unique_ptr<DiskModel> disk_;
-  std::unique_ptr<IoScheduler> scheduler_;
+  std::vector<std::unique_ptr<DiskModel>> disks_;
+  std::vector<std::unique_ptr<IoScheduler>> schedulers_;
+  std::unique_ptr<BlockArray> array_;
+  size_t journal_device_ = SIZE_MAX;  // index into disks_/schedulers_, or SIZE_MAX
   std::unique_ptr<FileSystem> fs_;
   std::unique_ptr<FlashTier> flash_;
   std::unique_ptr<Vfs> vfs_;

@@ -70,7 +70,7 @@ CrashReport SimulateCrashRecovery(Machine& machine, Nanos crash_time, uint64_t o
   // request was submitted — so drain from virtual time 0: every pending
   // request starts at max(device busy, its submission time), and the
   // resulting completions are what durability is judged against.
-  machine.scheduler().Drain(0);
+  machine.DrainAll(0);
   const ShadowDisk* shadow = machine.shadow();
   if (shadow == nullptr) {
     // Hard failure in every build configuration: without the write history

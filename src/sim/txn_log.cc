@@ -5,9 +5,9 @@
 
 namespace fsbench {
 
-TxnLog::TxnLog(IoScheduler* scheduler, VirtualClock* clock, Extent region,
+TxnLog::TxnLog(BlockIo* io, VirtualClock* clock, Extent region,
                const TxnLogConfig& config)
-    : scheduler_(scheduler), clock_(clock), region_(region), config_(config) {
+    : io_(io), clock_(clock), region_(region), config_(config) {
   // A log must at least hold a descriptor, one home copy and a commit record.
   assert(region_.count >= 3);
 }
@@ -78,7 +78,7 @@ void TxnLog::EnsureSpace(uint64_t blocks) {
     txn.clean_prefix = txn.home.size();
     ReclaimFront();
   }
-  clock_->AdvanceTo(scheduler_->Drain(clock_->now()));
+  clock_->AdvanceTo(io_->Drain(clock_->now()));
   stats_.stall_time += clock_->now() - stall_start;
   assert(region_.count - used_blocks_ >= blocks);
 }
@@ -96,11 +96,11 @@ Nanos TxnLog::WriteChunk(const MetaRef* refs, uint64_t count, bool sync) {
                         config_.block_sectors, /*meta=*/true};
     if (sync && i + 1 == blocks_to_write) {
       // Only the commit record is waited on.
-      if (const auto done = scheduler_->SubmitSync(req, clock_->now()); done.has_value()) {
+      if (const auto done = io_->SubmitSync(req, clock_->now()); done.has_value()) {
         completion = *done;
       }
     } else {
-      scheduler_->SubmitAsync(req, clock_->now());
+      io_->SubmitAsync(req, clock_->now());
     }
   }
   TxnRecord record;

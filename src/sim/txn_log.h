@@ -68,7 +68,7 @@ class CheckpointSink {
 class TxnLog {
  public:
   // `region` is the reserved on-disk area, in blocks of block_sectors.
-  TxnLog(IoScheduler* scheduler, VirtualClock* clock, Extent region,
+  TxnLog(BlockIo* io, VirtualClock* clock, Extent region,
          const TxnLogConfig& config);
 
   // Rebinds the clock "now" is read from (per-thread cursor under the MT
@@ -168,7 +168,7 @@ class TxnLog {
   // record) at the head. Returns the commit record's completion for sync.
   Nanos WriteChunk(const MetaRef* refs, uint64_t count, bool sync);
 
-  IoScheduler* scheduler_;
+  BlockIo* io_;
   VirtualClock* clock_;
   Extent region_;
   TxnLogConfig config_;

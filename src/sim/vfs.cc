@@ -38,10 +38,10 @@ class PathCursor {
 
 }  // namespace
 
-Vfs::Vfs(VirtualClock* clock, IoScheduler* scheduler, FileSystem* fs, const VfsConfig& config,
+Vfs::Vfs(VirtualClock* clock, BlockIo* io, FileSystem* fs, const VfsConfig& config,
          FlashTier* flash)
     : clock_(clock),
-      scheduler_(scheduler),
+      io_(io),
       fs_(fs),
       flash_(flash),
       config_(config),
@@ -67,7 +67,7 @@ FsStatus Vfs::DemandRead(BlockId block, uint32_t count, bool meta) {
   ++stats_.demand_requests;
   const IoRequest req{IoKind::kRead, block * fs_->sectors_per_block(),
                       count * fs_->sectors_per_block(), meta};
-  const std::optional<Nanos> completion = scheduler_->SubmitSync(req, clock_->now());
+  const std::optional<Nanos> completion = io_->SubmitSync(req, clock_->now());
   if (!completion.has_value()) {
     ++stats_.io_errors;
     return FsStatus::kIoError;
@@ -80,7 +80,7 @@ void Vfs::HandleEvictions(const PageCache::EvictedBatch& evicted) {
   Journal* journal = fs_->journal();
   for (const PageCache::Evicted& page : evicted) {
     if (page.dirty && page.block != kInvalidBlock) {
-      scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
+      io_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
                                         fs_->sectors_per_block(), page.key.ino == kMetaInode},
                               clock_->now());
       ++stats_.writeback_pages;
@@ -160,7 +160,7 @@ void Vfs::SubmitWritebackBatch(std::vector<PageCache::Evicted>& batch) {
     if (page.block == kInvalidBlock) {
       continue;
     }
-    scheduler_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
+    io_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
                                       fs_->sectors_per_block(), page.key.ino == kMetaInode},
                             clock_->now());
     ++stats_.writeback_pages;
@@ -329,7 +329,7 @@ void Vfs::IssueReadahead(OpenFile& file, uint64_t index, uint32_t pages) {
   uint32_t run_len = 0;
   auto flush_run = [&] {
     if (run_len > 0) {
-      scheduler_->SubmitAsync(IoRequest{IoKind::kRead, run_start * fs_->sectors_per_block(),
+      io_->SubmitAsync(IoRequest{IoKind::kRead, run_start * fs_->sectors_per_block(),
                                         run_len * fs_->sectors_per_block()},
                               clock_->now());
       run_start = kInvalidBlock;
@@ -725,7 +725,7 @@ FsStatus Vfs::Fsync(int fd) {
     }
   }
   SubmitWritebackScratch();
-  clock_->AdvanceTo(scheduler_->Drain(clock_->now()));
+  clock_->AdvanceTo(io_->Drain(clock_->now()));
   if (Journal* journal = fs_->journal(); journal != nullptr) {
     clock_->AdvanceTo(journal->CommitSync());
   }
@@ -734,7 +734,7 @@ FsStatus Vfs::Fsync(int fd) {
 
 void Vfs::SyncAll() {
   WritebackDirty(cache_.capacity());
-  clock_->AdvanceTo(scheduler_->Drain(clock_->now()));
+  clock_->AdvanceTo(io_->Drain(clock_->now()));
   if (Journal* journal = fs_->journal(); journal != nullptr) {
     clock_->AdvanceTo(journal->CommitSync());
   }

@@ -76,7 +76,7 @@ class Vfs : public CheckpointSink, public IoWriteErrorSink {
  public:
   // `flash` is an optional second-level cache tier (may be null): RAM
   // evictions are demoted into it and RAM misses probe it before disk.
-  Vfs(VirtualClock* clock, IoScheduler* scheduler, FileSystem* fs, const VfsConfig& config,
+  Vfs(VirtualClock* clock, BlockIo* io, FileSystem* fs, const VfsConfig& config,
       FlashTier* flash = nullptr);
 
   // Rebinds the clock cursor every operation charges time against. `clock`
@@ -138,7 +138,7 @@ class Vfs : public CheckpointSink, public IoWriteErrorSink {
   PageCache& cache() { return cache_; }
   const PageCache& cache() const { return cache_; }
   FileSystem& fs() { return *fs_; }
-  IoScheduler& scheduler() { return *scheduler_; }
+  BlockIo& io() { return *io_; }
   const VfsStats& stats() const { return stats_; }
   const VfsConfig& config() const { return config_; }
   double DataHitRatio() const;
@@ -211,7 +211,7 @@ class Vfs : public CheckpointSink, public IoWriteErrorSink {
   OpenFile* FileFor(int fd);
 
   VirtualClock* clock_;
-  IoScheduler* scheduler_;
+  BlockIo* io_;
   FileSystem* fs_;
   FlashTier* flash_;
   VfsConfig config_;

@@ -131,6 +131,26 @@ void DigestFaultSummary(Digest& d, const FaultSummary& f) {
   d.U64(f.failed_ops);
 }
 
+void DigestArraySummary(Digest& d, const ArraySummary& a) {
+  d.U64(a.devices);
+  d.U64(a.reads);
+  d.U64(a.writes);
+  d.U64(a.degraded_reads);
+  d.U64(a.mirror_rescues);
+  d.U64(a.lost_stripes);
+  d.U64(a.replica_write_errors);
+  d.U64(a.device_failures);
+  d.U64(a.scrub_regions_scanned);
+  d.U64(a.scrub_detections);
+  d.U64(a.scrub_preempted);
+  d.U64(a.scrub_repairs);
+  d.U64(a.scrub_unrepairable);
+  d.U64(a.rebuilds_started);
+  d.U64(a.rebuilds_completed);
+  d.U64(a.rebuild_regions_copied);
+  d.Bool(a.data_loss);
+}
+
 void DigestCrashReport(Digest& d, const CrashReport& r) {
   d.I64(r.crash_time);
   d.U64(r.ops_issued);
@@ -177,6 +197,7 @@ uint64_t DigestRunResult(const RunResult& r) {
   }
   d.U64(r.failed_ops);
   DigestFaultSummary(d, r.fault);
+  DigestArraySummary(d, r.array);
   d.Bool(r.crash_report.has_value());
   if (r.crash_report.has_value()) {
     DigestCrashReport(d, *r.crash_report);
@@ -277,6 +298,95 @@ TEST_P(DeterminismGate, FaultyRunTwiceBitIdenticalDigest) {
   for (const RunResult& run : first.runs) {
     EXPECT_GT(run.fault.device_errors, 0u);
     EXPECT_GT(run.fault.retries, 0u);
+  }
+  ASSERT_GE(first.runs.size(), 2u);
+  EXPECT_NE(DigestRunResult(first.runs[0]), DigestRunResult(first.runs[1]));
+}
+
+// Crash × fault interaction (the two scenario axes together): a run that
+// remaps bad regions mid-flight and then crashes must keep the ShadowDisk
+// durable map, the journal replay and the replayed-prefix consistency check
+// agreeing — twice, bit-identically. Regression for the remap/crash
+// interaction: a remap redirects LBAs *below* the block layer, so the
+// shadow map (keyed by request LBA) must be oblivious to it.
+TEST_P(DeterminismGate, CrashWithFaultsRunTwiceBitIdenticalDigest) {
+  ExperimentConfig config = GateConfig();  // crash at op 600, replay check on
+  config.continue_on_error = true;
+  const FsKind kind = GetParam();
+  const MachineFactory machines = [kind](uint64_t seed) {
+    MachineConfig machine_config;
+    machine_config.ram = 110 * kMiB;
+    machine_config.os_reserved = 102 * kMiB;
+    machine_config.seed = seed;
+    machine_config.faults.transient_rate = 0.05;
+    machine_config.faults.persistent_rate = 0.02;
+    machine_config.faults.region_sectors = 256;
+    machine_config.retry = RetryPolicy{4, FromMillis(0.2), 2.0, /*remap=*/true};
+    return std::make_unique<Machine>(kind, machine_config);
+  };
+
+  const ExperimentResult first = Experiment(config).Run(machines, GateWorkload());
+  const ExperimentResult second = Experiment(config).Run(machines, GateWorkload());
+
+  ASSERT_EQ(first.runs.size(), second.runs.size());
+  for (size_t i = 0; i < first.runs.size(); ++i) {
+    EXPECT_EQ(DigestRunResult(first.runs[i]), DigestRunResult(second.runs[i]))
+        << "crash+fault run " << i << " digest diverged";
+  }
+  // Both axes must really have fired: remaps before the crash, and a crash
+  // whose replayed prefix still fscks clean.
+  uint64_t remaps = 0;
+  for (const RunResult& run : first.runs) {
+    remaps += run.fault.remapped_regions;
+    ASSERT_TRUE(run.crash_report.has_value());
+    EXPECT_TRUE(run.crash_report->recovered_consistent);
+  }
+  EXPECT_GT(remaps, 0u);
+}
+
+// The redundancy layer under the same contract: a 4-thread run on a
+// degraded mirror — one device killed mid-run, hot-spare rebuild racing
+// foreground traffic, background scrub walking the survivors — must digest
+// bit-identically twice. Replica selection ties, scrub cadence and rebuild
+// progress are all deterministic decisions this test pins.
+TEST_P(DeterminismGate, DegradedArrayRunTwiceBitIdenticalDigest) {
+  ExperimentConfig config = GateConfig();
+  config.crash.reset();
+  config.continue_on_error = true;
+  const FsKind kind = GetParam();
+  const MachineFactory machines = [kind](uint64_t seed) {
+    MachineConfig machine_config;
+    machine_config.ram = 110 * kMiB;
+    machine_config.os_reserved = 102 * kMiB;
+    machine_config.seed = seed;
+    machine_config.faults.transient_rate = 0.02;
+    machine_config.faults.persistent_rate = 0.01;
+    machine_config.faults.region_sectors = 256;
+    machine_config.faults.device_kill_time = 20 * kSecond;
+    machine_config.retry = RetryPolicy{4, FromMillis(0.2), 2.0, /*remap=*/true};
+    machine_config.array.geometry = ArrayGeometry::kMirror;
+    machine_config.array.devices = 2;
+    machine_config.array.hot_spares = 1;
+    machine_config.array.scrub = true;
+    return std::make_unique<Machine>(kind, machine_config);
+  };
+
+  const ExperimentResult first = Experiment(config).Run(machines, GateWorkload());
+  const ExperimentResult second = Experiment(config).Run(machines, GateWorkload());
+
+  ASSERT_EQ(first.runs.size(), second.runs.size());
+  for (size_t i = 0; i < first.runs.size(); ++i) {
+    EXPECT_EQ(DigestRunResult(first.runs[i]), DigestRunResult(second.runs[i]))
+        << "degraded-array run " << i << " digest diverged — the array is not seed-pure";
+  }
+  // The gate must actually be exercising the degraded machinery: a noticed
+  // device death, a rebuild, and scrub coverage.
+  for (const RunResult& run : first.runs) {
+    EXPECT_EQ(run.array.devices, 3u);
+    EXPECT_EQ(run.array.device_failures, 1u);
+    EXPECT_EQ(run.array.rebuilds_started, 1u);
+    EXPECT_GT(run.array.scrub_regions_scanned, 0u);
+    EXPECT_EQ(run.per_thread_ops.size(), 4u);
   }
   ASSERT_GE(first.runs.size(), 2u);
   EXPECT_NE(DigestRunResult(first.runs[0]), DigestRunResult(first.runs[1]));

@@ -225,6 +225,42 @@ TEST(FailureInjectionTest, Ext2SoldiersOnAfterMetaWriteFailure) {
   EXPECT_EQ(vfs.CreateFile("/still-writable"), FsStatus::kOk);
 }
 
+// Degraded mode composes with the crash machinery (S3): after a journal
+// abort + remount-read-only, fsync is still a clean success (there is
+// nothing left to make durable, not an error), and a crash at that point
+// must not replay the aborted journal tail — its commit records never
+// became durable in the poisoned region.
+TEST(FailureInjectionTest, Ext3AbortedJournalTailIsNotReplayedAfterCrash) {
+  auto machine = SmallMachine(FsKind::kExt3);
+  machine->EnableCrashTracking();
+  Vfs& vfs = machine->vfs();
+  ASSERT_EQ(vfs.MakeFile("/keep", 16 * kKiB), FsStatus::kOk);
+  auto* ext3 = dynamic_cast<Ext3Fs*>(&machine->fs());
+  ASSERT_NE(ext3, nullptr);
+  PoisonExtent(*machine, ext3->journal_region());
+
+  ChurnUntilReadOnly(*machine);
+  ASSERT_TRUE(machine->fs().read_only());
+  ASSERT_TRUE(machine->fs().journal_aborted());
+
+  // Post-remount-ro fsync: reads-only degraded mode keeps the fsync path
+  // alive (it has nothing to write) rather than surfacing a late error.
+  const auto fd = vfs.Open("/keep");
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(vfs.Read(fd.value, 0, 4 * kKiB).ok());
+  EXPECT_EQ(vfs.Fsync(fd.value), FsStatus::kOk);
+
+  // Pull the plug on the degraded machine: mount-time recovery walks the
+  // journal, finds no durable commit record from the aborted tail, and
+  // discards it instead of replaying garbage.
+  const CrashReport report =
+      SimulateCrashRecovery(*machine, machine->clock().now(), /*ops_issued=*/0,
+                            /*stable_watermark=*/0);
+  EXPECT_TRUE(report.used_journal);
+  EXPECT_EQ(report.replayed_txns, 0u);
+  EXPECT_GE(report.torn_txns, 1u);
+}
+
 TEST(FailureInjectionTest, Ext3FsyncSurvivesJournalRegionFault) {
   auto machine = SmallMachine(FsKind::kExt3);
   Vfs& vfs = machine->vfs();

@@ -30,10 +30,10 @@ TEST(FaultPlanTest, PersistentVerdictIsStatelessAndOrderIndependent) {
     const uint64_t lba_bwd = (kRegions - 1 - r) * config.region_sectors;
     // Same region queried on different plans, in opposite orders, at
     // different offsets inside the region: one verdict.
-    EXPECT_EQ(forward.RegionIsBad(lba_fwd), backward.RegionIsBad(lba_fwd)) << "region " << r;
-    EXPECT_EQ(forward.RegionIsBad(lba_fwd), forward.RegionIsBad(lba_fwd + 17)) << "region " << r;
-    EXPECT_EQ(backward.RegionIsBad(lba_bwd), forward.RegionIsBad(lba_bwd));
-    bad += forward.RegionIsBad(lba_fwd) ? 1 : 0;
+    EXPECT_EQ(forward.RegionIsBad(lba_fwd, 0), backward.RegionIsBad(lba_fwd, 0)) << "region " << r;
+    EXPECT_EQ(forward.RegionIsBad(lba_fwd, 0), forward.RegionIsBad(lba_fwd + 17, 0)) << "region " << r;
+    EXPECT_EQ(backward.RegionIsBad(lba_bwd, 0), forward.RegionIsBad(lba_bwd, 0));
+    bad += forward.RegionIsBad(lba_fwd, 0) ? 1 : 0;
   }
   // The bad set at rate 0.2 is some but not all of the media.
   EXPECT_GT(bad, 0u);
@@ -102,7 +102,7 @@ uint64_t FindRegion(const DiskModel& disk, bool want_bad) {
   EXPECT_NE(plan, nullptr);
   const uint64_t region_sectors = plan->config().region_sectors;
   for (uint64_t lba = 0; lba < disk.total_sectors(); lba += region_sectors) {
-    if (plan->RegionIsBad(lba) == want_bad) {
+    if (plan->RegionIsBad(lba, 0) == want_bad) {
       return lba;
     }
   }
@@ -132,6 +132,33 @@ TEST(FaultPlanTest, PersistentRegionFailsUntilRemapped) {
   EXPECT_EQ(disk.stats().errors, 1u);
 }
 
+TEST(FaultPlanTest, GrownDefectsDevelopAtSeededOnsetTimes) {
+  FaultPlanConfig config;
+  config.persistent_rate = 1.0;               // every region is fated to go bad...
+  config.defect_onset_spread = 10 * kSecond;  // ...at some seeded point in 10 s
+  const FaultPlan plan(config, 11);
+
+  constexpr uint64_t kRegions = 200;
+  uint64_t bad_at_start = 0;
+  uint64_t bad_midway = 0;
+  for (uint64_t r = 0; r < kRegions; ++r) {
+    const uint64_t lba = r * config.region_sectors;
+    if (plan.RegionIsBad(lba, 5 * kSecond)) {
+      // Monotone: a developed defect stays bad.
+      EXPECT_TRUE(plan.RegionIsBad(lba, 9 * kSecond)) << "region " << r;
+      ++bad_midway;
+    }
+    bad_at_start += plan.RegionIsBad(lba, 0) ? 1 : 0;
+    // By the end of the spread, every fated region has developed.
+    EXPECT_TRUE(plan.RegionIsBad(lba, config.defect_onset_spread)) << "region " << r;
+  }
+  // Onsets are spread across the window: almost none at t=0, roughly half
+  // midway through.
+  EXPECT_LT(bad_at_start, kRegions / 10);
+  EXPECT_GT(bad_midway, kRegions / 4);
+  EXPECT_LT(bad_midway, 3 * kRegions / 4);
+}
+
 TEST(FaultPlanTest, SpareExhaustionSurfacesAsUnremappable) {
   DiskModel disk(DiskParams{}, 9);
   FaultPlanConfig config;
@@ -143,7 +170,7 @@ TEST(FaultPlanTest, SpareExhaustionSurfacesAsUnremappable) {
   uint64_t second = 0;
   for (uint64_t lba = first + config.region_sectors; lba < disk.total_sectors();
        lba += config.region_sectors) {
-    if (disk.fault_plan()->RegionIsBad(lba)) {
+    if (disk.fault_plan()->RegionIsBad(lba, 0)) {
       second = lba;
       break;
     }

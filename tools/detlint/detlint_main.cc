@@ -71,9 +71,17 @@ int main(int argc, char** argv) {
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
       std::vector<fs::path> found;
-      for (const auto& entry : fs::recursive_directory_iterator(p)) {
-        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
-          found.push_back(entry.path());
+      for (auto it = fs::recursive_directory_iterator(p);
+           it != fs::recursive_directory_iterator(); ++it) {
+        // `testdata` trees hold intentionally-rule-breaking fixtures (the
+        // linter's own test corpus) — scanning them would fail the gate on
+        // files that exist to be findings.
+        if (it->is_directory() && it->path().filename() == "testdata") {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && IsSourceFile(it->path())) {
+          found.push_back(it->path());
         }
       }
       // Directory iteration order is OS-dependent; the scan (and its output)
