@@ -116,28 +116,50 @@ int Run(const BenchArgs& args) {
   const Bytes partition = args.smoke ? 512 * kMiB : 2 * kGiB;
   const Bytes probe_size = args.smoke ? 64 * kMiB : 256 * kMiB;
 
+  // One host-parallel cell per (fs, fresh|aged) image; each owns a private
+  // Machine and writes its own row slot so the table is identical for any
+  // --jobs value.
+  const FsKind fs_kinds[] = {FsKind::kExt2, FsKind::kXfs};
+  struct AgingRow {
+    bool ok = false;
+    const char* error = "";
+    LayoutQuality quality;
+    double cold_mib_per_sec = 0.0;
+  };
+  std::vector<AgingRow> rows(4);
+  RunCells(rows.size(), args.jobs, [&](size_t index) {
+    const FsKind kind = fs_kinds[index / 2];
+    const bool aged = (index % 2) == 1;
+    AgingRow& row = rows[index];
+    MachineConfig config = PaperTestbedConfig();
+    config.seed = args.seed;
+    config.disk.capacity = partition;  // a small, fillable partition
+    Machine machine(kind, config);
+    Rng rng(args.seed);
+    if (aged && !AgePartition(machine, rng)) {
+      row.error = "aging failed";
+      return;
+    }
+    if (machine.vfs().MakeFile("/probe", probe_size) != FsStatus::kOk) {
+      row.error = "probe allocation failed";
+      return;
+    }
+    row.quality = ProbeLayout(machine, "/probe", probe_size);
+    row.cold_mib_per_sec = ColdSequentialBandwidth(machine, "/probe", probe_size);
+    row.ok = true;
+  });
+
   AsciiTable table;
   table.SetHeader({"fs", "image", "contiguity", "fragments", "cold seq read MiB/s"});
-  for (FsKind kind : {FsKind::kExt2, FsKind::kXfs}) {
-    for (const bool aged : {false, true}) {
-      MachineConfig config = PaperTestbedConfig();
-      config.seed = args.seed;
-      config.disk.capacity = partition;  // a small, fillable partition
-      Machine machine(kind, config);
-      Rng rng(args.seed);
-      if (aged && !AgePartition(machine, rng)) {
-        std::printf("aging failed\n");
-        return 1;
-      }
-      if (machine.vfs().MakeFile("/probe", probe_size) != FsStatus::kOk) {
-        std::printf("probe allocation failed\n");
-        return 1;
-      }
-      const LayoutQuality quality = ProbeLayout(machine, "/probe", probe_size);
-      table.AddRow({FsKindName(kind), aged ? "aged" : "fresh",
-                    FormatDouble(quality.contiguity, 3), std::to_string(quality.fragments),
-                    FormatDouble(ColdSequentialBandwidth(machine, "/probe", probe_size), 1)});
+  for (size_t index = 0; index < rows.size(); ++index) {
+    const AgingRow& row = rows[index];
+    if (!row.ok) {
+      std::printf("%s\n", row.error);
+      return 1;
     }
+    table.AddRow({FsKindName(fs_kinds[index / 2]), (index % 2) == 1 ? "aged" : "fresh",
+                  FormatDouble(row.quality.contiguity, 3), std::to_string(row.quality.fragments),
+                  FormatDouble(row.cold_mib_per_sec, 1)});
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf("reading: on the aged image the fresh file is shredded into many small\n"

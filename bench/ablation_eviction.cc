@@ -6,6 +6,7 @@
 // working set 1.5x the cache, across LRU / CLOCK / 2Q / ARC, plus the
 // uniform case where policies cannot differ much (a negative control).
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/core/nano_suite.h"
@@ -28,15 +29,36 @@ int Run(const BenchArgs& args) {
   const EvictionPolicyKind kinds[] = {EvictionPolicyKind::kLru, EvictionPolicyKind::kClock,
                                       EvictionPolicyKind::kTwoQueue, EvictionPolicyKind::kArc};
 
+  // Both studies run as one host-parallel batch: cells [0,4) are the
+  // scan-resistance nano-bench, cells [4,8) the uniform negative control.
+  // Each cell owns its slot, so tables render identically for any --jobs.
+  constexpr size_t kPolicies = 4;
+  std::vector<NanoResult> quality(kPolicies);
+  std::vector<ExperimentResult> uniform(kPolicies);
+  RunCells(2 * kPolicies, args.jobs, [&](size_t index) {
+    const EvictionPolicyKind kind = kinds[index % kPolicies];
+    if (index < kPolicies) {
+      quality[index] = suite.CacheEvictionQuality(PaperMachine(FsKind::kExt2, kind));
+      return;
+    }
+    ExperimentConfig experiment_config;
+    experiment_config.runs = 2;
+    experiment_config.duration = config.duration;
+    experiment_config.prewarm = true;
+    experiment_config.base_seed = args.seed;
+    experiment_config.jobs = args.jobs;
+    uniform[index - kPolicies] = Experiment(experiment_config)
+                                     .Run(PaperMachine(FsKind::kExt2, kind),
+                                          RandomReadOf(615 * kMiB));  // ~1.5x cache
+  });
+
   std::printf("scan-resistance: zipf(0.9) hot set (0.5x cache) + concurrent sequential scan\n"
               "over a 3x-cache file; hot-set hit ratio after eviction pressure builds:\n");
   AsciiTable table;
   table.SetHeader({"policy", "hot hit %", "rel stddev %"});
-  for (EvictionPolicyKind kind : kinds) {
-    const NanoResult result =
-        suite.CacheEvictionQuality(PaperMachine(FsKind::kExt2, kind));
-    table.AddRow({EvictionPolicyKindName(kind), FormatDouble(result.value, 2),
-                  FormatDouble(result.across_runs.rel_stddev_pct, 1)});
+  for (size_t i = 0; i < kPolicies; ++i) {
+    table.AddRow({EvictionPolicyKindName(kinds[i]), FormatDouble(quality[i].value, 2),
+                  FormatDouble(quality[i].across_runs.rel_stddev_pct, 1)});
   }
   std::printf("%s\n", table.Render().c_str());
 
@@ -44,18 +66,10 @@ int Run(const BenchArgs& args) {
               "(every demand-paging policy converges to ~cache/file hit ratio):\n");
   AsciiTable control;
   control.SetHeader({"policy", "hit %"});
-  for (EvictionPolicyKind kind : kinds) {
-    ExperimentConfig experiment_config;
-    experiment_config.runs = 2;
-    experiment_config.duration = config.duration;
-    experiment_config.prewarm = true;
-    experiment_config.base_seed = args.seed;
-    const ExperimentResult result = Experiment(experiment_config)
-                                        .Run(PaperMachine(FsKind::kExt2, kind),
-                                             RandomReadOf(615 * kMiB));  // ~1.5x cache
-    control.AddRow({EvictionPolicyKindName(kind),
-                    FormatDouble(result.AllOk()
-                                     ? result.representative().cache_hit_ratio * 100.0
+  for (size_t i = 0; i < kPolicies; ++i) {
+    control.AddRow({EvictionPolicyKindName(kinds[i]),
+                    FormatDouble(uniform[i].AllOk()
+                                     ? uniform[i].representative().cache_hit_ratio * 100.0
                                      : 0.0,
                                  2)});
   }

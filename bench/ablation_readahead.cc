@@ -7,6 +7,7 @@
 // sequential-read bandwidth respond, which is precisely the mechanism
 // behind the between-FS divergence in Figure 2.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/core/report.h"
@@ -42,16 +43,26 @@ int Run(const BenchArgs& args) {
 
   const Nanos duration = BenchDuration(args, 30 * kSecond, 120 * kSecond, 5 * kSecond);
 
-  AsciiTable table;
-  table.SetHeader({"readahead", "warm-up fill MiB/s", "random ops/s (cold)",
-                   "readahead pages/demand"});
-  for (const Case& c : cases) {
+  // One host-parallel cell per readahead case; the table is rendered after
+  // the barrier so output is byte-identical for every --jobs value.
+  constexpr size_t kCases = sizeof(cases) / sizeof(cases[0]);
+  std::vector<ExperimentResult> cells(kCases);
+  RunCells(kCases, args.jobs, [&](size_t i) {
     ExperimentConfig config;
     config.runs = 2;
     config.duration = duration;
     config.base_seed = args.seed;
-    const ExperimentResult result =
-        Experiment(config).Run(MachineWithReadahead(c.config), RandomReadOf(410 * kMiB));
+    config.jobs = args.jobs;
+    cells[i] = Experiment(config).Run(MachineWithReadahead(cases[i].config),
+                                      RandomReadOf(410 * kMiB));
+  });
+
+  AsciiTable table;
+  table.SetHeader({"readahead", "warm-up fill MiB/s", "random ops/s (cold)",
+                   "readahead pages/demand"});
+  for (size_t i = 0; i < kCases; ++i) {
+    const Case& c = cases[i];
+    const ExperimentResult& result = cells[i];
     if (!result.AllOk()) {
       std::printf("%s FAILED\n", c.label);
       return 1;

@@ -1,16 +1,18 @@
 // Shared helpers for the bench binaries: the paper-testbed machine factory
 // and a tiny flag parser (--paper-scale stretches durations to the paper's
 // originals; --smoke shrinks them to a seconds-long CI smoke run; --seed
-// overrides the base seed).
+// overrides the base seed; --jobs caps the host-parallel cell pool).
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 
 #include "src/core/experiment.h"
+#include "src/core/parallel_runner.h"
 #include "src/core/workloads/random_read.h"
 #include "src/sim/machine.h"
 
@@ -20,8 +22,15 @@ struct BenchArgs {
   bool paper_scale = false;
   bool smoke = false;  // CI smoke mode: shortest durations that still run every phase
   uint64_t seed = 1;
+  // Host threads for cell execution (src/core/parallel_runner.h): the
+  // default 0 means every host core. Results are byte-identical for every
+  // value — the pool buys wall time, never different numbers.
+  int jobs = 0;
 };
 
+// Strict parser: an unknown argument is a hard error (a typo like
+// `--paper_scale` must not silently run the wrong configuration), printed
+// with the usage line and exiting nonzero.
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
@@ -32,9 +41,17 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.paper_scale = false;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      args.jobs = static_cast<int>(std::strtol(argv[i] + 7, nullptr, 10));
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--paper-scale] [--smoke] [--seed=N]\n", argv[0]);
+      std::printf("usage: %s [--paper-scale] [--smoke] [--seed=N] [--jobs=N]\n", argv[0]);
       std::exit(0);
+    } else {
+      std::fprintf(stderr,
+                   "%s: unknown argument '%s'\n"
+                   "usage: %s [--paper-scale] [--smoke] [--seed=N] [--jobs=N]\n",
+                   argv[0], argv[i], argv[0]);
+      std::exit(2);
     }
   }
   return args;

@@ -69,39 +69,50 @@ int Run(const BenchArgs& args) {
       {"xfs", FsKind::kXfs, JournalMode::kOrdered},
   };
 
-  std::vector<CellResult> results;
+  // The 4x3 (fs, crash point) grid runs host-parallel, row-major slots; the
+  // table and JSON render after the barrier, identical for every --jobs.
+  std::vector<CellResult> results(4 * crash_points.size());
+  std::vector<bool> cell_ok(results.size(), false);
+  RunCells(results.size(), args.jobs, [&](size_t index) {
+    const FsCell& cell = cells[index / crash_points.size()];
+    const uint64_t crash_op = crash_points[index % crash_points.size()];
+    ExperimentConfig config;
+    config.runs = 1;
+    config.duration = 30 * 60 * kSecond;  // the crash, not the clock, ends the run
+    config.base_seed = args.seed;
+    config.crash = CrashScenario{crash_op, 0, /*replay_check=*/true};
+    const ExperimentResult result =
+        Experiment(config).Run(CrashMachine(cell.kind, cell.mode), MtPostmarkFactory(pm));
+    if (!result.AllOk() || !result.runs[0].crash_report.has_value()) {
+      return;  // cell_ok stays false; reported after the barrier
+    }
+    results[index].fs = cell.name;
+    results[index].crash_op = crash_op;
+    results[index].report = *result.runs[0].crash_report;
+    cell_ok[index] = true;
+  });
+
   AsciiTable table;
   table.SetHeader({"fs", "crash op", "survived", "lost ops", "recovery ms", "replay blks",
                    "fsck blks", "torn tx", "dirty lost", "consistent"});
-  for (const FsCell& cell : cells) {
-    for (const uint64_t crash_op : crash_points) {
-      ExperimentConfig config;
-      config.runs = 1;
-      config.duration = 30 * 60 * kSecond;  // the crash, not the clock, ends the run
-      config.base_seed = args.seed;
-      config.crash = CrashScenario{crash_op, 0, /*replay_check=*/true};
-      const ExperimentResult result =
-          Experiment(config).Run(CrashMachine(cell.kind, cell.mode), MtPostmarkFactory(pm));
-      if (!result.AllOk() || !result.runs[0].crash_report.has_value()) {
-        std::fprintf(stderr, "FAILED: %s crash_op=%llu\n", cell.name,
-                     static_cast<unsigned long long>(crash_op));
-        return 1;
-      }
-      CellResult cell_result;
-      cell_result.fs = cell.name;
-      cell_result.crash_op = crash_op;
-      cell_result.report = *result.runs[0].crash_report;
-      const CrashReport& report = cell_result.report;
-      table.AddRow({cell_result.fs, std::to_string(crash_op),
-                    std::to_string(report.recovery_watermark),
-                    std::to_string(report.ops_issued - report.recovery_watermark),
-                    FormatDouble(static_cast<double>(report.recovery_latency) / kMillisecond, 1),
-                    std::to_string(report.replay_log_blocks + report.replay_home_blocks),
-                    std::to_string(report.fsck_blocks), std::to_string(report.torn_txns),
-                    std::to_string(report.dirty_pages_lost),
-                    report.recovered_consistent ? "yes" : "NO"});
-      results.push_back(std::move(cell_result));
+  for (size_t index = 0; index < results.size(); ++index) {
+    if (!cell_ok[index]) {
+      std::fprintf(stderr, "FAILED: %s crash_op=%llu\n",
+                   cells[index / crash_points.size()].name,
+                   static_cast<unsigned long long>(
+                       crash_points[index % crash_points.size()]));
+      return 1;
     }
+    const CellResult& cell_result = results[index];
+    const CrashReport& report = cell_result.report;
+    table.AddRow({cell_result.fs, std::to_string(cell_result.crash_op),
+                  std::to_string(report.recovery_watermark),
+                  std::to_string(report.ops_issued - report.recovery_watermark),
+                  FormatDouble(static_cast<double>(report.recovery_latency) / kMillisecond, 1),
+                  std::to_string(report.replay_log_blocks + report.replay_home_blocks),
+                  std::to_string(report.fsck_blocks), std::to_string(report.torn_txns),
+                  std::to_string(report.dirty_pages_lost),
+                  report.recovered_consistent ? "yes" : "NO"});
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf(

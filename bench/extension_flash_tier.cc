@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/core/cell_seed.h"
 #include "src/core/report.h"
 
 namespace fsbench {
@@ -31,13 +32,29 @@ int Run(const BenchArgs& args) {
   config.runs = args.smoke ? 2 : (args.paper_scale ? 10 : 5);
   config.duration = BenchDuration(args, 8 * kSecond, 30 * kSecond, 2 * kSecond);
   config.prewarm = true;
+  config.jobs = args.jobs;
+
+  std::vector<Bytes> sizes_mib;
+  for (Bytes mib = 128; mib <= 2304; mib += (mib < 1664 ? 128 : 320)) {
+    sizes_mib.push_back(mib);
+  }
+
+  // Points run host-parallel; per-point seeds come from DeriveCellSeed keyed
+  // by the size parameter (replacing the old `seed + mib` arithmetic), and
+  // the table renders after the barrier.
+  std::vector<ExperimentResult> cells(sizes_mib.size());
+  RunCells(sizes_mib.size(), args.jobs, [&](size_t i) {
+    const Bytes mib = sizes_mib[i];
+    ExperimentConfig cell_config = config;
+    cell_config.base_seed = DeriveCellSeed(args.seed, mib, 0, 0);
+    cells[i] = Experiment(cell_config).Run(flash_machine, RandomReadOf(mib * kMiB));
+  });
 
   std::vector<SweepRow> rows;
   std::printf("file size   ops/s      rel-std%%  RAM-hit  flash-hit  regime\n");
-  for (Bytes mib = 128; mib <= 2304; mib += (mib < 1664 ? 128 : 320)) {
-    config.base_seed = args.seed + mib;
-    const ExperimentResult result =
-        Experiment(config).Run(flash_machine, RandomReadOf(mib * kMiB));
+  for (size_t i = 0; i < sizes_mib.size(); ++i) {
+    const Bytes mib = sizes_mib[i];
+    const ExperimentResult& result = cells[i];
     if (!result.AllOk()) {
       std::printf("  %llu MiB FAILED (%s)\n", static_cast<unsigned long long>(mib),
                   FsStatusName(result.runs.front().error));

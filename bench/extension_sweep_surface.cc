@@ -28,6 +28,7 @@ int Run(const BenchArgs& args) {
   config.duration = BenchDuration(args, 6 * kSecond, 20 * kSecond, 2 * kSecond);
   config.prewarm = true;
   config.base_seed = args.seed;
+  config.jobs = args.jobs;  // SweepMatrix::Run farms cells over the host pool
 
   const SweepMatrixResult result = matrix.Run(
       config, PaperMachine(), [](double file, double io) {

@@ -119,47 +119,59 @@ int Run(const BenchArgs& args) {
       {"retry+remap", RetryPolicy{6, FromMillis(0.1), 2.0, true}, FromMillis(10)},
   };
 
-  std::vector<CellResult> results;
+  // The fs x policy x rate grid runs host-parallel, slots in the same
+  // (f, policy, rate) nesting order as before, so table and JSON are
+  // byte-identical for every --jobs value.
+  const size_t num_rates = rates.size();
+  const size_t num_policies = 3;
+  std::vector<CellResult> results(3 * num_policies * num_rates);
+  std::vector<std::string> failures(results.size());
+  RunCells(results.size(), args.jobs, [&](size_t index) {
+    const size_t f = index / (num_policies * num_rates);
+    const PolicyCell& pol = policies[(index / num_rates) % num_policies];
+    const double rate = rates[index % num_rates];
+    ExperimentConfig config;
+    config.runs = args.smoke ? 1 : 4;
+    config.duration = duration;
+    config.threads = 4;
+    config.base_seed = args.seed;
+    config.continue_on_error = true;
+    config.jobs = args.jobs;
+    const ExperimentResult result =
+        Experiment(config).Run(FaultyMachine(fs_kinds[f], rate, pol), MtPostmarkFactory(pm));
+    if (!result.AllOk()) {
+      failures[index] = std::string(fs_names[f]) + " " + pol.name + " rate=" +
+                        std::to_string(rate) + " error=" + FsStatusName(result.runs[0].error);
+      return;
+    }
+    CellResult& cell = results[index];
+    cell.fs = fs_names[f];
+    cell.policy = pol.name;
+    cell.rate = rate;
+    // Throughput/p99 are means across the runs (per-seed trajectories
+    // through a fault field are noisy); counters and degraded-mode flags
+    // come from the representative first run.
+    cell.run = result.runs[0];
+    cell.ops_per_second = result.throughput.mean;
+    cell.p99 = result.merged_histogram.ApproxPercentile(0.99);
+  });
+
   AsciiTable table;
   table.SetHeader({"fs", "policy", "rate", "ops/s", "p99 ms", "failed", "retries", "remaps",
                    "ro", "jrnl abort"});
-  for (size_t f = 0; f < 3; ++f) {
-    for (const PolicyCell& pol : policies) {
-      for (const double rate : rates) {
-        ExperimentConfig config;
-        config.runs = args.smoke ? 1 : 4;
-        config.duration = duration;
-        config.threads = 4;
-        config.base_seed = args.seed;
-        config.continue_on_error = true;
-        const ExperimentResult result =
-            Experiment(config).Run(FaultyMachine(fs_kinds[f], rate, pol),
-                                   MtPostmarkFactory(pm));
-        if (!result.AllOk()) {
-          std::fprintf(stderr, "FAILED: %s %s rate=%g error=%s\n", fs_names[f], pol.name, rate,
-                       FsStatusName(result.runs[0].error));
-          return 1;
-        }
-        CellResult cell;
-        cell.fs = fs_names[f];
-        cell.policy = pol.name;
-        cell.rate = rate;
-        // Throughput/p99 are means across the runs (per-seed trajectories
-        // through a fault field are noisy); counters and degraded-mode flags
-        // come from the representative first run.
-        cell.run = result.runs[0];
-        cell.ops_per_second = result.throughput.mean;
-        cell.p99 = result.merged_histogram.ApproxPercentile(0.99);
-        const FaultSummary& fault = cell.run.fault;
-        table.AddRow({cell.fs, cell.policy, FormatDouble(rate, 3),
-                      FormatDouble(cell.ops_per_second, 1),
-                      FormatDouble(static_cast<double>(cell.p99) / kMillisecond, 2),
-                      std::to_string(cell.run.failed_ops), std::to_string(fault.retries),
-                      std::to_string(fault.remapped_regions), fault.remounted_ro ? "yes" : "-",
-                      fault.journal_aborted ? "yes" : "-"});
-        results.push_back(std::move(cell));
-      }
+  for (size_t index = 0; index < results.size(); ++index) {
+    if (!failures[index].empty()) {
+      std::fprintf(stderr, "FAILED: %s\n", failures[index].c_str());
+      return 1;
     }
+    const CellResult& cell = results[index];
+    const FaultSummary& fault = cell.run.fault;
+    table.AddRow({cell.fs, cell.policy, FormatDouble(cell.rate, 3),
+                  FormatDouble(cell.ops_per_second, 1),
+                  FormatDouble(static_cast<double>(cell.p99) / kMillisecond, 2),
+                  std::to_string(cell.run.failed_ops), std::to_string(fault.retries),
+                  std::to_string(fault.remapped_regions), fault.remounted_ro ? "yes" : "-",
+                  fault.journal_aborted ? "yes" : "-"});
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf(

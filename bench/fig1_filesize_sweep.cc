@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/core/cell_seed.h"
 #include "src/core/report.h"
 
 namespace fsbench {
@@ -23,21 +24,38 @@ int Run(const BenchArgs& args) {
   config.runs = args.smoke ? 3 : 10;
   config.duration = BenchDuration(args, 10 * kSecond, 60 * kSecond, 2 * kSecond);
   config.prewarm = true;
-  config.base_seed = args.seed;
+  config.jobs = args.jobs;
   const Bytes step = args.smoke ? 320 : 64;
 
-  std::vector<SweepRow> rows;
+  std::vector<Bytes> sizes_mib;
   for (Bytes mib = 64; mib <= 1024; mib += step) {
-    config.base_seed = args.seed + mib;  // fresh jitter draws per point
-    const ExperimentResult result =
-        Experiment(config).Run(PaperMachine(), RandomReadOf(mib * kMiB));
+    sizes_mib.push_back(mib);
+  }
+
+  // Points run host-parallel; each writes its own slot, so the table is
+  // identical for every --jobs value (printing happens after the barrier).
+  std::vector<ExperimentResult> cells(sizes_mib.size());
+  RunCells(sizes_mib.size(), args.jobs, [&](size_t i) {
+    const Bytes mib = sizes_mib[i];
+    ExperimentConfig cell_config = config;
+    // Fresh jitter draws per point, keyed by the (stable) size parameter so
+    // smoke's coarse grid and the full grid agree on shared points.
+    cell_config.base_seed = DeriveCellSeed(args.seed, mib, 0, 0);
+    cells[i] = Experiment(cell_config).Run(PaperMachine(), RandomReadOf(mib * kMiB));
+  });
+
+  std::vector<SweepRow> rows;
+  for (size_t i = 0; i < sizes_mib.size(); ++i) {
+    const ExperimentResult& result = cells[i];
     if (!result.AllOk()) {
-      std::printf("  %4llu MiB: FAILED (%s)\n", static_cast<unsigned long long>(mib),
-                  FsStatusName(result.runs.front().error));
+      std::printf("  %4llu MiB: FAILED (%s)\n",
+                  static_cast<unsigned long long>(sizes_mib[i]),
+                  FsStatusName(result.runs.empty() ? FsStatus::kIoError
+                                                   : result.runs.front().error));
       return 1;
     }
     SweepRow row;
-    row.file_size = mib * kMiB;
+    row.file_size = sizes_mib[i] * kMiB;
     row.throughput = result.throughput;
     row.cache_hit_ratio = result.representative().cache_hit_ratio;
     rows.push_back(row);

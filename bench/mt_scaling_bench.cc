@@ -48,12 +48,13 @@ MachineFactory DiskBoundMachine() {
 
 ScalePoint RunPoint(const char* name, const MachineFactory& machine,
                     const ThreadedWorkloadFactory& workload, int threads, int runs,
-                    Nanos duration, uint64_t seed) {
+                    Nanos duration, uint64_t seed, int jobs) {
   ExperimentConfig config;
   config.runs = runs;
   config.duration = duration;
   config.threads = threads;
   config.base_seed = seed;
+  config.jobs = jobs;
   Experiment experiment(config);
   const ExperimentResult result = experiment.Run(machine, workload);
 
@@ -93,10 +94,6 @@ int Run(const BenchArgs& args) {
   mm.dirs = 8;
   mm.files_per_dir = 64;
 
-  std::vector<ScalePoint> points;
-  AsciiTable table;
-  table.SetHeader({"workload", "threads", "agg ops/s", "speedup", "latency us", "queue depth",
-                   "queue delay ms"});
   struct Sweep {
     const char* name;
     MachineFactory machine;
@@ -106,20 +103,32 @@ int Run(const BenchArgs& args) {
       {"postmark_disk", DiskBoundMachine(), MtPostmarkFactory(pm)},
       {"metadata_cached", PaperMachine(), MtMetadataMixFactory(mm)},
   };
-  for (const Sweep& sweep : sweeps) {
-    double base = 0.0;
-    for (const int threads : thread_counts) {
-      ScalePoint point =
-          RunPoint(sweep.name, sweep.machine, sweep.workload, threads, runs, duration, args.seed);
-      if (threads == 1) {
-        base = point.agg_ops_per_sec;
-      }
+
+  // All (workload, thread-count) cells run host-parallel; each writes slot
+  // (s * points + t), so table, speedups and JSON are identical for every
+  // --jobs value. The speedup column needs the N=1 cell of each sweep, so
+  // it is derived after the barrier rather than as cells complete.
+  const size_t cells_per_sweep = thread_counts.size();
+  std::vector<ScalePoint> points(2 * cells_per_sweep);
+  RunCells(points.size(), args.jobs, [&](size_t index) {
+    const Sweep& sweep = sweeps[index / cells_per_sweep];
+    const int threads = thread_counts[index % cells_per_sweep];
+    points[index] = RunPoint(sweep.name, sweep.machine, sweep.workload, threads, runs,
+                             duration, args.seed, args.jobs);
+  });
+
+  AsciiTable table;
+  table.SetHeader({"workload", "threads", "agg ops/s", "speedup", "latency us", "queue depth",
+                   "queue delay ms"});
+  for (size_t s = 0; s < 2; ++s) {
+    const double base = points[s * cells_per_sweep].agg_ops_per_sec;
+    for (size_t t = 0; t < cells_per_sweep; ++t) {
+      ScalePoint& point = points[s * cells_per_sweep + t];
       point.speedup_vs_1 = base > 0.0 ? point.agg_ops_per_sec / base : 0.0;
       table.AddRow({point.workload, std::to_string(point.threads),
                     FormatDouble(point.agg_ops_per_sec, 0), FormatDouble(point.speedup_vs_1, 2),
                     FormatDouble(point.mean_latency_us, 1), std::to_string(point.max_queue_depth),
                     FormatDouble(point.sync_queue_delay_ms, 1)});
-      points.push_back(point);
     }
   }
   std::printf("%s\n", table.Render().c_str());

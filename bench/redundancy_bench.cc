@@ -141,41 +141,55 @@ int Run(const BenchArgs& args) {
       {"raid10+scrub", "rebuilding", ArrayGeometry::kStripeMirror, 4, 1, true, true},
   };
 
-  std::vector<CellResult> results;
+  // The geometry x rate grid runs host-parallel, slots in the original
+  // nesting order; table, regression asserts and JSON all run after the
+  // barrier so output is byte-identical for every --jobs value.
+  const size_t num_cells = sizeof(cells) / sizeof(cells[0]);
+  const size_t num_rates = rates.size();
+  std::vector<CellResult> results(num_cells * num_rates);
+  std::vector<std::string> failures(results.size());
+  RunCells(results.size(), args.jobs, [&](size_t index) {
+    const GeometryCell& cell = cells[index / num_rates];
+    const double rate = rates[index % num_rates];
+    ExperimentConfig config;
+    config.runs = args.smoke ? 1 : 2;
+    config.duration = duration;
+    config.threads = 4;
+    config.base_seed = args.seed;
+    config.continue_on_error = true;
+    config.jobs = args.jobs;
+    const ExperimentResult result =
+        Experiment(config).Run(ArrayMachine(cell, rate, kill_time, duration),
+                               MtPostmarkFactory(pm));
+    if (!result.AllOk()) {
+      failures[index] = std::string(cell.name) + "/" + cell.mode + " rate=" +
+                        std::to_string(rate) + " error=" + FsStatusName(result.runs[0].error);
+      return;
+    }
+    CellResult& r = results[index];
+    r.cell = &cell;
+    r.rate = rate;
+    r.run = result.runs[0];
+    r.ops_per_second = result.throughput.mean;
+    r.p99 = result.merged_histogram.ApproxPercentile(0.99);
+  });
+
   AsciiTable table;
   table.SetHeader({"geometry", "mode", "rate", "ops/s", "p99 ms", "failed", "deg reads",
                    "rescues", "scrub pre", "rebuilt", "loss"});
-  for (const GeometryCell& cell : cells) {
-    for (const double rate : rates) {
-      ExperimentConfig config;
-      config.runs = args.smoke ? 1 : 2;
-      config.duration = duration;
-      config.threads = 4;
-      config.base_seed = args.seed;
-      config.continue_on_error = true;
-      const ExperimentResult result =
-          Experiment(config).Run(ArrayMachine(cell, rate, kill_time, duration),
-                                 MtPostmarkFactory(pm));
-      if (!result.AllOk()) {
-        std::fprintf(stderr, "FAILED: %s/%s rate=%g error=%s\n", cell.name, cell.mode, rate,
-                     FsStatusName(result.runs[0].error));
-        return 1;
-      }
-      CellResult r;
-      r.cell = &cell;
-      r.rate = rate;
-      r.run = result.runs[0];
-      r.ops_per_second = result.throughput.mean;
-      r.p99 = result.merged_histogram.ApproxPercentile(0.99);
-      const ArraySummary& a = r.run.array;
-      table.AddRow({cell.name, cell.mode, FormatDouble(rate, 3),
-                    FormatDouble(r.ops_per_second, 1),
-                    FormatDouble(static_cast<double>(r.p99) / kMillisecond, 2),
-                    std::to_string(r.run.failed_ops), std::to_string(a.degraded_reads),
-                    std::to_string(a.mirror_rescues), std::to_string(a.scrub_preempted),
-                    std::to_string(a.rebuilds_completed), a.data_loss ? "yes" : "-"});
-      results.push_back(std::move(r));
+  for (size_t index = 0; index < results.size(); ++index) {
+    if (!failures[index].empty()) {
+      std::fprintf(stderr, "FAILED: %s\n", failures[index].c_str());
+      return 1;
     }
+    const CellResult& r = results[index];
+    const ArraySummary& a = r.run.array;
+    table.AddRow({r.cell->name, r.cell->mode, FormatDouble(r.rate, 3),
+                  FormatDouble(r.ops_per_second, 1),
+                  FormatDouble(static_cast<double>(r.p99) / kMillisecond, 2),
+                  std::to_string(r.run.failed_ops), std::to_string(a.degraded_reads),
+                  std::to_string(a.mirror_rescues), std::to_string(a.scrub_preempted),
+                  std::to_string(a.rebuilds_completed), a.data_loss ? "yes" : "-"});
   }
   std::printf("%s\n", table.Render().c_str());
 

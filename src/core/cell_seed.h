@@ -1,0 +1,42 @@
+// Per-cell seed derivation for sweep-shaped experiments.
+//
+// Benches used to hand-roll cell seeds with strided arithmetic
+// (`base_seed + r * 1000 + c`, `seed + mib`), which collides once a
+// dimension outgrows the stride and silently re-pairs cells with jitter
+// streams whenever the matrix is reshaped. DeriveCellSeed replaces all of
+// that with one documented mixer: the (row, col, rep) coordinates are
+// folded into the base seed through splitmix64 steps, so
+//   - every distinct coordinate triple gets a statistically independent
+//     seed (no adjacent-seed correlation between neighbouring cells),
+//   - a cell keeps its seed when the matrix is reshaped — adding rows,
+//     columns or reps never changes the seed of an existing coordinate,
+//   - the mapping is pure arithmetic on (base_seed, row, col, rep): stable
+//     across platforms, build types and PRs.
+// Callers pass stable coordinates: either grid indices (when the grid
+// itself is the identity, e.g. SweepMatrix cells) or the swept parameter
+// value (when the grid is resampled between smoke and full modes and the
+// parameter is what names the cell, e.g. fig1's file size in MiB).
+#ifndef SRC_CORE_CELL_SEED_H_
+#define SRC_CORE_CELL_SEED_H_
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace fsbench {
+
+inline uint64_t DeriveCellSeed(uint64_t base_seed, uint64_t row, uint64_t col,
+                               uint64_t rep) {
+  // Absorb-then-mix chain: every coordinate is XORed into a fully mixed
+  // state before the next absorption, so (row=1, col=0) and (row=0, col=1)
+  // land in unrelated streams.
+  uint64_t state = base_seed;
+  state = SplitMix64(state) ^ row;
+  state = SplitMix64(state) ^ col;
+  state = SplitMix64(state) ^ rep;
+  return SplitMix64(state);
+}
+
+}  // namespace fsbench
+
+#endif  // SRC_CORE_CELL_SEED_H_

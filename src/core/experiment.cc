@@ -1,7 +1,9 @@
 #include "src/core/experiment.h"
 
 #include <cassert>
+#include <stdexcept>
 
+#include "src/core/parallel_runner.h"
 #include "src/core/sim_engine.h"
 
 namespace fsbench {
@@ -183,17 +185,31 @@ ExperimentResult Experiment::Run(const MachineFactory& machine_factory,
                                  const ThreadedWorkloadFactory& workload_factory) const {
   assert(config_.runs > 0);
   ExperimentResult result;
+  // Each repetition lands in its own slot; aggregation below walks the
+  // slots in run order, so the result is identical for every jobs value.
+  result.runs.resize(static_cast<size_t>(config_.runs));
+  const std::vector<std::string> errors = RunCells(
+      static_cast<size_t>(config_.runs), config_.jobs, [&](size_t run) {
+        result.runs[run] = RunOnce(machine_factory, workload_factory,
+                                   config_.base_seed + static_cast<uint64_t>(run));
+      });
+  for (size_t run = 0; run < errors.size(); ++run) {
+    if (!errors[run].empty()) {
+      // Preserve the serial fail-fast contract: an escaped exception (not a
+      // workload kIoError, which RunOnce reports as !ok) surfaces to the
+      // caller instead of masquerading as a failed run.
+      throw std::runtime_error("experiment run " + std::to_string(run) +
+                               " threw: " + errors[run]);
+    }
+  }
   std::vector<double> throughputs;
   std::vector<double> latencies;
-  for (int run = 0; run < config_.runs; ++run) {
-    RunResult run_result =
-        RunOnce(machine_factory, workload_factory, config_.base_seed + static_cast<uint64_t>(run));
+  for (RunResult& run_result : result.runs) {
     if (run_result.ok) {
       throughputs.push_back(run_result.ops_per_second);
       latencies.push_back(run_result.latency.mean());
       result.merged_histogram.Merge(run_result.histogram);
     }
-    result.runs.push_back(std::move(run_result));
   }
   result.throughput = Summarize(throughputs);
   result.mean_latency_ns = Summarize(latencies);

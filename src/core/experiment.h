@@ -69,6 +69,12 @@ struct ExperimentConfig {
   // RunResult::failed_ops) and retire threads hit by kReadOnly instead of
   // failing the run (see SimEngineConfig::continue_on_error).
   bool continue_on_error = false;
+  // Host threads for the run repetitions (src/core/parallel_runner.h):
+  // 1 = serial (the default), 0 = every host core, N = at most N. Runs are
+  // placed into result slots by run index, so the ExperimentResult is
+  // byte-identical for every jobs value — host parallelism buys wall time
+  // only and no virtual-time quantity can observe it.
+  int jobs = 1;
 };
 
 // Flattened device-fault / degraded-mode record of one run, aggregated from

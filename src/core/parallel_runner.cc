@@ -1,0 +1,131 @@
+#include "src/core/parallel_runner.h"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace fsbench {
+
+namespace {
+
+thread_local bool t_in_parallel_cell = false;
+
+// One worker's task store. Tasks are distributed before any worker starts
+// and none are ever produced afterwards, so the deque is bounded by the
+// initial share and a drained pool means the run is over — no condition
+// variable, no sleep, no ambient time anywhere near result-affecting code.
+struct WorkerDeque {
+  std::mutex mu;
+  std::deque<size_t> tasks;  // owner pops the front; thieves take the back
+};
+
+class CellPool {
+ public:
+  CellPool(size_t count, int workers) : deques_(static_cast<size_t>(workers)) {
+    // Round-robin seeding spreads expensive neighbouring cells (sweep rows
+    // tend to get monotonically heavier) across workers up front, so
+    // stealing is the trim, not the plan.
+    for (size_t i = 0; i < count; ++i) {
+      deques_[i % deques_.size()].tasks.push_back(i);
+    }
+  }
+
+  // Pops the next task for worker `w`: front of its own deque, else the
+  // back of the fullest other deque (classic work stealing — the thief
+  // takes from the cold end). Returns false when every deque is empty,
+  // which — tasks being fixed up front — is the permanent end state.
+  bool Next(size_t w, size_t* index) {
+    {
+      WorkerDeque& own = deques_[w];
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (!own.tasks.empty()) {
+        *index = own.tasks.front();
+        own.tasks.pop_front();
+        return true;
+      }
+    }
+    // Victim scan: deterministic order (w+1, w+2, ...) keeps the scan
+    // simple; which thief wins a race only moves work between host
+    // threads, never between result slots.
+    for (size_t step = 1; step < deques_.size(); ++step) {
+      WorkerDeque& victim = deques_[(w + step) % deques_.size()];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        *index = victim.tasks.back();
+        victim.tasks.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<WorkerDeque> deques_;
+};
+
+void RunInline(size_t count, const std::function<void(size_t)>& fn,
+               std::vector<std::string>* errors) {
+  for (size_t i = 0; i < count; ++i) {
+    try {
+      fn(i);
+    } catch (const std::exception& e) {
+      (*errors)[i] = e.what();
+    } catch (...) {
+      (*errors)[i] = "unknown exception";
+    }
+  }
+}
+
+}  // namespace
+
+int ResolveJobs(int jobs) {
+  if (jobs >= 1) {
+    return jobs;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool InParallelCell() { return t_in_parallel_cell; }
+
+std::vector<std::string> RunCells(size_t count, int jobs,
+                                  const std::function<void(size_t)>& fn) {
+  std::vector<std::string> errors(count);
+  const int resolved = ResolveJobs(jobs);
+  if (count <= 1 || resolved == 1 || t_in_parallel_cell) {
+    RunInline(count, fn, &errors);
+    return errors;
+  }
+
+  const size_t workers = std::min(static_cast<size_t>(resolved), count);
+  CellPool pool(count, static_cast<int>(workers));
+  auto worker_loop = [&pool, &fn, &errors](size_t w) {
+    t_in_parallel_cell = true;
+    size_t index = 0;
+    while (pool.Next(w, &index)) {
+      try {
+        fn(index);
+      } catch (const std::exception& e) {
+        errors[index] = e.what();
+      } catch (...) {
+        errors[index] = "unknown exception";
+      }
+    }
+    t_in_parallel_cell = false;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    threads.emplace_back(worker_loop, w);
+  }
+  worker_loop(0);  // the calling thread is worker 0
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  return errors;
+}
+
+}  // namespace fsbench

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/core/cell_seed.h"
+#include "src/core/parallel_runner.h"
 #include "src/util/ascii.h"
 
 namespace fsbench {
@@ -21,29 +23,36 @@ SweepMatrixResult SweepMatrix::Run(const ExperimentConfig& config,
   result.col_label = col_label_;
   result.row_params = row_params_;
   result.col_params = col_params_;
-  ExperimentConfig cell_config = config;
-  for (size_t r = 0; r < row_params_.size(); ++r) {
-    for (size_t c = 0; c < col_params_.size(); ++c) {
-      // Independent jitter draws per cell.
-      cell_config.base_seed = config.base_seed + r * 1000 + c;
-      const double row_param = row_params_[r];
-      const double col_param = col_params_[c];
-      const ExperimentResult experiment =
-          Experiment(cell_config)
-              .Run(machine_factory, [&workload_factory, row_param, col_param] {
-                return workload_factory(row_param, col_param);
-              });
-      SweepCell cell;
-      cell.row_param = row_param;
-      cell.col_param = col_param;
-      cell.ok = experiment.AllOk();
-      if (cell.ok) {
-        cell.throughput = experiment.throughput;
-        cell.cache_hit_ratio = experiment.representative().cache_hit_ratio;
-      }
-      result.cells.push_back(cell);
+  const size_t cols = col_params_.size();
+  result.cells.resize(row_params_.size() * cols);
+  // Cells run on the host-parallel pool; each writes only its own slot, so
+  // the matrix is byte-identical for every jobs value. An exception inside
+  // one cell (workload factory, machine assembly) fails that cell alone —
+  // its slot keeps ok == false and the neighbours are untouched.
+  RunCells(result.cells.size(), config.jobs, [&](size_t index) {
+    const size_t r = index / cols;
+    const size_t c = index % cols;
+    ExperimentConfig cell_config = config;
+    // Independent jitter draws per cell, stable under matrix reshaping.
+    cell_config.base_seed = DeriveCellSeed(config.base_seed, r, c, 0);
+    // The cell's repetitions stay on this worker (RunCells nests inline),
+    // so the host thread count is bounded by the outer jobs value.
+    const double row_param = row_params_[r];
+    const double col_param = col_params_[c];
+    SweepCell& cell = result.cells[index];
+    cell.row_param = row_param;
+    cell.col_param = col_param;
+    const ExperimentResult experiment =
+        Experiment(cell_config)
+            .Run(machine_factory, [&workload_factory, row_param, col_param] {
+              return workload_factory(row_param, col_param);
+            });
+    cell.ok = experiment.AllOk();
+    if (cell.ok) {
+      cell.throughput = experiment.throughput;
+      cell.cache_hit_ratio = experiment.representative().cache_hit_ratio;
     }
-  }
+  });
   return result;
 }
 

@@ -47,7 +47,12 @@ class SweepMatrix {
   SweepMatrix(std::string row_label, std::vector<double> row_params, std::string col_label,
               std::vector<double> col_params);
 
-  // Runs `config`-shaped experiments for every cell.
+  // Runs `config`-shaped experiments for every cell. Cells execute on the
+  // host-parallel pool (config.jobs; see src/core/parallel_runner.h) with
+  // per-cell seeds from DeriveCellSeed(config.base_seed, row, col, 0);
+  // results land in row-major slots by cell index, so the matrix is
+  // byte-identical for every jobs value. A cell whose experiment throws is
+  // marked ok == false; its neighbours are unaffected.
   SweepMatrixResult Run(const ExperimentConfig& config, const MachineFactory& machine_factory,
                         const CellWorkloadFactory& workload_factory) const;
 

@@ -1,0 +1,573 @@
+#include "tools/benchdiff/benchdiff.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/ascii.h"
+
+namespace fsbench {
+namespace benchdiff {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the flat BENCH schema. Not a general parser: the
+// document must be an object whose "results" member is an array of flat
+// objects with string/number/bool values. Anything else is an error — the
+// emitters are ours, so strictness here catches emitter bugs too.
+// ---------------------------------------------------------------------------
+class Reader {
+ public:
+  Reader(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  bool ParseTop(BenchFile* out) {
+    SkipSpace();
+    if (!Expect('{')) {
+      return false;
+    }
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (Peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first && !Expect(',')) {
+        return false;
+      }
+      first = false;
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipSpace();
+      if (!Expect(':')) {
+        return false;
+      }
+      SkipSpace();
+      if (key == "results") {
+        if (!ParseResults(out)) {
+          return false;
+        }
+      } else {
+        Value value;
+        if (!ParseScalar(&value)) {
+          return false;
+        }
+        if (key == "schema" && value.kind == Value::Kind::kNumber) {
+          out->schema = static_cast<int>(value.number);
+        } else if (key == "bench" && value.kind == Value::Kind::kString) {
+          out->bench = value.text;
+        } else if (key == "seed" && value.kind == Value::Kind::kNumber) {
+          out->seed = static_cast<uint64_t>(value.number);
+        }
+      }
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after the top-level object");
+    }
+    return true;
+  }
+
+ private:
+  bool ParseResults(BenchFile* out) {
+    if (!Expect('[')) {
+      return false;
+    }
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      ResultRow row;
+      if (!ParseFlatObject(&row)) {
+        return false;
+      }
+      out->results.push_back(std::move(row));
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  bool ParseFlatObject(ResultRow* row) {
+    if (!Expect('{')) {
+      return false;
+    }
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      if (!first && !Expect(',')) {
+        return false;
+      }
+      first = false;
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipSpace();
+      if (!Expect(':')) {
+        return false;
+      }
+      SkipSpace();
+      Value value;
+      if (!ParseScalar(&value)) {
+        return false;
+      }
+      row->metrics.emplace_back(std::move(key), std::move(value));
+    }
+  }
+
+  bool ParseScalar(Value* out) {
+    const char c = Peek();
+    if (c == '"') {
+      out->kind = Value::Kind::kString;
+      return ParseString(&out->text);
+    }
+    if (c == 't' || c == 'f') {
+      out->kind = Value::Kind::kBool;
+      const char* word = c == 't' ? "true" : "false";
+      for (const char* p = word; *p != '\0'; ++p) {
+        if (Peek() != *p) {
+          return Fail("bad literal");
+        }
+        ++pos_;
+      }
+      out->boolean = c == 't';
+      return true;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      out->kind = Value::Kind::kNumber;
+      const size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+              text_[pos_] == 'e' || text_[pos_] == 'E')) {
+        ++pos_;
+      }
+      out->number = std::strtod(text_.c_str() + start, nullptr);
+      return true;
+    }
+    return Fail("expected a string, number or bool value");
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;  // the emitters only ever escape quotes and backslashes
+      }
+      out->push_back(text_[pos_]);
+      ++pos_;
+    }
+    return Expect('"');
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool Expect(char c) {
+    if (Peek() != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+// Numeric fields that name a sweep cell rather than measure it. `rate` and
+// `crash_op` are grid coordinates; `threads` is the scaling-sweep axis.
+bool IsIdentityKeyName(const std::string& name) {
+  return name == "threads" || name == "rate" || name == "crash_op";
+}
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// Higher-is-better rates and ratios: throughput, speedups, hit/contiguity
+// fractions, fill bandwidths.
+bool IsHigherBetterName(const std::string& name) {
+  return Contains(name, "ops_per_sec") || Contains(name, "ops_per_second") ||
+         Contains(name, "speedup") || Contains(name, "throughput") ||
+         Contains(name, "hit_ratio") || Contains(name, "contiguity") ||
+         Contains(name, "mib_per_s") || Contains(name, "bandwidth");
+}
+
+// Lower-is-better latencies and queueing costs. `_ms` catches the emitted
+// millisecond conversions (recovery_latency_ms, backoff_ms, p99_ms, ...).
+bool IsLowerBetterName(const std::string& name) {
+  return Contains(name, "latency") || Contains(name, "p99") || Contains(name, "p50") ||
+         Contains(name, "delay") || Contains(name, "backoff") || Contains(name, "_ms");
+}
+
+double RelChange(double baseline, double current) {
+  if (baseline == 0.0) {
+    return current == 0.0 ? 0.0 : (current > 0.0 ? 1.0 : -1.0);
+  }
+  return (current - baseline) / std::fabs(baseline);
+}
+
+const char* StatusName(DeltaStatus status) {
+  switch (status) {
+    case DeltaStatus::kUnchanged:
+      return "ok";
+    case DeltaStatus::kImproved:
+      return "improved";
+    case DeltaStatus::kRegressed:
+      return "REGRESSED";
+    case DeltaStatus::kMissingCell:
+      return "MISSING CELL";
+    case DeltaStatus::kMissingMetric:
+      return "MISSING METRIC";
+    case DeltaStatus::kNewCell:
+      return "new cell";
+    case DeltaStatus::kNewMetric:
+      return "new metric";
+  }
+  return "?";
+}
+
+const char* ClassName(MetricClass klass) {
+  switch (klass) {
+    case MetricClass::kIdentityKey:
+      return "key";
+    case MetricClass::kExactCount:
+      return "count";
+    case MetricClass::kHigherBetter:
+      return "higher";
+    case MetricClass::kLowerBetter:
+      return "lower";
+    case MetricClass::kExactValue:
+      return "exact";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool Value::SameAs(const Value& other) const {
+  if (kind != other.kind) {
+    return false;
+  }
+  switch (kind) {
+    case Kind::kNumber:
+      return number == other.number;
+    case Kind::kBool:
+      return boolean == other.boolean;
+    case Kind::kString:
+      return text == other.text;
+  }
+  return false;
+}
+
+std::string Value::Render() const {
+  switch (kind) {
+    case Kind::kNumber: {
+      // Integers render bare; everything else keeps enough digits to see a
+      // sub-tolerance wiggle.
+      if (number == std::floor(number) && std::fabs(number) < 1e15) {
+        return std::to_string(static_cast<long long>(number));
+      }
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.4g", number);
+      return buffer;
+    }
+    case Kind::kBool:
+      return boolean ? "true" : "false";
+    case Kind::kString:
+      return text;
+  }
+  return "";
+}
+
+std::string ResultRow::CellKey() const {
+  std::string key;
+  for (const auto& [name, value] : metrics) {
+    const bool is_key = value.kind == Value::Kind::kString ? true
+                        : value.kind == Value::Kind::kNumber ? IsIdentityKeyName(name)
+                                                             : false;
+    if (!is_key) {
+      continue;
+    }
+    if (!key.empty()) {
+      key += ' ';
+    }
+    if (value.kind == Value::Kind::kNumber) {
+      key += name + '=';
+    }
+    key += value.Render();
+  }
+  return key;
+}
+
+const Value* ResultRow::Find(const std::string& name) const {
+  for (const auto& [metric, value] : metrics) {
+    if (metric == name) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+bool ParseBenchFile(const std::string& json, BenchFile* out, std::string* error) {
+  *out = BenchFile{};
+  if (error != nullptr) {
+    error->clear();
+  }
+  Reader reader(json, error);
+  return reader.ParseTop(out);
+}
+
+bool LoadBenchFile(const std::string& path, BenchFile* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot read " + path;
+    }
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (!ParseBenchFile(text.str(), out, error)) {
+    if (error != nullptr) {
+      *error = path + ": " + *error;
+    }
+    return false;
+  }
+  return true;
+}
+
+MetricClass ClassifyMetric(const std::string& name, const Value& value) {
+  if (value.kind != Value::Kind::kNumber) {
+    return MetricClass::kExactValue;
+  }
+  if (IsIdentityKeyName(name)) {
+    return MetricClass::kIdentityKey;
+  }
+  if (IsHigherBetterName(name)) {
+    return MetricClass::kHigherBetter;
+  }
+  if (IsLowerBetterName(name)) {
+    return MetricClass::kLowerBetter;
+  }
+  // Everything numeric that is not a rate or a latency is a deterministic
+  // counter (ops, blocks, retries, queue depths, ...).
+  return MetricClass::kExactCount;
+}
+
+double ToleranceFor(MetricClass klass) {
+  switch (klass) {
+    case MetricClass::kIdentityKey:
+    case MetricClass::kExactValue:
+      return 0.0;
+    // The simulator is a pure function of (config, seed): counters that
+    // drift at all signal a behavior change. The 0.1% window only forgives
+    // last-digit formatting wobble in emitted decimals.
+    case MetricClass::kExactCount:
+      return 0.001;
+    // Derived rates move when any upstream count moves; 5% keeps the gate
+    // meaningful without tripping on legitimate small shifts.
+    case MetricClass::kHigherBetter:
+      return 0.05;
+    // Tail latencies are the noisiest derived quantity (percentile over a
+    // merged histogram): the loosest window.
+    case MetricClass::kLowerBetter:
+      return 0.10;
+  }
+  return 0.0;
+}
+
+DiffReport Diff(const BenchFile& baseline, const BenchFile& current) {
+  DiffReport report;
+  report.bench = baseline.bench;
+
+  if (baseline.seed != current.seed) {
+    Delta delta;
+    delta.cell = "(file)";
+    delta.metric = "seed";
+    delta.status = DeltaStatus::kRegressed;
+    delta.baseline = std::to_string(baseline.seed);
+    delta.current = std::to_string(current.seed);
+    report.deltas.push_back(std::move(delta));
+    ++report.regressions;
+    return report;  // different seeds: every further comparison is noise
+  }
+
+  // Index the current file's rows by cell key; a vector scan keeps insertion
+  // order deterministic (cell counts are tens, not thousands).
+  std::vector<bool> current_matched(current.results.size(), false);
+  for (const ResultRow& base_row : baseline.results) {
+    const std::string cell = base_row.CellKey();
+    const ResultRow* cur_row = nullptr;
+    for (size_t i = 0; i < current.results.size(); ++i) {
+      if (!current_matched[i] && current.results[i].CellKey() == cell) {
+        current_matched[i] = true;
+        cur_row = &current.results[i];
+        break;
+      }
+    }
+    if (cur_row == nullptr) {
+      Delta delta;
+      delta.cell = cell;
+      delta.metric = "(cell)";
+      delta.status = DeltaStatus::kMissingCell;
+      report.deltas.push_back(std::move(delta));
+      ++report.regressions;
+      continue;
+    }
+    ++report.cells_compared;
+
+    for (const auto& [name, base_value] : base_row.metrics) {
+      const MetricClass klass = ClassifyMetric(name, base_value);
+      if (klass == MetricClass::kIdentityKey ||
+          (base_value.kind == Value::Kind::kString)) {
+        continue;  // identity fields were already matched via the cell key
+      }
+      const Value* cur_value = cur_row->Find(name);
+      Delta delta;
+      delta.cell = cell;
+      delta.metric = name;
+      delta.klass = klass;
+      delta.baseline = base_value.Render();
+      if (cur_value == nullptr) {
+        delta.status = DeltaStatus::kMissingMetric;
+        report.deltas.push_back(std::move(delta));
+        ++report.regressions;
+        continue;
+      }
+      ++report.metrics_compared;
+      delta.current = cur_value->Render();
+
+      if (klass == MetricClass::kExactValue) {
+        if (!base_value.SameAs(*cur_value)) {
+          delta.status = DeltaStatus::kRegressed;
+          report.deltas.push_back(std::move(delta));
+          ++report.regressions;
+        }
+        continue;
+      }
+
+      const double tolerance = ToleranceFor(klass);
+      const double rel = RelChange(base_value.number, cur_value->number);
+      delta.rel_change = rel;
+      DeltaStatus status = DeltaStatus::kUnchanged;
+      if (klass == MetricClass::kHigherBetter) {
+        status = rel < -tolerance  ? DeltaStatus::kRegressed
+                 : rel > tolerance ? DeltaStatus::kImproved
+                                   : DeltaStatus::kUnchanged;
+      } else if (klass == MetricClass::kLowerBetter) {
+        status = rel > tolerance    ? DeltaStatus::kRegressed
+                 : rel < -tolerance ? DeltaStatus::kImproved
+                                    : DeltaStatus::kUnchanged;
+      } else {  // kExactCount: any drift beyond the window is a failure
+        status = std::fabs(rel) > tolerance ? DeltaStatus::kRegressed
+                                            : DeltaStatus::kUnchanged;
+      }
+      if (status == DeltaStatus::kUnchanged) {
+        continue;
+      }
+      delta.status = status;
+      report.deltas.push_back(std::move(delta));
+      if (status == DeltaStatus::kRegressed) {
+        ++report.regressions;
+      } else {
+        ++report.improvements;
+      }
+    }
+
+    // Metrics present only in the current file: fine (a new PR may add
+    // instrumentation), but worth a line so baselines get refreshed.
+    for (const auto& [name, cur_value] : cur_row->metrics) {
+      if (cur_value.kind == Value::Kind::kString ||
+          ClassifyMetric(name, cur_value) == MetricClass::kIdentityKey) {
+        continue;
+      }
+      if (base_row.Find(name) == nullptr) {
+        Delta delta;
+        delta.cell = cell;
+        delta.metric = name;
+        delta.klass = ClassifyMetric(name, cur_value);
+        delta.status = DeltaStatus::kNewMetric;
+        delta.current = cur_value.Render();
+        report.deltas.push_back(std::move(delta));
+        ++report.notes;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < current.results.size(); ++i) {
+    if (!current_matched[i]) {
+      Delta delta;
+      delta.cell = current.results[i].CellKey();
+      delta.metric = "(cell)";
+      delta.status = DeltaStatus::kNewCell;
+      report.deltas.push_back(std::move(delta));
+      ++report.notes;
+    }
+  }
+  return report;
+}
+
+std::string RenderReport(const DiffReport& report) {
+  std::string out = "benchdiff: " + report.bench + "\n";
+  if (!report.deltas.empty()) {
+    AsciiTable table;
+    table.SetHeader({"cell", "metric", "class", "baseline", "current", "delta", "status"});
+    for (const Delta& delta : report.deltas) {
+      const bool numeric = delta.status == DeltaStatus::kRegressed ||
+                           delta.status == DeltaStatus::kImproved;
+      table.AddRow({delta.cell, delta.metric, ClassName(delta.klass), delta.baseline,
+                    delta.current,
+                    numeric && delta.metric != "seed"
+                        ? FormatDouble(delta.rel_change * 100.0, 2) + "%"
+                        : "",
+                    StatusName(delta.status)});
+    }
+    out += table.Render() + "\n";
+  }
+  out += "compared " + std::to_string(report.cells_compared) + " cells / " +
+         std::to_string(report.metrics_compared) + " metrics: " +
+         std::to_string(report.regressions) + " regressed, " +
+         std::to_string(report.improvements) + " improved, " +
+         std::to_string(report.notes) + " notes\n";
+  out += report.Failed() ? "FAIL\n" : "PASS\n";
+  return out;
+}
+
+}  // namespace benchdiff
+}  // namespace fsbench

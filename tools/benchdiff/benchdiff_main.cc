@@ -1,0 +1,32 @@
+// CLI: benchdiff <baseline.json> <current.json>
+//
+// Exit codes: 0 = within tolerance (improvements and new cells allowed),
+// 1 = at least one regression, 2 = usage or parse error. The CI perf gate
+// loops this over every committed baseline.
+#include <cstdio>
+
+#include "tools/benchdiff/benchdiff.h"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <baseline.json> <current.json>\n", argv[0]);
+    return 2;
+  }
+  fsbench::benchdiff::BenchFile baseline;
+  fsbench::benchdiff::BenchFile current;
+  std::string error;
+  if (!fsbench::benchdiff::LoadBenchFile(argv[1], &baseline, &error) ||
+      !fsbench::benchdiff::LoadBenchFile(argv[2], &current, &error)) {
+    std::fprintf(stderr, "benchdiff: %s\n", error.c_str());
+    return 2;
+  }
+  if (baseline.bench != current.bench) {
+    std::fprintf(stderr, "benchdiff: bench mismatch: '%s' vs '%s'\n",
+                 baseline.bench.c_str(), current.bench.c_str());
+    return 2;
+  }
+  const fsbench::benchdiff::DiffReport report =
+      fsbench::benchdiff::Diff(baseline, current);
+  std::printf("%s", fsbench::benchdiff::RenderReport(report).c_str());
+  return report.Failed() ? 1 : 0;
+}

@@ -1,0 +1,201 @@
+// Unit tests for the benchdiff parser, metric classifier and diff engine:
+// the pass / regress / missing-metric / new-metric quartet the perf gate
+// depends on, plus the direction-aware tolerance edges.
+#include "tools/benchdiff/benchdiff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fsbench {
+namespace benchdiff {
+namespace {
+
+// A two-cell fault-sweep-shaped file; values chosen so tolerances are easy
+// to reason about (100.0 ops/s, 10.0 ms, 500 ops).
+std::string MakeFile(double ops, double p99_ms, long long count, const char* extra = "") {
+  std::string out = "{\n  \"schema\": 1,\n  \"bench\": \"unit\",\n  \"seed\": 1,\n"
+                    "  \"results\": [\n";
+  char row[512];
+  std::snprintf(row, sizeof(row),
+                "    {\"fs\": \"ext2\", \"rate\": 0.01, \"ops_per_second\": %.2f, "
+                "\"p99_ms\": %.3f, \"ops\": %lld, \"consistent\": true%s},\n",
+                ops, p99_ms, count, extra);
+  out += row;
+  out += "    {\"fs\": \"xfs\", \"rate\": 0.01, \"ops_per_second\": 200.00, "
+         "\"p99_ms\": 5.000, \"ops\": 900, \"consistent\": true}\n  ]\n}\n";
+  return out;
+}
+
+BenchFile Parse(const std::string& json) {
+  BenchFile file;
+  std::string error;
+  EXPECT_TRUE(ParseBenchFile(json, &file, &error)) << error;
+  return file;
+}
+
+TEST(ParseTest, ReadsFlatSchema) {
+  const BenchFile file = Parse(MakeFile(100.0, 10.0, 500));
+  EXPECT_EQ(file.schema, 1);
+  EXPECT_EQ(file.bench, "unit");
+  EXPECT_EQ(file.seed, 1u);
+  ASSERT_EQ(file.results.size(), 2u);
+  EXPECT_EQ(file.results[0].CellKey(), "ext2 rate=0.01");
+  const Value* ops = file.results[0].Find("ops_per_second");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_DOUBLE_EQ(ops->number, 100.0);
+  const Value* consistent = file.results[0].Find("consistent");
+  ASSERT_NE(consistent, nullptr);
+  EXPECT_TRUE(consistent->boolean);
+}
+
+TEST(ParseTest, RejectsMalformedInput) {
+  BenchFile file;
+  std::string error;
+  EXPECT_FALSE(ParseBenchFile("{\"bench\": }", &file, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseBenchFile("{} trailing", &file, &error));
+  EXPECT_FALSE(ParseBenchFile("{\"results\": [[1]]}", &file, &error));
+}
+
+TEST(ClassifyTest, NameBasedClasses) {
+  Value number;
+  number.kind = Value::Kind::kNumber;
+  EXPECT_EQ(ClassifyMetric("ops_per_second", number), MetricClass::kHigherBetter);
+  EXPECT_EQ(ClassifyMetric("agg_ops_per_sec", number), MetricClass::kHigherBetter);
+  EXPECT_EQ(ClassifyMetric("speedup_vs_1", number), MetricClass::kHigherBetter);
+  EXPECT_EQ(ClassifyMetric("p99_ms", number), MetricClass::kLowerBetter);
+  EXPECT_EQ(ClassifyMetric("mean_latency_us", number), MetricClass::kLowerBetter);
+  EXPECT_EQ(ClassifyMetric("sync_queue_delay_ms", number), MetricClass::kLowerBetter);
+  EXPECT_EQ(ClassifyMetric("ops", number), MetricClass::kExactCount);
+  EXPECT_EQ(ClassifyMetric("replay_log_blocks", number), MetricClass::kExactCount);
+  EXPECT_EQ(ClassifyMetric("threads", number), MetricClass::kIdentityKey);
+  EXPECT_EQ(ClassifyMetric("rate", number), MetricClass::kIdentityKey);
+  EXPECT_EQ(ClassifyMetric("crash_op", number), MetricClass::kIdentityKey);
+  Value flag;
+  flag.kind = Value::Kind::kBool;
+  EXPECT_EQ(ClassifyMetric("consistent", flag), MetricClass::kExactValue);
+}
+
+TEST(DiffTest, IdenticalFilesPass) {
+  const BenchFile base = Parse(MakeFile(100.0, 10.0, 500));
+  const DiffReport report = Diff(base, base);
+  EXPECT_FALSE(report.Failed());
+  EXPECT_EQ(report.regressions, 0u);
+  EXPECT_EQ(report.cells_compared, 2u);
+  EXPECT_TRUE(report.deltas.empty());
+}
+
+TEST(DiffTest, WithinToleranceWigglePasses) {
+  const BenchFile base = Parse(MakeFile(100.0, 10.0, 500));
+  // -4% ops/s (window 5%), +9% p99 (window 10%), count unchanged.
+  const BenchFile current = Parse(MakeFile(96.0, 10.9, 500));
+  const DiffReport report = Diff(base, current);
+  EXPECT_FALSE(report.Failed()) << RenderReport(report);
+}
+
+TEST(DiffTest, ThroughputDropRegresses) {
+  const BenchFile base = Parse(MakeFile(100.0, 10.0, 500));
+  const BenchFile current = Parse(MakeFile(90.0, 10.0, 500));  // -10% < -5%
+  const DiffReport report = Diff(base, current);
+  EXPECT_TRUE(report.Failed());
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_EQ(report.deltas[0].metric, "ops_per_second");
+  EXPECT_EQ(report.deltas[0].status, DeltaStatus::kRegressed);
+  EXPECT_NEAR(report.deltas[0].rel_change, -0.10, 1e-9);
+}
+
+TEST(DiffTest, ThroughputGainIsImprovementNotFailure) {
+  const BenchFile base = Parse(MakeFile(100.0, 10.0, 500));
+  const BenchFile current = Parse(MakeFile(120.0, 10.0, 500));
+  const DiffReport report = Diff(base, current);
+  EXPECT_FALSE(report.Failed());
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_EQ(report.deltas[0].status, DeltaStatus::kImproved);
+  EXPECT_EQ(report.improvements, 1u);
+}
+
+TEST(DiffTest, LatencyGrowthRegressesButDropImproves) {
+  const BenchFile base = Parse(MakeFile(100.0, 10.0, 500));
+  const DiffReport worse = Diff(base, Parse(MakeFile(100.0, 11.5, 500)));
+  EXPECT_TRUE(worse.Failed());
+  const DiffReport better = Diff(base, Parse(MakeFile(100.0, 8.0, 500)));
+  EXPECT_FALSE(better.Failed());
+  EXPECT_EQ(better.improvements, 1u);
+}
+
+TEST(DiffTest, CounterDriftRegressesEitherDirection) {
+  const BenchFile base = Parse(MakeFile(100.0, 10.0, 500));
+  EXPECT_TRUE(Diff(base, Parse(MakeFile(100.0, 10.0, 510))).Failed());
+  EXPECT_TRUE(Diff(base, Parse(MakeFile(100.0, 10.0, 490))).Failed());
+}
+
+TEST(DiffTest, BoolFlipRegresses) {
+  const BenchFile base = Parse(MakeFile(100.0, 10.0, 500));
+  BenchFile current = Parse(MakeFile(100.0, 10.0, 500));
+  for (auto& [name, value] : current.results[0].metrics) {
+    if (name == "consistent") {
+      value.boolean = false;
+    }
+  }
+  EXPECT_TRUE(Diff(base, current).Failed());
+}
+
+TEST(DiffTest, MissingMetricRegresses) {
+  // Baseline carries an extra metric the current file lost.
+  const BenchFile base = Parse(MakeFile(100.0, 10.0, 500, ", \"retries\": 7"));
+  const BenchFile current = Parse(MakeFile(100.0, 10.0, 500));
+  const DiffReport report = Diff(base, current);
+  EXPECT_TRUE(report.Failed());
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_EQ(report.deltas[0].metric, "retries");
+  EXPECT_EQ(report.deltas[0].status, DeltaStatus::kMissingMetric);
+}
+
+TEST(DiffTest, NewMetricIsNoteNotFailure) {
+  const BenchFile base = Parse(MakeFile(100.0, 10.0, 500));
+  const BenchFile current = Parse(MakeFile(100.0, 10.0, 500, ", \"retries\": 7"));
+  const DiffReport report = Diff(base, current);
+  EXPECT_FALSE(report.Failed());
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_EQ(report.deltas[0].status, DeltaStatus::kNewMetric);
+  EXPECT_EQ(report.notes, 1u);
+}
+
+TEST(DiffTest, MissingCellRegressesNewCellNotes) {
+  const BenchFile base = Parse(MakeFile(100.0, 10.0, 500));
+  BenchFile fewer = Parse(MakeFile(100.0, 10.0, 500));
+  fewer.results.pop_back();
+  const DiffReport missing = Diff(base, fewer);
+  EXPECT_TRUE(missing.Failed());
+  EXPECT_EQ(missing.deltas[0].status, DeltaStatus::kMissingCell);
+
+  const DiffReport extra = Diff(fewer, base);
+  EXPECT_FALSE(extra.Failed());
+  ASSERT_EQ(extra.deltas.size(), 1u);
+  EXPECT_EQ(extra.deltas[0].status, DeltaStatus::kNewCell);
+}
+
+TEST(DiffTest, SeedMismatchFailsImmediately) {
+  const BenchFile base = Parse(MakeFile(100.0, 10.0, 500));
+  BenchFile current = Parse(MakeFile(100.0, 10.0, 500));
+  current.seed = 2;
+  const DiffReport report = Diff(base, current);
+  EXPECT_TRUE(report.Failed());
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_EQ(report.deltas[0].metric, "seed");
+}
+
+TEST(RenderTest, ReportNamesVerdictAndDeltas) {
+  const BenchFile base = Parse(MakeFile(100.0, 10.0, 500));
+  const std::string pass = RenderReport(Diff(base, base));
+  EXPECT_NE(pass.find("PASS"), std::string::npos);
+  const std::string fail = RenderReport(Diff(base, Parse(MakeFile(90.0, 10.0, 500))));
+  EXPECT_NE(fail.find("FAIL"), std::string::npos);
+  EXPECT_NE(fail.find("ops_per_second"), std::string::npos);
+  EXPECT_NE(fail.find("-10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace benchdiff
+}  // namespace fsbench
