@@ -157,7 +157,7 @@ void BM_DiskModelRandomAccess(benchmark::State& state) {
   Rng rng(1);
   const uint64_t span = disk.total_sectors() / 8;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(disk.Access({IoKind::kRead, rng.NextBelow(span) * 8, 8}));
+    benchmark::DoNotOptimize(disk.AccessEx({IoKind::kRead, rng.NextBelow(span) * 8, 8}, 0));
   }
 }
 BENCHMARK(BM_DiskModelRandomAccess);

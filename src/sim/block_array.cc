@@ -255,7 +255,7 @@ void BlockArray::RebuildStep(size_t set_index, Nanos t) {
     return;
   }
   set.rebuild_yields = 0;
-  DiskModel* source_disk = all_[source]->disk();
+  DeviceModel* source_disk = all_[source]->disk();
   const uint64_t region_sectors = source_disk->region_sectors();
   // Resilver only regions that ever held data: copying 250 GB of untouched
   // sectors would make any rebuild window meaningless (allocated-only
@@ -299,7 +299,7 @@ void BlockArray::ScrubStep(Nanos t) {
   const size_t n = all_.size();
   for (size_t tries = 0; tries < n; ++tries) {
     const size_t d = scrub_device_;
-    DiskModel* disk = all_[d]->disk();
+    DeviceModel* disk = all_[d]->disk();
     // md pauses check/repair on a set that is degraded or resilvering: there
     // is no second copy to verify against (every detection would be
     // unrepairable) and the rebuild owns the set's spare bandwidth.
@@ -514,13 +514,16 @@ std::optional<Nanos> BlockArray::SubmitSync(const IoRequest& req, Nanos now) {
   return completion;
 }
 
-void BlockArray::SubmitAsync(const IoRequest& req, Nanos now) {
+Nanos BlockArray::SubmitAsync(const IoRequest& req, Nanos now) {
   AdvanceBackground(now);
   if (req.kind == IoKind::kRead) {
     ++summary_.reads;
   } else {
     ++summary_.writes;
   }
+  // The producer stalls for the slowest throttling member: a mirror write
+  // is not accepted until every replica's queue had room for it.
+  Nanos admit = now;
   MapRequest(req.lba, req.sector_count, &scratch_);
   for (const SubRange& sub : scratch_) {
     MirrorSet& set = sets_[sub.set];
@@ -534,7 +537,8 @@ void BlockArray::SubmitAsync(const IoRequest& req, Nanos now) {
       const size_t device = set.members[slot];
       NoteAccess(device, sub.lba, sub.count);
       read_cursor_[device] = sub.lba + sub.count;
-      all_[device]->SubmitAsync(IoRequest{IoKind::kRead, sub.lba, sub.count, req.meta}, now);
+      admit = std::max(admit, all_[device]->SubmitAsync(
+                                  IoRequest{IoKind::kRead, sub.lba, sub.count, req.meta}, now));
       continue;
     }
     const IoRequest sub_req{IoKind::kWrite, sub.lba, sub.count, req.meta};
@@ -544,13 +548,14 @@ void BlockArray::SubmitAsync(const IoRequest& req, Nanos now) {
       }
       const size_t device = set.members[slot];
       NoteAccess(device, sub.lba, sub.count);
-      all_[device]->SubmitAsync(sub_req, now);
+      admit = std::max(admit, all_[device]->SubmitAsync(sub_req, now));
     }
     if (set.rebuilding) {
       NoteAccess(set.rebuild_target, sub.lba, sub.count);
-      all_[set.rebuild_target]->SubmitAsync(sub_req, now);
+      admit = std::max(admit, all_[set.rebuild_target]->SubmitAsync(sub_req, now));
     }
   }
+  return admit;
 }
 
 Nanos BlockArray::Drain(Nanos now) {

@@ -79,6 +79,13 @@ struct ArrayConfig {
   // Place the journal on a dedicated device outside the array (the classic
   // separate-log-device configuration).
   bool journal_device = false;
+  // Per-device kind overrides, indexed over the machine's device order
+  // (data devices, then hot spares, then the dedicated journal device).
+  // Devices beyond the vector fall back to MachineConfig::device, so
+  // `{}` keeps a uniform fleet and e.g. a journal-on-flash config lists
+  // kinds only up to the journal slot. Mixed mirrors (SSD + HDD replicas)
+  // are how the replica-choice policy gets something to prefer.
+  std::vector<DeviceKind> device_kinds;
 
   bool enabled() const { return geometry != ArrayGeometry::kSingle; }
 };
@@ -116,7 +123,7 @@ class BlockArray : public BlockIo, public IoWriteErrorSink {
              std::vector<IoScheduler*> spares);
 
   std::optional<Nanos> SubmitSync(const IoRequest& req, Nanos now) override;
-  void SubmitAsync(const IoRequest& req, Nanos now) override;
+  Nanos SubmitAsync(const IoRequest& req, Nanos now) override;
   Nanos Drain(Nanos now) override;
 
   // IoWriteErrorSink (called by the per-device schedulers): absorbs replica

@@ -1,0 +1,148 @@
+#include "src/sim/device_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fsbench {
+
+DeviceModel::DeviceModel(uint64_t total_sectors) : total_sectors_(total_sectors) {
+  assert(total_sectors_ > 0);
+}
+
+void DeviceModel::EnableFaults(const FaultPlanConfig& config, uint64_t seed) {
+  fault_plan_.emplace(config, seed);
+  ConfigureSpares(config.region_sectors, config.spare_regions);
+}
+
+void DeviceModel::ConfigureSpares(uint64_t region_sectors, uint64_t spare_regions) {
+  region_sectors_ = region_sectors;
+  spare_regions_ = spare_regions;
+  assert(region_sectors_ > 0);
+  assert(spare_regions_ * region_sectors_ < total_sectors_);
+}
+
+bool DeviceModel::IsDead(Nanos now) {
+  if (dead_latched_) {
+    return true;
+  }
+  if (fault_plan_ && fault_plan_->DeviceDeadAt(now)) {
+    dead_latched_ = true;
+  }
+  return dead_latched_;
+}
+
+void DeviceModel::StartFaultClock(Nanos origin) {
+  if (fault_plan_.has_value()) {
+    fault_plan_->StartClock(origin);
+  }
+}
+
+bool DeviceModel::RegionLatentBad(uint64_t lba, Nanos now) const {
+  const uint64_t region = lba / region_sectors_;
+  if (remap_.count(region) != 0) {
+    return false;  // already repaired into the spare pool
+  }
+  if (fault_plan_ && fault_plan_->RegionIsBad(lba, now)) {
+    return true;
+  }
+  const uint64_t region_start = region * region_sectors_;
+  const uint64_t span = std::min(region_sectors_, total_sectors_ - region_start);
+  return OverlapsInjectedError(region_start, static_cast<uint32_t>(span));
+}
+
+bool DeviceModel::OverlapsInjectedError(uint64_t lba, uint32_t sector_count) const {
+  if (error_extents_.empty()) {
+    return false;
+  }
+  // Extents starting at or after lba + sector_count cannot overlap; extents
+  // starting more than max_error_extent_ sectors before lba cannot reach it.
+  const uint64_t scan_from = lba >= max_error_extent_ ? lba - max_error_extent_ + 1 : 0;
+  for (auto it = error_extents_.lower_bound(scan_from);
+       it != error_extents_.end() && it->first < lba + sector_count; ++it) {
+    if (it->first + it->second > lba) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t DeviceModel::RedirectLba(uint64_t lba, uint32_t sector_count, bool* remapped) const {
+  *remapped = false;
+  if (remap_.empty()) {
+    return lba;
+  }
+  const auto it = remap_.find(lba / region_sectors_);
+  if (it == remap_.end()) {
+    return lba;
+  }
+  *remapped = true;
+  uint64_t redirected = it->second + lba % region_sectors_;
+  if (redirected + sector_count > total_sectors_) {
+    redirected = total_sectors_ - sector_count;
+  }
+  return redirected;
+}
+
+FaultDecision DeviceModel::DecideFault(uint64_t lba, uint32_t sector_count, Nanos now,
+                                       bool remapped) {
+  FaultDecision decision;
+  if (fault_plan_) {
+    decision = fault_plan_->Evaluate(lba, now, remapped);
+  }
+  if (decision.kind == FaultKind::kNone && OverlapsInjectedError(lba, sector_count)) {
+    // Legacy injected extents behave like persistent media damage.
+    decision.kind = FaultKind::kPersistent;
+  }
+  return decision;
+}
+
+void DeviceModel::InjectError(uint64_t lba, uint32_t sector_count) {
+  assert(sector_count > 0);
+  uint64_t& span = error_extents_[lba];
+  span = std::max<uint64_t>(span, sector_count);
+  max_error_extent_ = std::max(max_error_extent_, sector_count);
+}
+
+void DeviceModel::ClearErrors() {
+  error_extents_.clear();
+  max_error_extent_ = 0;
+}
+
+bool DeviceModel::RemapRegion(uint64_t lba) {
+  if (dead_latched_) {
+    return false;  // nothing to remap to: the whole device is gone
+  }
+  const uint64_t region = lba / region_sectors_;
+  if (remap_.count(region) != 0) {
+    return true;
+  }
+  if (remap_.size() >= spare_regions_) {
+    return false;  // spares exhausted: the fault surfaces as EIO
+  }
+  // Spares are distributed across the LBA space (one slot at the end of each
+  // of spare_regions_ equal slices), like real drives' per-zone spare
+  // tracks: a remapped region keeps seeking near its original neighborhood
+  // instead of paying a full stroke to a pool at the top of the disk. The
+  // slot nearest the bad region wins; ties and collisions probe outward
+  // deterministically.
+  const uint64_t slice = total_sectors_ / spare_regions_;
+  const uint64_t preferred = std::min(lba / slice, spare_regions_ - 1);
+  uint64_t slot = spare_regions_;
+  uint64_t best_distance = ~0ULL;
+  for (uint64_t s = 0; s < spare_regions_; ++s) {
+    if (spare_slots_used_.count(s) != 0) {
+      continue;
+    }
+    const uint64_t distance = s > preferred ? s - preferred : preferred - s;
+    if (distance < best_distance) {
+      best_distance = distance;
+      slot = s;
+    }
+  }
+  spare_slots_used_.insert(slot);
+  const uint64_t spare_start = (slot + 1) * slice - region_sectors_;
+  remap_.emplace(region, spare_start);
+  return true;
+}
+
+}  // namespace fsbench

@@ -6,57 +6,16 @@
 
 namespace fsbench {
 
-DiskModel::DiskModel(const DiskParams& params, uint64_t seed) : params_(params), rng_(seed) {
+DiskModel::DiskModel(const DiskParams& params, uint64_t seed)
+    : DeviceModel(params.capacity / params.sector_bytes), params_(params), rng_(seed) {
   assert(params_.sector_bytes > 0);
   assert(params_.sectors_per_track > 0);
   assert(params_.tracks_per_cylinder > 0);
   assert(params_.rpm > 0);
-  total_sectors_ = params_.capacity / params_.sector_bytes;
   sectors_per_cylinder_ =
       static_cast<uint64_t>(params_.sectors_per_track) * params_.tracks_per_cylinder;
-  total_cylinders_ = std::max<uint64_t>(1, total_sectors_ / sectors_per_cylinder_);
+  total_cylinders_ = std::max<uint64_t>(1, total_sectors() / sectors_per_cylinder_);
   revolution_time_ = kSecond * 60 / params_.rpm;
-}
-
-void DiskModel::EnableFaults(const FaultPlanConfig& config, uint64_t seed) {
-  fault_plan_.emplace(config, seed);
-  ConfigureSpares(config.region_sectors, config.spare_regions);
-}
-
-void DiskModel::ConfigureSpares(uint64_t region_sectors, uint64_t spare_regions) {
-  region_sectors_ = region_sectors;
-  spare_regions_ = spare_regions;
-  assert(region_sectors_ > 0);
-  assert(spare_regions_ * region_sectors_ < total_sectors_);
-}
-
-bool DiskModel::IsDead(Nanos now) {
-  if (dead_latched_) {
-    return true;
-  }
-  if (fault_plan_ && fault_plan_->DeviceDeadAt(now)) {
-    dead_latched_ = true;
-  }
-  return dead_latched_;
-}
-
-void DiskModel::StartFaultClock(Nanos origin) {
-  if (fault_plan_.has_value()) {
-    fault_plan_->StartClock(origin);
-  }
-}
-
-bool DiskModel::RegionLatentBad(uint64_t lba, Nanos now) const {
-  const uint64_t region = lba / region_sectors_;
-  if (remap_.count(region) != 0) {
-    return false;  // already repaired into the spare pool
-  }
-  if (fault_plan_ && fault_plan_->RegionIsBad(lba, now)) {
-    return true;
-  }
-  const uint64_t region_start = region * region_sectors_;
-  const uint64_t span = std::min(region_sectors_, total_sectors_ - region_start);
-  return OverlapsInjectedError(region_start, static_cast<uint32_t>(span));
 }
 
 uint64_t DiskModel::CylinderOf(uint64_t lba) const { return lba / sectors_per_cylinder_; }
@@ -83,68 +42,30 @@ Nanos DiskModel::TransferTime(uint32_t sector_count) const {
   return static_cast<Nanos>(revs * static_cast<double>(revolution_time_));
 }
 
-bool DiskModel::OverlapsInjectedError(uint64_t lba, uint32_t sector_count) const {
-  if (error_extents_.empty()) {
-    return false;
-  }
-  // Extents starting at or after lba + sector_count cannot overlap; extents
-  // starting more than max_error_extent_ sectors before lba cannot reach it.
-  const uint64_t scan_from = lba >= max_error_extent_ ? lba - max_error_extent_ + 1 : 0;
-  for (auto it = error_extents_.lower_bound(scan_from);
-       it != error_extents_.end() && it->first < lba + sector_count; ++it) {
-    if (it->first + it->second > lba) {
-      return true;
-    }
-  }
-  return false;
-}
-
-std::optional<Nanos> DiskModel::Access(const IoRequest& req) {
-  return AccessEx(req, 0).service;
-}
-
 AccessResult DiskModel::AccessEx(const IoRequest& req, Nanos now) {
   assert(req.sector_count > 0);
-  assert(req.lba + req.sector_count <= total_sectors_);
+  assert(req.lba + req.sector_count <= total_sectors());
+  DiskStats& stats = mutable_stats();
 
   if (IsDead(now)) {
     // The device is gone: the command times out at the controller without
     // any mechanical work (there is no head to move). No RNG draws either,
     // so a killed device consumes nothing from the rotational stream.
-    ++stats_.errors;
+    ++stats.errors;
     AccessResult result;
     result.fault = FaultKind::kPersistent;
     result.fail_time = params_.command_overhead + params_.error_recovery_time;
-    stats_.total_fault_time += result.fail_time;
+    stats.total_fault_time += result.fail_time;
     has_last_ = false;
     return result;
   }
 
   // Redirect remapped regions to their spares before any fault check: the
   // damage lives at the original location, the spare serves cleanly.
-  uint64_t lba = req.lba;
   bool remapped = false;
-  if (!remap_.empty()) {
-    const auto it = remap_.find(req.lba / region_sectors_);
-    if (it != remap_.end()) {
-      lba = it->second + req.lba % region_sectors_;
-      remapped = true;
-      if (lba + req.sector_count > total_sectors_) {
-        // A request straddling the end of the last spare: clamp (pure timing
-        // model, no data lives at these addresses).
-        lba = total_sectors_ - req.sector_count;
-      }
-    }
-  }
+  const uint64_t lba = RedirectLba(req.lba, req.sector_count, &remapped);
 
-  FaultDecision decision;
-  if (fault_plan_) {
-    decision = fault_plan_->Evaluate(lba, now, remapped);
-  }
-  if (decision.kind == FaultKind::kNone && OverlapsInjectedError(lba, req.sector_count)) {
-    // Legacy injected extents behave like persistent media damage.
-    decision.kind = FaultKind::kPersistent;
-  }
+  const FaultDecision decision = DecideFault(lba, req.sector_count, now, remapped);
 
   AccessResult result;
   const uint64_t target_cylinder = CylinderOf(lba);
@@ -153,18 +74,18 @@ AccessResult DiskModel::AccessEx(const IoRequest& req, Nanos now) {
     // The attempt really happened: the head sought, the platter turned, the
     // transfer was attempted before ECC gave up. Charge that time and move
     // the head, but leave the buffer and transfer counters untouched.
-    ++stats_.errors;
+    ++stats.errors;
     const Nanos seek = SeekTime(head_cylinder_, target_cylinder);
     if (seek > 0) {
-      ++stats_.seeks;
+      ++stats.seeks;
     }
     const Nanos rotation =
         static_cast<Nanos>(rng_.NextDouble() * static_cast<double>(revolution_time_));
-    stats_.total_seek_time += seek;
-    stats_.total_rotation_time += rotation;
+    stats.total_seek_time += seek;
+    stats.total_rotation_time += rotation;
     result.fail_time = params_.command_overhead + seek + rotation +
                        TransferTime(req.sector_count) + params_.error_recovery_time;
-    stats_.total_fault_time += result.fail_time;
+    stats.total_fault_time += result.fail_time;
     result.fault = decision.kind;
     head_cylinder_ = target_cylinder;
     has_last_ = false;  // a failed attempt breaks any streaming run
@@ -180,7 +101,7 @@ AccessResult DiskModel::AccessEx(const IoRequest& req, Nanos now) {
 
   if (buffer_hit) {
     // Served from the on-drive buffer at interface speed; no mechanical work.
-    ++stats_.buffer_hits;
+    ++stats.buffer_hits;
     const double bytes = static_cast<double>(req.sector_count) * params_.sector_bytes;
     service += static_cast<Nanos>(bytes / static_cast<double>(params_.interface_rate) *
                                   static_cast<double>(kSecond));
@@ -188,22 +109,22 @@ AccessResult DiskModel::AccessEx(const IoRequest& req, Nanos now) {
     if (streaming && target_cylinder == head_cylinder_) {
       // Head is already positioned right after the previous request: pure
       // media transfer, no seek or rotational delay.
-      ++stats_.sequential_hits;
+      ++stats.sequential_hits;
     } else {
       const Nanos seek = SeekTime(head_cylinder_, target_cylinder);
       if (seek > 0) {
-        ++stats_.seeks;
+        ++stats.seeks;
       }
       // Rotational latency: uniform over a revolution.
       const Nanos rotation =
           static_cast<Nanos>(rng_.NextDouble() * static_cast<double>(revolution_time_));
       service += seek + rotation;
-      stats_.total_seek_time += seek;
-      stats_.total_rotation_time += rotation;
+      stats.total_seek_time += seek;
+      stats.total_rotation_time += rotation;
     }
     const Nanos transfer = TransferTime(req.sector_count);
     service += transfer;
-    stats_.total_transfer_time += transfer;
+    stats.total_transfer_time += transfer;
 
     if (req.kind == IoKind::kRead) {
       // The drive buffers the whole track(s) it just read over, up to the
@@ -229,68 +150,19 @@ AccessResult DiskModel::AccessEx(const IoRequest& req, Nanos now) {
   has_last_ = true;
 
   if (req.kind == IoKind::kRead) {
-    ++stats_.reads;
-    stats_.sectors_read += req.sector_count;
+    ++stats.reads;
+    stats.sectors_read += req.sector_count;
   } else {
-    ++stats_.writes;
-    stats_.sectors_written += req.sector_count;
+    ++stats.writes;
+    stats.sectors_written += req.sector_count;
     // Writes invalidate any overlapping buffered range.
     if (lba < buffer_end_lba_ && lba + req.sector_count > buffer_start_lba_) {
       buffer_start_lba_ = buffer_end_lba_ = 0;
     }
   }
-  stats_.total_service_time += service;
+  stats.total_service_time += service;
   result.service = service;
   return result;
-}
-
-void DiskModel::InjectError(uint64_t lba, uint32_t sector_count) {
-  assert(sector_count > 0);
-  uint64_t& span = error_extents_[lba];
-  span = std::max<uint64_t>(span, sector_count);
-  max_error_extent_ = std::max(max_error_extent_, sector_count);
-}
-
-void DiskModel::ClearErrors() {
-  error_extents_.clear();
-  max_error_extent_ = 0;
-}
-
-bool DiskModel::RemapRegion(uint64_t lba) {
-  if (dead_latched_) {
-    return false;  // nothing to remap to: the whole device is gone
-  }
-  const uint64_t region = lba / region_sectors_;
-  if (remap_.count(region) != 0) {
-    return true;
-  }
-  if (remap_.size() >= spare_regions_) {
-    return false;  // spares exhausted: the fault surfaces as EIO
-  }
-  // Spares are distributed across the LBA space (one slot at the end of each
-  // of spare_regions_ equal slices), like real drives' per-zone spare
-  // tracks: a remapped region keeps seeking near its original neighborhood
-  // instead of paying a full stroke to a pool at the top of the disk. The
-  // slot nearest the bad region wins; ties and collisions probe outward
-  // deterministically.
-  const uint64_t slice = total_sectors_ / spare_regions_;
-  const uint64_t preferred = std::min(lba / slice, spare_regions_ - 1);
-  uint64_t slot = spare_regions_;
-  uint64_t best_distance = ~0ULL;
-  for (uint64_t s = 0; s < spare_regions_; ++s) {
-    if (spare_slots_used_.count(s) != 0) {
-      continue;
-    }
-    const uint64_t distance = s > preferred ? s - preferred : preferred - s;
-    if (distance < best_distance) {
-      best_distance = distance;
-      slot = s;
-    }
-  }
-  spare_slots_used_.insert(slot);
-  const uint64_t spare_start = (slot + 1) * slice - region_sectors_;
-  remap_.emplace(region, spare_start);
-  return true;
 }
 
 }  // namespace fsbench

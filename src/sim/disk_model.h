@@ -9,29 +9,18 @@
 // owns queueing; the DiskModel itself is a pure service-time oracle plus
 // head-position state.
 //
-// Fault behavior comes from two sources evaluated per access attempt:
-//   - an optional seeded FaultPlan (EnableFaults) drawing transient /
-//     persistent / slow-I/O verdicts from (config, seed), and
-//   - the legacy injected-error extents (InjectError), which behave like
-//     persistent media damage over an explicit sector range.
-// A failed attempt still costs mechanical time (seek + rotation + transfer
-// of the doomed request) — the head really moved — returned as
+// Fault behavior (seeded FaultPlan, injected-error extents, spare-pool
+// remapping, the whole-device death latch) lives in the DeviceModel base —
+// see src/sim/device_model.h. What DiskModel adds is the mechanical cost
+// model: a failed attempt still costs mechanical time (seek + rotation +
+// transfer of the doomed request) — the head really moved — returned as
 // AccessResult::fail_time so the scheduler can charge the device timeline.
-// Persistent damage can be remapped region-by-region into a bounded spare
-// pool distributed across the LBA space like real drives' per-zone spare
-// tracks (RemapRegion); remapped requests are redirected before any fault
-// evaluation, so the spare region serves them cleanly from a nearby slice.
 #ifndef SRC_SIM_DISK_MODEL_H_
 #define SRC_SIM_DISK_MODEL_H_
 
 #include <cstdint>
-#include <map>
-#include <optional>
-#include <set>
-#include <unordered_map>
 
-#include "src/sim/fault_plan.h"
-#include "src/sim/types.h"
+#include "src/sim/device_model.h"
 #include "src/util/rng.h"
 #include "src/util/units.h"
 
@@ -67,113 +56,17 @@ struct DiskParams {
   Nanos error_recovery_time = 0;
 };
 
-// Operation kind for a single device request.
-enum class IoKind : uint8_t { kRead, kWrite };
-
-// One device request in file-system blocks' underlying sectors.
-struct IoRequest {
-  IoKind kind = IoKind::kRead;
-  uint64_t lba = 0;           // first sector
-  uint32_t sector_count = 0;  // must be > 0
-  // Metadata or journal-log payload: a permanent write failure on a meta
-  // request is what trips a journaled file system into remount-read-only.
-  bool meta = false;
-};
-
-// Cumulative counters; cheap to copy.
-struct DiskStats {
-  uint64_t reads = 0;
-  uint64_t writes = 0;
-  uint64_t sectors_read = 0;
-  uint64_t sectors_written = 0;
-  uint64_t seeks = 0;             // requests that moved the head
-  uint64_t buffer_hits = 0;       // served from the track buffer
-  uint64_t sequential_hits = 0;   // head already in position (streaming)
-  Nanos total_service_time = 0;
-  Nanos total_seek_time = 0;
-  Nanos total_rotation_time = 0;
-  Nanos total_transfer_time = 0;
-  // Faulted access attempts (any kind), cumulative for the device's life —
-  // ClearErrors() removes injected damage but never rewinds this counter.
-  uint64_t errors = 0;
-  // Mechanical time burned by failed attempts (not part of service time).
-  Nanos total_fault_time = 0;
-};
-
-// Outcome of one access attempt. Exactly one of `service` (success) or
-// `fault != kNone` (failure, with `fail_time` the device time consumed by
-// the doomed attempt) holds.
-struct AccessResult {
-  std::optional<Nanos> service;
-  FaultKind fault = FaultKind::kNone;
-  bool slow = false;     // completed but fault-plan slow-I/O multiplied it
-  Nanos fail_time = 0;   // device time consumed when fault != kNone
-};
-
-class DiskModel {
+class DiskModel : public DeviceModel {
  public:
   // `seed` drives rotational-latency sampling; two DiskModels with the same
   // seed and request sequence produce identical service times.
   DiskModel(const DiskParams& params, uint64_t seed);
 
-  // Attaches a seeded fault plan. `seed` feeds the plan's own RNG stream,
-  // kept separate from the rotational-latency stream so a disabled plan is
-  // byte-identical to no plan at all.
-  void EnableFaults(const FaultPlanConfig& config, uint64_t seed);
+  DeviceKind kind() const override { return DeviceKind::kHdd; }
 
-  // Sets the remap granularity and spare-pool size without attaching a
-  // plan, so spare accounting reflects the configured pool even when every
-  // fault rate is zero (EnableFaults applies the same override).
-  void ConfigureSpares(uint64_t region_sectors, uint64_t spare_regions);
-
-  // Arms the fault plan's deferred clock at `origin` (see
-  // FaultPlanConfig::deferred_clock). No-op without a plan or on an
-  // absolute-clock plan.
-  void StartFaultClock(Nanos origin);
-
-  // Whole-device failure (FaultPlanConfig::device_kill_time): true once
-  // `now` has reached the kill time on the plan's clock. The verdict
-  // latches — a device that has died stays dead for every later query
-  // regardless of `now` — so the array's lazy detection cannot resurrect it.
-  bool IsDead(Nanos now);
-  bool dead() const { return dead_latched_; }
-
-  // Whether the region containing `lba` is latent-bad as of `now` and not
-  // yet remapped: the scrub's detection probe. Pure query — no RNG draws, no
-  // stats, no head movement.
-  bool RegionLatentBad(uint64_t lba, Nanos now) const;
-
-  // Computes the outcome of `req` issued at virtual time `now` (consulted
-  // only by the fault plan's burst window): service time on success, fault
-  // kind + consumed device time on failure. Updates head position, buffer
-  // and statistics either way.
-  AccessResult AccessEx(const IoRequest& req, Nanos now);
-
-  // Legacy entry point: service time or std::nullopt on a fault. Identical
-  // to AccessEx but discards fault detail (and evaluates bursts at now=0).
-  std::optional<Nanos> Access(const IoRequest& req);
-
-  // Fault injection: any request overlapping [lba, lba + sector_count)
-  // fails until cleared or remapped. The default span is one file-system
-  // block (4 KiB), so legacy single-argument call sites poison the whole
-  // block they name rather than only its first sector.
-  void InjectError(uint64_t lba, uint32_t sector_count = 8);
-  // Removes injected damage. Deliberately does NOT reset DiskStats::errors:
-  // the counter is the device's lifetime error tally (like a SMART
-  // attribute), not a view of the currently-injected set.
-  void ClearErrors();
-
-  // Remaps the fault region containing `lba` into the spare pool. Returns
-  // true if the region is (now) remapped, false when spares are exhausted.
-  bool RemapRegion(uint64_t lba);
-  uint64_t remapped_regions() const { return remap_.size(); }
-  uint64_t spare_regions_left() const { return spare_regions_ - remap_.size(); }
-  uint64_t region_sectors() const { return region_sectors_; }
+  AccessResult AccessEx(const IoRequest& req, Nanos now) override;
 
   const DiskParams& params() const { return params_; }
-  const DiskStats& stats() const { return stats_; }
-  const FaultPlan* fault_plan() const { return fault_plan_ ? &*fault_plan_ : nullptr; }
-  uint64_t total_sectors() const { return total_sectors_; }
   uint64_t total_cylinders() const { return total_cylinders_; }
 
   // Exposed for tests: deterministic components of the model.
@@ -183,11 +76,8 @@ class DiskModel {
   Nanos revolution_time() const { return revolution_time_; }
 
  private:
-  bool OverlapsInjectedError(uint64_t lba, uint32_t sector_count) const;
-
   DiskParams params_;
   Rng rng_;
-  uint64_t total_sectors_;
   uint64_t sectors_per_cylinder_;
   uint64_t total_cylinders_;
   Nanos revolution_time_;
@@ -199,25 +89,6 @@ class DiskModel {
   // Track-buffer contents as an LBA range (last track(s) read).
   uint64_t buffer_start_lba_ = 0;
   uint64_t buffer_end_lba_ = 0;
-
-  // Injected persistent damage: start sector -> sector count.
-  std::map<uint64_t, uint64_t> error_extents_;
-  uint32_t max_error_extent_ = 0;  // longest injected extent, for overlap scans
-
-  std::optional<FaultPlan> fault_plan_;
-  // Whole-device death latch (see IsDead).
-  bool dead_latched_ = false;
-  // Remap granularity/spares; overridden by EnableFaults from the plan's
-  // config so plan regions and remap regions coincide.
-  uint64_t region_sectors_ = 2048;
-  uint64_t spare_regions_ = 64;
-  // Bad region index -> start sector of its spare. Lookup-only (never
-  // iterated), so hash order cannot leak into results.
-  std::unordered_map<uint64_t, uint64_t> remap_;
-  // Spare slots already handed out (index into the distributed spare slices).
-  std::set<uint64_t> spare_slots_used_;
-
-  DiskStats stats_;
 };
 
 }  // namespace fsbench

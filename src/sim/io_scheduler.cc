@@ -5,7 +5,28 @@
 
 namespace fsbench {
 
-IoScheduler::IoScheduler(DiskModel* disk, SchedulerKind kind) : disk_(disk), kind_(kind) {}
+IoScheduler::IoScheduler(DeviceModel* disk, SchedulerKind kind) : disk_(disk), kind_(kind) {
+  if (kind_ == SchedulerKind::kMultiQueue) {
+    channel_busy_.assign(disk_->channels(), 0);
+  }
+}
+
+Nanos IoScheduler::QueueStart(const IoRequest& req, Nanos now) const {
+  if (channel_busy_.empty()) {
+    return std::max(now, busy_until_);
+  }
+  return std::max(now, channel_busy_[disk_->ChannelOf(req.lba)]);
+}
+
+void IoScheduler::CommitDeviceEnd(const IoRequest& req, Nanos device_end) {
+  if (channel_busy_.empty()) {
+    busy_until_ = std::max(busy_until_, device_end);
+    return;
+  }
+  Nanos& channel = channel_busy_[disk_->ChannelOf(req.lba)];
+  channel = std::max(channel, device_end);
+  busy_until_ = std::max(busy_until_, channel);
+}
 
 void IoScheduler::RetireCompleted(Nanos now) {
   while (!inflight_.empty() && inflight_.front() <= now) {
@@ -75,8 +96,47 @@ void IoScheduler::NotifyFailure(const IoRequest& req, Nanos at) {
   }
 }
 
+void IoScheduler::ServicePendingMultiQueue(Nanos from) {
+  // Per-channel FIFO: requests dispatch in submission order, each against
+  // its own channel's timeline, so the async backlog spreads over every
+  // channel instead of serialising on one. The swap-out protects against
+  // re-entrant submissions exactly as in the single-queue pass.
+  std::vector<PendingRequest> batch;
+  batch.swap(pending_);
+  for (const PendingRequest& pending : batch) {
+    const IoRequest& req = pending.req;
+    const Nanos t =
+        std::max({QueueStart(req, from), pending.submitted});
+    if (dispatch_log_ != nullptr) {
+      dispatch_log_->push_back(req.lba);
+    }
+    Nanos end = t;
+    Nanos device_end = t;
+    const std::optional<Nanos> completion = AttemptWithRetry(req, t, &end, &device_end);
+    ++stats_.async_serviced;
+    CommitDeviceEnd(req, device_end);
+    if (!completion.has_value()) {
+      ++stats_.async_errors;
+      NotifyFailure(req, end);
+      continue;
+    }
+    AdmitInflight(*completion);
+    if (observer_ != nullptr) {
+      observer_->OnIoComplete(req, *completion, /*ok=*/true);
+    }
+  }
+  if (pending_.empty() && batch.capacity() > pending_.capacity()) {
+    batch.clear();
+    pending_.swap(batch);
+  }
+}
+
 void IoScheduler::ServicePending(Nanos from) {
   if (pending_.empty()) {
+    return;
+  }
+  if (kind_ == SchedulerKind::kMultiQueue) {
+    ServicePendingMultiQueue(from);
     return;
   }
   if (kind_ == SchedulerKind::kElevator) {
@@ -143,7 +203,7 @@ std::optional<Nanos> IoScheduler::SubmitSync(const IoRequest& req, Nanos now) {
   stats_.max_queue_depth =
       std::max(stats_.max_queue_depth, inflight_.size() + pending_.size() + 1);
   ServicePending(now);
-  const Nanos start = std::max(now, busy_until_);
+  const Nanos start = QueueStart(req, now);
   if (dispatch_log_ != nullptr) {
     dispatch_log_->push_back(req.lba);
   }
@@ -153,11 +213,11 @@ std::optional<Nanos> IoScheduler::SubmitSync(const IoRequest& req, Nanos now) {
   head_lba_ = req.lba + req.sector_count;
   if (!completion.has_value()) {
     ++stats_.sync_errors;
-    busy_until_ = std::max(busy_until_, device_end);  // the failed attempts burned device time
+    CommitDeviceEnd(req, device_end);  // the failed attempts burned device time
     NotifyFailure(req, end);
     return std::nullopt;
   }
-  busy_until_ = std::max(busy_until_, device_end);
+  CommitDeviceEnd(req, device_end);
   AdmitInflight(*completion);
   stats_.total_sync_wait += *completion - now;
   stats_.total_sync_queue_delay += start - now;
@@ -167,11 +227,34 @@ std::optional<Nanos> IoScheduler::SubmitSync(const IoRequest& req, Nanos now) {
   return *completion;
 }
 
-void IoScheduler::SubmitAsync(const IoRequest& req, Nanos now) {
+Nanos IoScheduler::SubmitAsync(const IoRequest& req, Nanos now) {
   ++stats_.async_requests;
   RetireCompleted(now);
   pending_.push_back(PendingRequest{req, now});
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, inflight_.size() + pending_.size());
+  if (pending_.size() < kMaxPendingAsync) {
+    return now;
+  }
+  // The queue is full: admit the backlog onto the device timeline(s) and
+  // throttle the producer until the device has a free moment. In
+  // kMultiQueue mode that is the earliest-idle channel (the device can
+  // accept new work as soon as any channel drains); single-queue devices
+  // wait out the whole timeline. The stall is the producer's to pay —
+  // that is the point: a writer outrunning the device must feel it.
+  ServicePending(now);
+  Nanos free_at = busy_until_;
+  if (!channel_busy_.empty()) {
+    free_at = channel_busy_[0];
+    for (const Nanos busy : channel_busy_) {
+      free_at = std::min(free_at, busy);
+    }
+  }
+  const Nanos admit = std::max(now, free_at);
+  if (admit > now) {
+    ++stats_.async_throttle_stalls;
+    stats_.total_async_throttle_time += admit - now;
+  }
+  return admit;
 }
 
 Nanos IoScheduler::Drain(Nanos now) {

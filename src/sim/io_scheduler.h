@@ -1,15 +1,24 @@
-// Request queueing in front of the DiskModel.
+// Request queueing in front of a DeviceModel.
 //
 // The scheduler owns the device timeline: it is deliberately *clockless* —
 // every entry point takes the caller's current virtual time explicitly, so N
 // simulated threads with independent clock cursors can share one device.
 // Synchronous requests (demand reads, fsync writes) start no earlier than
-// `busy_until()`, the absolute time the device finishes already-admitted
-// work; a thread whose cursor trails another thread's I/O therefore observes
-// real queueing delay. Asynchronous requests (readahead, writeback) only
-// occupy the device in the background and are serviced — in FIFO or elevator
-// (C-SCAN, ascending from the current head position with wrap-around) order —
-// before the next synchronous request or an explicit Drain().
+// the relevant busy-until timeline — the absolute time the device finishes
+// already-admitted work; a thread whose cursor trails another thread's I/O
+// therefore observes real queueing delay. Asynchronous requests (readahead,
+// writeback) only occupy the device in the background and are serviced — in
+// FIFO or elevator (C-SCAN, ascending from the current head position with
+// wrap-around) order — before the next synchronous request or an explicit
+// Drain().
+//
+// kMultiQueue is the NVMe-class mode: the scheduler keeps one busy-until
+// timeline per device channel (DeviceModel::channels()/ChannelOf), so
+// requests landing on distinct channels overlap in time and aggregate
+// throughput rises with queue depth until the channels saturate. There is
+// no elevator — flash has no head to spare a seek — so dispatch is FIFO
+// per channel. `busy_until()` stays the max over every channel (the stable
+// point and replica-choice consumers need the device-wide horizon).
 //
 // Queue-depth and wait accounting reflect the device's real outstanding
 // queue: admitted-but-not-yet-completed requests are tracked in a completion
@@ -32,12 +41,12 @@
 #include <optional>
 #include <vector>
 
-#include "src/sim/disk_model.h"
+#include "src/sim/device_model.h"
 #include "src/util/units.h"
 
 namespace fsbench {
 
-enum class SchedulerKind : uint8_t { kFifo, kElevator };
+enum class SchedulerKind : uint8_t { kFifo, kElevator, kMultiQueue };
 
 // Abstract block endpoint the upper layers (VFS, journal, TxnLog) issue
 // requests against. A single IoScheduler is the degenerate case; a
@@ -53,8 +62,11 @@ class BlockIo {
   virtual std::optional<Nanos> SubmitSync(const IoRequest& req, Nanos now) = 0;
 
   // Background request admitted at `now`; serviced before the next sync
-  // request or Drain().
-  virtual void SubmitAsync(const IoRequest& req, Nanos now) = 0;
+  // request or Drain(). Returns the time the submission was *accepted*
+  // (>= now): normally `now` itself, but a device whose background queue
+  // is full throttles the producer — the block layer's bounded request
+  // queue — and the caller must charge the returned stall to its clock.
+  virtual Nanos SubmitAsync(const IoRequest& req, Nanos now) = 0;
 
   // Services all queued background work; returns the time the device(s) go
   // idle (>= now).
@@ -112,11 +124,13 @@ struct IoSchedulerStats {
   Nanos total_sync_wait = 0;         // queueing delay + service for sync requests
   Nanos total_sync_queue_delay = 0;  // device-busy wait alone (start - submit)
   size_t max_queue_depth = 0;        // in-flight + queued async + the arriving request
+  uint64_t async_throttle_stalls = 0;   // submissions that hit the bounded queue
+  Nanos total_async_throttle_time = 0;  // producer stall charged by back-pressure
 };
 
 class IoScheduler : public BlockIo {
  public:
-  explicit IoScheduler(DiskModel* disk, SchedulerKind kind = SchedulerKind::kElevator);
+  explicit IoScheduler(DeviceModel* disk, SchedulerKind kind = SchedulerKind::kElevator);
 
   // Issues a synchronous request from a thread whose cursor reads `now`.
   // Pending async requests are serviced first (they were admitted before the
@@ -130,7 +144,16 @@ class IoScheduler : public BlockIo {
   // Drain(). The submission time is kept: a request never occupies the
   // device before it existed, even when a thread with an earlier cursor
   // triggers the service pass.
-  void SubmitAsync(const IoRequest& req, Nanos now) override;
+  //
+  // Back-pressure: the background queue is bounded (kMaxPendingAsync, the
+  // block layer's nr_requests). A submission that fills it forces a
+  // service pass and returns a stall — the producer waits until the device
+  // has a free moment (the earliest-idle channel in kMultiQueue mode, the
+  // device timeline otherwise). Without this, a producer outrunning the
+  // device builds an unbounded backlog whose cost lands as a convoy on
+  // whichever unlucky sync request arrives next, instead of on the
+  // producer that earned it.
+  Nanos SubmitAsync(const IoRequest& req, Nanos now) override;
 
   // Services all queued async requests. Returns the time the device goes
   // idle (>= now). Idempotent: with nothing pending it just reports the
@@ -138,14 +161,18 @@ class IoScheduler : public BlockIo {
   Nanos Drain(Nanos now) override;
 
   // Absolute virtual time until which the device is busy with already
-  // admitted work.
+  // admitted work (the max over every channel in kMultiQueue mode).
   Nanos busy_until() const { return busy_until_; }
+  // Per-channel timeline (kMultiQueue); busy_until() for single-queue kinds.
+  Nanos channel_busy_until(uint32_t channel) const {
+    return channel_busy_.empty() ? busy_until_ : channel_busy_[channel];
+  }
 
   size_t pending_async() const { return pending_.size(); }
   // Admitted requests not yet retired against the last observed time.
   size_t inflight() const { return inflight_.size(); }
   const IoSchedulerStats& stats() const { return stats_; }
-  DiskModel* disk() { return disk_; }
+  DeviceModel* disk() { return disk_; }
   SchedulerKind kind() const { return kind_; }
   const RetryPolicy& retry_policy() const { return policy_; }
   void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
@@ -159,6 +186,12 @@ class IoScheduler : public BlockIo {
 
   // Degraded-mode hook (see IoWriteErrorSink above).
   void set_write_error_sink(IoWriteErrorSink* sink) { error_sink_ = sink; }
+
+  // Bounded background queue (the block layer's nr_requests, scaled for a
+  // queue shared by writeback and readahead). Far above any backlog the
+  // HDD workloads build between sync requests — they drain constantly —
+  // so only a producer genuinely outrunning the device ever hits it.
+  static constexpr size_t kMaxPendingAsync = 1024;
 
  private:
   // Runs `req` through the retry/remap policy starting at `start`. On
@@ -177,6 +210,16 @@ class IoScheduler : public BlockIo {
 
   // Services pending async requests starting no earlier than `from`.
   void ServicePending(Nanos from);
+  // kMultiQueue variant: FIFO dispatch, each request onto its channel's
+  // timeline so distinct channels overlap.
+  void ServicePendingMultiQueue(Nanos from);
+
+  // Earliest start for a request arriving at `now`: the owning channel's
+  // timeline in kMultiQueue mode, the single device timeline otherwise.
+  Nanos QueueStart(const IoRequest& req, Nanos now) const;
+  // Credits the device time of a finished attempt back to the right
+  // timeline (channel + device-wide max, or just the device timeline).
+  void CommitDeviceEnd(const IoRequest& req, Nanos device_end);
 
   // Retires in-flight completions at or before `now`.
   void RetireCompleted(Nanos now);
@@ -189,10 +232,12 @@ class IoScheduler : public BlockIo {
     Nanos submitted = 0;  // service starts no earlier than this
   };
 
-  DiskModel* disk_;
+  DeviceModel* disk_;
   SchedulerKind kind_;
   RetryPolicy policy_;
   Nanos busy_until_ = 0;
+  // Per-channel busy-until timelines; non-empty only in kMultiQueue mode.
+  std::vector<Nanos> channel_busy_;
   // One past the last dispatched LBA: the elevator's head position.
   uint64_t head_lba_ = 0;
   std::vector<PendingRequest> pending_;

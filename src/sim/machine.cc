@@ -42,6 +42,24 @@ Machine::Machine(FsKind fs_kind, const MachineConfig& config)
   disk_params.command_overhead =
       static_cast<Nanos>(static_cast<double>(disk_params.command_overhead) * disk_scale);
 
+  // SSD devices share the chassis-wide speed jitter (applied to the flash
+  // latencies) and the file system's view of the capacity: the layout is
+  // built from config.disk.capacity whatever the device kind, so the device
+  // must expose the same LBA space. No RNG draws happen here — the draw
+  // order above is part of the (config, seed) contract.
+  SsdParams ssd_params = config_.ssd;
+  ssd_params.capacity = config_.disk.capacity;
+  ssd_params.read_latency =
+      static_cast<Nanos>(static_cast<double>(ssd_params.read_latency) * disk_scale);
+  ssd_params.program_latency =
+      static_cast<Nanos>(static_cast<double>(ssd_params.program_latency) * disk_scale);
+  ssd_params.erase_latency =
+      static_cast<Nanos>(static_cast<double>(ssd_params.erase_latency) * disk_scale);
+  ssd_params.command_overhead =
+      static_cast<Nanos>(static_cast<double>(ssd_params.command_overhead) * disk_scale);
+  jittered_disk_params_ = disk_params;
+  jittered_ssd_params_ = ssd_params;
+
   const double os_jitter = 2.0 * jitter_rng.NextDouble() - 1.0;
   const Bytes reserve = config_.os_reserved +
                         static_cast<Bytes>(static_cast<double>(config_.os_reserve_jitter) *
@@ -62,7 +80,18 @@ Machine::Machine(FsKind fs_kind, const MachineConfig& config)
       data_devices + spare_devices + (config_.array.journal_device ? 1 : 0);
   for (size_t d = 0; d < total_devices; ++d) {
     const uint64_t stride = 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(d);
-    auto disk = std::make_unique<DiskModel>(disk_params, config_.seed ^ 0xd15c0000ULL ^ stride);
+    const DeviceKind kind = d < config_.array.device_kinds.size()
+                                ? config_.array.device_kinds[d]
+                                : config_.device;
+    std::unique_ptr<DeviceModel> disk;
+    if (kind == DeviceKind::kSsd) {
+      // The SSD has no stream of its own (service time is a pure function of
+      // the request sequence); the rotational seed below is simply unused for
+      // it, which keeps HDD devices' derivations stable across mixed fleets.
+      disk = std::make_unique<SsdModel>(ssd_params);
+    } else {
+      disk = std::make_unique<DiskModel>(disk_params, config_.seed ^ 0xd15c0000ULL ^ stride);
+    }
     // Spare accounting always reflects the configured pool, even when every
     // fault rate is zero and no plan is attached (FaultSummary consistency).
     disk->ConfigureSpares(config_.faults.region_sectors, config_.faults.spare_regions);
@@ -75,7 +104,12 @@ Machine::Machine(FsKind fs_kind, const MachineConfig& config)
       }
       disk->EnableFaults(plan, config_.seed ^ 0xfa1c7000ULL ^ stride);
     }
-    auto scheduler = std::make_unique<IoScheduler>(disk.get(), config_.scheduler);
+    // Flash gets the multi-queue scheduler regardless of the configured kind:
+    // an elevator in front of a device with no head is pure loss, and the
+    // per-channel timelines are what make the channels pay off.
+    const SchedulerKind sched_kind =
+        kind == DeviceKind::kSsd ? SchedulerKind::kMultiQueue : config_.scheduler;
+    auto scheduler = std::make_unique<IoScheduler>(disk.get(), sched_kind);
     scheduler->set_retry_policy(config_.retry);
     disks_.push_back(std::move(disk));
     schedulers_.push_back(std::move(scheduler));
@@ -214,7 +248,7 @@ Nanos Machine::DrainAll(Nanos now) {
 
 DiskStats Machine::AggregateDiskStats() const {
   DiskStats total;
-  for (const std::unique_ptr<DiskModel>& disk : disks_) {
+  for (const std::unique_ptr<DeviceModel>& disk : disks_) {
     const DiskStats& s = disk->stats();
     total.reads += s.reads;
     total.writes += s.writes;
@@ -229,6 +263,9 @@ DiskStats Machine::AggregateDiskStats() const {
     total.total_transfer_time += s.total_transfer_time;
     total.errors += s.errors;
     total.total_fault_time += s.total_fault_time;
+    total.gc_page_moves += s.gc_page_moves;
+    total.gc_erases += s.gc_erases;
+    total.total_gc_time += s.total_gc_time;
   }
   return total;
 }
@@ -248,8 +285,17 @@ IoSchedulerStats Machine::AggregateSchedulerStats() const {
     total.total_sync_wait += s.total_sync_wait;
     total.total_sync_queue_delay += s.total_sync_queue_delay;
     total.max_queue_depth = std::max(total.max_queue_depth, s.max_queue_depth);
+    total.async_throttle_stalls += s.async_throttle_stalls;
+    total.total_async_throttle_time += s.total_async_throttle_time;
   }
   return total;
+}
+
+std::unique_ptr<DeviceModel> Machine::MakeRecoveryDevice(uint64_t seed) const {
+  if (device_kind(0) == DeviceKind::kSsd) {
+    return std::make_unique<SsdModel>(jittered_ssd_params_);
+  }
+  return std::make_unique<DiskModel>(jittered_disk_params_, seed);
 }
 
 void Machine::BindCursor(VirtualClock* cursor) {

@@ -19,6 +19,7 @@
 #include "src/sim/block_array.h"
 #include "src/sim/clock.h"
 #include "src/sim/disk_model.h"
+#include "src/sim/ssd_model.h"
 #include "src/sim/ext2fs.h"
 #include "src/sim/ext3fs.h"
 #include "src/sim/flash_tier.h"
@@ -36,6 +37,13 @@ struct MachineConfig {
   double cpu_jitter = 0.015;          // per-run uniform +- fraction
   double disk_speed_jitter = 0.05;    // per-run uniform +- fraction
   DiskParams disk;
+  // Default device kind for the whole fleet (per-device overrides live in
+  // ArrayConfig::device_kinds). kSsd builds SsdModel devices from `ssd`
+  // (capacity machine-managed: overridden with disk.capacity so the file
+  // system layout and the device always agree) behind kMultiQueue
+  // schedulers; kHdd keeps the historical DiskModel + `scheduler` stack.
+  DeviceKind device = DeviceKind::kHdd;
+  SsdParams ssd;
   FsLayoutParams layout;
   // Journal policy knobs. `block_sectors` is machine-managed: the machine
   // overrides it with the file system's sectors_per_block() at assembly so
@@ -104,13 +112,19 @@ class Machine {
   }
 
   // Device 0 (the only device of the classic single-disk stack).
-  DiskModel& disk() { return *disks_[0]; }
+  DeviceModel& disk() { return *disks_[0]; }
   IoScheduler& scheduler() { return *schedulers_[0]; }
   // Per-device access: data devices first, then hot spares, then the
   // dedicated journal device (when configured).
   size_t device_count() const { return disks_.size(); }
-  DiskModel& disk(size_t d) { return *disks_[d]; }
+  DeviceModel& disk(size_t d) { return *disks_[d]; }
   IoScheduler& scheduler(size_t d) { return *schedulers_[d]; }
+  DeviceKind device_kind(size_t d) const { return disks_[d]->kind(); }
+
+  // A standalone device with device 0's kind and per-run jittered
+  // parameters, for offline phases (mount-time recovery) that bill I/O
+  // against an otherwise idle drive.
+  std::unique_ptr<DeviceModel> MakeRecoveryDevice(uint64_t seed) const;
   // The redundancy layer; null when config.array is kSingle.
   BlockArray* array() { return array_.get(); }
   // The block endpoint the VFS issues against (array or device 0).
@@ -149,7 +163,11 @@ class Machine {
   MachineConfig config_;
   FsKind fs_kind_;
   VirtualClock clock_;
-  std::vector<std::unique_ptr<DiskModel>> disks_;
+  // Per-run jittered device parameters (MakeRecoveryDevice rebuilds a
+  // matching device from these).
+  DiskParams jittered_disk_params_;
+  SsdParams jittered_ssd_params_;
+  std::vector<std::unique_ptr<DeviceModel>> disks_;
   std::vector<std::unique_ptr<IoScheduler>> schedulers_;
   std::unique_ptr<BlockArray> array_;
   size_t journal_device_ = SIZE_MAX;  // index into disks_/schedulers_, or SIZE_MAX

@@ -12,13 +12,13 @@ namespace fsbench {
 
 namespace {
 
-// Mount-time recovery runs against an otherwise idle device: a fresh disk
-// model with the machine's (jittered) mechanical parameters accumulates the
-// service time of each recovery request.
+// Mount-time recovery runs against an otherwise idle device: a fresh device
+// model with the machine's (jittered) parameters accumulates the service
+// time of each recovery request on its own private timeline.
 class RecoveryDevice {
  public:
-  RecoveryDevice(const DiskParams& params, uint64_t seed, uint32_t sectors_per_block)
-      : disk_(params, seed), sectors_per_block_(sectors_per_block) {}
+  RecoveryDevice(std::unique_ptr<DeviceModel> device, uint32_t sectors_per_block)
+      : device_(std::move(device)), sectors_per_block_(sectors_per_block) {}
 
   void Read(BlockId block, uint64_t count) { Access(IoKind::kRead, block, count); }
   void Write(BlockId block, uint64_t count) { Access(IoKind::kWrite, block, count); }
@@ -45,12 +45,12 @@ class RecoveryDevice {
   void Access(IoKind kind, BlockId block, uint64_t count) {
     const IoRequest req{kind, block * sectors_per_block_,
                         static_cast<uint32_t>(count * sectors_per_block_)};
-    if (const auto service = disk_.Access(req); service.has_value()) {
-      elapsed_ += *service;
+    if (const auto result = device_->AccessEx(req, elapsed_); result.service.has_value()) {
+      elapsed_ += *result.service;
     }
   }
 
-  DiskModel disk_;
+  std::unique_ptr<DeviceModel> device_;
   uint32_t sectors_per_block_;
   Nanos elapsed_ = 0;
 };
@@ -82,7 +82,7 @@ CrashReport SimulateCrashRecovery(Machine& machine, Nanos crash_time, uint64_t o
   }
   report.volatile_blocks = shadow->VolatileCount(crash_time);
 
-  RecoveryDevice device(machine.disk().params(), machine.config().seed ^ 0x5ec07e11ULL,
+  RecoveryDevice device(machine.MakeRecoveryDevice(machine.config().seed ^ 0x5ec07e11ULL),
                         machine.fs().sectors_per_block());
 
   Journal* journal = machine.fs().journal();

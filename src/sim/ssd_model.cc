@@ -1,0 +1,236 @@
+#include "src/sim/ssd_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fsbench {
+
+SsdModel::SsdModel(const SsdParams& params)
+    : DeviceModel(params.capacity / params.sector_bytes), params_(params) {
+  assert(params_.sector_bytes > 0);
+  assert(params_.page_bytes >= params_.sector_bytes);
+  assert(params_.channels > 0);
+  assert(params_.pages_per_block > 0);
+  assert(params_.channel_xfer_rate > 0);
+  sectors_per_page_ = params_.page_bytes / params_.sector_bytes;
+  page_transfer_time_ = static_cast<Nanos>(static_cast<double>(params_.page_bytes) *
+                                           static_cast<double>(kSecond) /
+                                           static_cast<double>(params_.channel_xfer_rate));
+
+  // Physical geometry: each channel owns its logical share of pages plus the
+  // overprovisioned spare blocks GC breathes with, plus enough slack that
+  // the pool can sit at the GC trigger with both append streams open.
+  const uint64_t logical_pages =
+      (total_sectors() + sectors_per_page_ - 1) / sectors_per_page_;
+  const uint64_t pages_per_channel =
+      (logical_pages + params_.channels - 1) / params_.channels;
+  const uint64_t logical_blocks =
+      (pages_per_channel + params_.pages_per_block - 1) / params_.pages_per_block;
+  const uint64_t spare_blocks =
+      static_cast<uint64_t>(static_cast<double>(logical_blocks) * params_.overprovision) + 1;
+  blocks_per_channel_ = logical_blocks + spare_blocks + params_.gc_low_blocks + 2;
+
+  blocks_.resize(blocks_per_channel_ * params_.channels);
+  chans_.resize(params_.channels);
+  for (uint32_t ch = 0; ch < params_.channels; ++ch) {
+    Channel& c = chans_[ch];
+    c.free.reserve(blocks_per_channel_);
+    // Highest id first: pop_back hands out blocks in ascending id order.
+    const uint64_t base = static_cast<uint64_t>(ch) * blocks_per_channel_;
+    for (uint64_t i = blocks_per_channel_; i > 0; --i) {
+      c.free.push_back(base + i - 1);
+    }
+  }
+}
+
+uint64_t SsdModel::TakeFreeBlock(uint32_t channel) {
+  Channel& c = chans_[channel];
+  assert(!c.free.empty());
+  const uint64_t id = c.free.back();
+  c.free.pop_back();
+  blocks_[id].state = BlockState::kActive;
+  return id;
+}
+
+uint64_t SsdModel::PickVictim(uint32_t channel) const {
+  // Greedy victim: the sealed block with the fewest valid pages; ties to
+  // the lowest id. O(blocks per channel), only paid when the pool is low.
+  const uint64_t base = static_cast<uint64_t>(channel) * blocks_per_channel_;
+  uint64_t best = kNoBlock;
+  uint32_t best_valid = ~0u;
+  for (uint64_t i = 0; i < blocks_per_channel_; ++i) {
+    const Block& b = blocks_[base + i];
+    if (b.state != BlockState::kSealed) {
+      continue;
+    }
+    if (b.valid < best_valid) {
+      best_valid = b.valid;
+      best = base + i;
+    }
+  }
+  return best;
+}
+
+void SsdModel::InvalidatePpn(uint64_t ppn) {
+  Block& b = blocks_[ppn / params_.pages_per_block];
+  assert(b.valid > 0);
+  b.owner[ppn % params_.pages_per_block] = kInvalidLpn;
+  --b.valid;
+}
+
+uint64_t SsdModel::AllocPage(uint32_t channel, bool for_gc, Nanos* gc_cost) {
+  Channel& c = chans_[channel];
+  uint64_t& active = for_gc ? c.gc_active : c.host_active;
+  if (active != kNoBlock && blocks_[active].written == params_.pages_per_block) {
+    blocks_[active].state = BlockState::kSealed;
+    active = kNoBlock;
+  }
+  if (active == kNoBlock) {
+    if (!for_gc) {
+      // Reclaim before taking a fresh block so the pool never runs dry; the
+      // GC stream itself draws straight from the pool (each victim it burns
+      // a block on frees at least that block back).
+      CollectGarbage(channel, gc_cost);
+    }
+    active = TakeFreeBlock(channel);
+  }
+  Block& b = blocks_[active];
+  if (b.owner.empty()) {
+    b.owner.assign(params_.pages_per_block, kInvalidLpn);
+  }
+  return active * params_.pages_per_block + b.written++;
+}
+
+void SsdModel::CollectGarbage(uint32_t channel, Nanos* gc_cost) {
+  Channel& c = chans_[channel];
+  DiskStats& stats = mutable_stats();
+  // Each round erases exactly one victim; the guard bounds a pathological
+  // all-valid device (which cannot be reclaimed anyway).
+  for (uint32_t round = 0; c.free.size() <= params_.gc_low_blocks && round < 64; ++round) {
+    const uint64_t victim = PickVictim(channel);
+    if (victim == kNoBlock) {
+      return;
+    }
+    Block& vb = blocks_[victim];
+    if (vb.valid >= params_.pages_per_block) {
+      return;  // nothing dead anywhere: relocating cannot gain space
+    }
+    for (uint32_t i = 0; i < vb.written; ++i) {
+      const uint64_t lpn = vb.owner[i];
+      if (lpn == kInvalidLpn) {
+        continue;
+      }
+      // Relocation: read the live page, program it into the GC stream.
+      *gc_cost += params_.read_latency + params_.program_latency;
+      ++stats.gc_page_moves;
+      const uint64_t ppn = AllocPage(channel, /*for_gc=*/true, gc_cost);
+      Block& nb = blocks_[ppn / params_.pages_per_block];
+      nb.owner[ppn % params_.pages_per_block] = lpn;
+      ++nb.valid;
+      page_map_[lpn] = ppn;
+    }
+    vb.valid = 0;
+    vb.written = 0;
+    std::fill(vb.owner.begin(), vb.owner.end(), kInvalidLpn);
+    vb.state = BlockState::kFree;
+    *gc_cost += params_.erase_latency;
+    ++stats.gc_erases;
+    c.free.push_back(victim);
+  }
+}
+
+Nanos SsdModel::WritePage(uint64_t lpn) {
+  Nanos gc_cost = 0;
+  const auto it = page_map_.find(lpn);
+  if (it != page_map_.end()) {
+    InvalidatePpn(it->second);
+  }
+  const uint32_t ch = static_cast<uint32_t>(lpn % params_.channels);
+  const uint64_t ppn = AllocPage(ch, /*for_gc=*/false, &gc_cost);
+  Block& b = blocks_[ppn / params_.pages_per_block];
+  b.owner[ppn % params_.pages_per_block] = lpn;
+  ++b.valid;
+  page_map_[lpn] = ppn;
+  return gc_cost;
+}
+
+AccessResult SsdModel::AccessEx(const IoRequest& req, Nanos now) {
+  assert(req.sector_count > 0);
+  assert(req.lba + req.sector_count <= total_sectors());
+  DiskStats& stats = mutable_stats();
+
+  if (IsDead(now)) {
+    // The controller is gone: the command times out without touching the
+    // media, exactly as on the rotational model.
+    ++stats.errors;
+    AccessResult result;
+    result.fault = FaultKind::kPersistent;
+    result.fail_time = params_.command_overhead + params_.error_recovery_time;
+    stats.total_fault_time += result.fail_time;
+    return result;
+  }
+
+  // Redirect remapped regions to their spares before any fault check: the
+  // damage lives at the original location, the spare serves cleanly.
+  bool remapped = false;
+  const uint64_t lba = RedirectLba(req.lba, req.sector_count, &remapped);
+
+  const FaultDecision decision = DecideFault(lba, req.sector_count, now, remapped);
+
+  // Pages stripe round-robin over the channels, so an N-page request's
+  // transfer cost is the busiest channel's share.
+  const uint64_t first_page = lba / sectors_per_page_;
+  const uint64_t last_page = (lba + req.sector_count - 1) / sectors_per_page_;
+  const uint64_t pages = last_page - first_page + 1;
+  const uint64_t per_channel_pages = (pages + params_.channels - 1) / params_.channels;
+  const Nanos transfer = static_cast<Nanos>(per_channel_pages) * page_transfer_time_;
+  const Nanos media =
+      req.kind == IoKind::kRead ? params_.read_latency : params_.program_latency;
+
+  AccessResult result;
+  if (decision.kind != FaultKind::kNone) {
+    // The attempt consumed controller, media and transfer time before ECC
+    // gave up; the FTL is untouched (the program never completed).
+    ++stats.errors;
+    result.fail_time =
+        params_.command_overhead + media + transfer + params_.error_recovery_time;
+    stats.total_fault_time += result.fail_time;
+    result.fault = decision.kind;
+    return result;
+  }
+
+  Nanos service = params_.command_overhead + media + transfer;
+  stats.total_transfer_time += transfer;
+
+  if (req.kind == IoKind::kWrite) {
+    // Map every logical page through the FTL; reclaim stalls (read +
+    // program per relocated page, plus the erase) charge the host write
+    // that triggered them — write amplification as foreground latency.
+    Nanos gc_time = 0;
+    for (uint64_t p = first_page; p <= last_page; ++p) {
+      gc_time += WritePage(p);
+    }
+    service += gc_time;
+    stats.total_gc_time += gc_time;
+  }
+
+  if (decision.slow) {
+    // Slow-I/O fault: completes, but read-retry sweeps multiply the whole
+    // service time (tail-latency class), as on the rotational model.
+    service = static_cast<Nanos>(static_cast<double>(service) * decision.slow_multiplier);
+    result.slow = true;
+  }
+
+  if (req.kind == IoKind::kRead) {
+    ++stats.reads;
+    stats.sectors_read += req.sector_count;
+  } else {
+    ++stats.writes;
+    stats.sectors_written += req.sector_count;
+  }
+  stats.total_service_time += service;
+  result.service = service;
+  return result;
+}
+
+}  // namespace fsbench

@@ -100,7 +100,8 @@ Nanos TxnLog::WriteChunk(const MetaRef* refs, uint64_t count, bool sync) {
         completion = *done;
       }
     } else {
-      io_->SubmitAsync(req, clock_->now());
+      // A full device queue stalls the committing thread like any producer.
+      clock_->AdvanceTo(io_->SubmitAsync(req, clock_->now()));
     }
   }
   TxnRecord record;

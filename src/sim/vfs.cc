@@ -80,9 +80,12 @@ void Vfs::HandleEvictions(const PageCache::EvictedBatch& evicted) {
   Journal* journal = fs_->journal();
   for (const PageCache::Evicted& page : evicted) {
     if (page.dirty && page.block != kInvalidBlock) {
-      io_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
-                                        fs_->sectors_per_block(), page.key.ino == kMetaInode},
-                              clock_->now());
+      // A full device queue throttles the evicting thread (dirty-page
+      // balancing): the stall is charged to whoever forced the eviction.
+      clock_->AdvanceTo(io_->SubmitAsync(
+          IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
+                    fs_->sectors_per_block(), page.key.ino == kMetaInode},
+          clock_->now()));
       ++stats_.writeback_pages;
       if (journal != nullptr) {
         journal->NoteHomeWrite(page.block);
@@ -160,9 +163,10 @@ void Vfs::SubmitWritebackBatch(std::vector<PageCache::Evicted>& batch) {
     if (page.block == kInvalidBlock) {
       continue;
     }
-    io_->SubmitAsync(IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
-                                      fs_->sectors_per_block(), page.key.ino == kMetaInode},
-                            clock_->now());
+    clock_->AdvanceTo(io_->SubmitAsync(
+        IoRequest{IoKind::kWrite, page.block * fs_->sectors_per_block(),
+                  fs_->sectors_per_block(), page.key.ino == kMetaInode},
+        clock_->now()));
     ++stats_.writeback_pages;
     if (journal != nullptr) {
       journal->NoteHomeWrite(page.block);
@@ -329,9 +333,11 @@ void Vfs::IssueReadahead(OpenFile& file, uint64_t index, uint32_t pages) {
   uint32_t run_len = 0;
   auto flush_run = [&] {
     if (run_len > 0) {
-      io_->SubmitAsync(IoRequest{IoKind::kRead, run_start * fs_->sectors_per_block(),
-                                        run_len * fs_->sectors_per_block()},
-                              clock_->now());
+      // Readahead is throttled by the same bounded queue as writeback.
+      clock_->AdvanceTo(io_->SubmitAsync(
+          IoRequest{IoKind::kRead, run_start * fs_->sectors_per_block(),
+                    run_len * fs_->sectors_per_block()},
+          clock_->now()));
       run_start = kInvalidBlock;
       run_len = 0;
     }

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/sim/disk_model.h"
 #include "src/sim/machine.h"
 
 namespace fsbench {

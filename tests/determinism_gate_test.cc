@@ -96,6 +96,9 @@ void DigestDiskStats(Digest& d, const DiskStats& s) {
   d.I64(s.total_transfer_time);
   d.U64(s.errors);
   d.I64(s.total_fault_time);
+  d.U64(s.gc_page_moves);
+  d.U64(s.gc_erases);
+  d.I64(s.total_gc_time);
 }
 
 void DigestSchedulerStats(Digest& d, const IoSchedulerStats& s) {
@@ -110,6 +113,8 @@ void DigestSchedulerStats(Digest& d, const IoSchedulerStats& s) {
   d.I64(s.total_sync_wait);
   d.I64(s.total_sync_queue_delay);
   d.U64(s.max_queue_depth);
+  d.U64(s.async_throttle_stalls);
+  d.I64(s.total_async_throttle_time);
 }
 
 void DigestFaultSummary(Digest& d, const FaultSummary& f) {
@@ -387,6 +392,86 @@ TEST_P(DeterminismGate, DegradedArrayRunTwiceBitIdenticalDigest) {
     EXPECT_EQ(run.array.rebuilds_started, 1u);
     EXPECT_GT(run.array.scrub_regions_scanned, 0u);
     EXPECT_EQ(run.per_thread_ops.size(), 4u);
+  }
+  ASSERT_GE(first.runs.size(), 2u);
+  EXPECT_NE(DigestRunResult(first.runs[0]), DigestRunResult(first.runs[1]));
+}
+
+// The multi-queue SSD under the canonical gate scenario: 4 threads of
+// fsync-heavy postmark, crash at op 600, replay check on — against the
+// flash device (per-channel FIFO scheduling, FTL page mapping, recovery
+// replay on an SSD recovery device). The FTL has no RNG of its own, so
+// the digest pins it to being a pure function of the request sequence.
+TEST_P(DeterminismGate, SsdRunTwiceBitIdenticalDigest) {
+  const ExperimentConfig config = GateConfig();
+  const FsKind kind = GetParam();
+  const MachineFactory machines = [kind](uint64_t seed) {
+    MachineConfig machine_config;
+    machine_config.ram = 110 * kMiB;
+    machine_config.os_reserved = 102 * kMiB;
+    machine_config.device = DeviceKind::kSsd;
+    machine_config.seed = seed;
+    return std::make_unique<Machine>(kind, machine_config);
+  };
+
+  const ExperimentResult first = Experiment(config).Run(machines, GateWorkload());
+  const ExperimentResult second = Experiment(config).Run(machines, GateWorkload());
+
+  ASSERT_EQ(first.runs.size(), second.runs.size());
+  for (size_t i = 0; i < first.runs.size(); ++i) {
+    EXPECT_EQ(DigestRunResult(first.runs[i]), DigestRunResult(second.runs[i]))
+        << "SSD run " << i << " digest diverged — the FTL is not request-pure";
+  }
+  for (const RunResult& run : first.runs) {
+    ASSERT_TRUE(run.crash_report.has_value());
+    EXPECT_TRUE(run.crash_report->recovered_consistent);
+    EXPECT_EQ(run.per_thread_ops.size(), 4u);
+  }
+  ASSERT_GE(first.runs.size(), 2u);
+  EXPECT_NE(DigestRunResult(first.runs[0]), DigestRunResult(first.runs[1]));
+}
+
+// A mixed mirror — flash primary, spinning secondary — under faults, a
+// mid-run device kill, hot-spare rebuild and background scrub. Replica
+// selection now picks between devices with wildly different service
+// times; the digest pins that choice (and the rebuild/scrub interleaving
+// against the multi-queue device) to (config, seed).
+TEST_P(DeterminismGate, SsdMirrorRunTwiceBitIdenticalDigest) {
+  ExperimentConfig config = GateConfig();
+  config.crash.reset();
+  config.continue_on_error = true;
+  const FsKind kind = GetParam();
+  const MachineFactory machines = [kind](uint64_t seed) {
+    MachineConfig machine_config;
+    machine_config.ram = 110 * kMiB;
+    machine_config.os_reserved = 102 * kMiB;
+    machine_config.seed = seed;
+    machine_config.faults.transient_rate = 0.02;
+    machine_config.faults.persistent_rate = 0.01;
+    machine_config.faults.region_sectors = 256;
+    machine_config.faults.device_kill_time = 20 * kSecond;
+    machine_config.retry = RetryPolicy{4, FromMillis(0.2), 2.0, /*remap=*/true};
+    machine_config.array.geometry = ArrayGeometry::kMirror;
+    machine_config.array.devices = 2;
+    machine_config.array.hot_spares = 1;
+    machine_config.array.scrub = true;
+    machine_config.array.device_kinds = {DeviceKind::kSsd, DeviceKind::kHdd};
+    return std::make_unique<Machine>(kind, machine_config);
+  };
+
+  const ExperimentResult first = Experiment(config).Run(machines, GateWorkload());
+  const ExperimentResult second = Experiment(config).Run(machines, GateWorkload());
+
+  ASSERT_EQ(first.runs.size(), second.runs.size());
+  for (size_t i = 0; i < first.runs.size(); ++i) {
+    EXPECT_EQ(DigestRunResult(first.runs[i]), DigestRunResult(second.runs[i]))
+        << "SSD-mirror run " << i << " digest diverged";
+  }
+  for (const RunResult& run : first.runs) {
+    EXPECT_EQ(run.array.devices, 3u);
+    EXPECT_EQ(run.array.device_failures, 1u);
+    EXPECT_EQ(run.array.rebuilds_started, 1u);
+    EXPECT_GT(run.array.scrub_regions_scanned, 0u);
   }
   ASSERT_GE(first.runs.size(), 2u);
   EXPECT_NE(DigestRunResult(first.runs[0]), DigestRunResult(first.runs[1]));

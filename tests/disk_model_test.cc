@@ -10,6 +10,13 @@ DiskParams TestParams() {
   return params;
 }
 
+// These unit tests exercise the mechanical model in isolation: every request
+// is issued at now = 0 against a fault-free disk, so only the service value
+// of AccessEx matters.
+std::optional<Nanos> Access(DiskModel& disk, const IoRequest& req) {
+  return disk.AccessEx(req, 0).service;
+}
+
 TEST(DiskModelTest, GeometryDerivation) {
   DiskModel disk(TestParams(), 1);
   EXPECT_EQ(disk.total_sectors(), TestParams().capacity / 512);
@@ -51,9 +58,9 @@ TEST(DiskModelTest, SequentialStreamingSkipsSeekAndRotation) {
   DiskModel disk(TestParams(), 1);
   const uint64_t lba = disk.total_sectors() / 2;
   // Position the head.
-  ASSERT_TRUE(disk.Access({IoKind::kRead, lba, 8}).has_value());
+  ASSERT_TRUE(Access(disk,{IoKind::kRead, lba, 8}).has_value());
   // Streaming continuation should cost roughly command + transfer only.
-  const auto streaming = disk.Access({IoKind::kWrite, lba + 8, 8});
+  const auto streaming = Access(disk,{IoKind::kWrite, lba + 8, 8});
   ASSERT_TRUE(streaming.has_value());
   EXPECT_LT(*streaming, TestParams().command_overhead + disk.TransferTime(8) + 100000);
   EXPECT_GE(disk.stats().sequential_hits, 1u);
@@ -63,8 +70,8 @@ TEST(DiskModelTest, RandomAccessCostsMechanicalTime) {
   DiskModel disk(TestParams(), 1);
   const uint64_t far_a = disk.total_sectors() / 10;
   const uint64_t far_b = disk.total_sectors() / 2;
-  ASSERT_TRUE(disk.Access({IoKind::kRead, far_a, 8}).has_value());
-  const auto random = disk.Access({IoKind::kRead, far_b, 8});
+  ASSERT_TRUE(Access(disk,{IoKind::kRead, far_a, 8}).has_value());
+  const auto random = Access(disk,{IoKind::kRead, far_b, 8});
   ASSERT_TRUE(random.has_value());
   // Must include a multi-ms seek.
   EXPECT_GT(*random, FromMillis(2.0));
@@ -73,9 +80,9 @@ TEST(DiskModelTest, RandomAccessCostsMechanicalTime) {
 TEST(DiskModelTest, TrackBufferHitIsFast) {
   DiskModel disk(TestParams(), 1);
   const uint64_t lba = disk.total_sectors() / 3;
-  ASSERT_TRUE(disk.Access({IoKind::kRead, lba, 8}).has_value());
+  ASSERT_TRUE(Access(disk,{IoKind::kRead, lba, 8}).has_value());
   // Re-reading the same sectors hits the track buffer.
-  const auto hit = disk.Access({IoKind::kRead, lba, 8});
+  const auto hit = Access(disk,{IoKind::kRead, lba, 8});
   ASSERT_TRUE(hit.has_value());
   EXPECT_LT(*hit, FromMillis(1.0));
   EXPECT_EQ(disk.stats().buffer_hits, 1u);
@@ -84,9 +91,9 @@ TEST(DiskModelTest, TrackBufferHitIsFast) {
 TEST(DiskModelTest, WriteInvalidatesOverlappingBuffer) {
   DiskModel disk(TestParams(), 1);
   const uint64_t lba = disk.total_sectors() / 3;
-  ASSERT_TRUE(disk.Access({IoKind::kRead, lba, 8}).has_value());
-  ASSERT_TRUE(disk.Access({IoKind::kWrite, lba, 8}).has_value());
-  const auto reread = disk.Access({IoKind::kRead, lba, 8});
+  ASSERT_TRUE(Access(disk,{IoKind::kRead, lba, 8}).has_value());
+  ASSERT_TRUE(Access(disk,{IoKind::kWrite, lba, 8}).has_value());
+  const auto reread = Access(disk,{IoKind::kRead, lba, 8});
   ASSERT_TRUE(reread.has_value());
   EXPECT_EQ(disk.stats().buffer_hits, 0u);
 }
@@ -98,24 +105,24 @@ TEST(DiskModelTest, DeterministicForSeed) {
   for (int i = 0; i < 200; ++i) {
     const uint64_t lba = rng.NextBelow(a.total_sectors() - 8);
     const IoRequest req{IoKind::kRead, lba, 8};
-    EXPECT_EQ(a.Access(req), b.Access(req));
+    EXPECT_EQ(Access(a, req), Access(b, req));
   }
 }
 
 TEST(DiskModelTest, ErrorInjectionFailsOverlappingRequests) {
   DiskModel disk(TestParams(), 1);
   disk.InjectError(1000);
-  EXPECT_FALSE(disk.Access({IoKind::kRead, 996, 8}).has_value());
-  EXPECT_TRUE(disk.Access({IoKind::kRead, 1008, 8}).has_value());
+  EXPECT_FALSE(Access(disk,{IoKind::kRead, 996, 8}).has_value());
+  EXPECT_TRUE(Access(disk,{IoKind::kRead, 1008, 8}).has_value());
   EXPECT_EQ(disk.stats().errors, 1u);
   disk.ClearErrors();
-  EXPECT_TRUE(disk.Access({IoKind::kRead, 996, 8}).has_value());
+  EXPECT_TRUE(Access(disk,{IoKind::kRead, 996, 8}).has_value());
 }
 
 TEST(DiskModelTest, StatsAccumulate) {
   DiskModel disk(TestParams(), 1);
-  ASSERT_TRUE(disk.Access({IoKind::kRead, 0, 8}).has_value());
-  ASSERT_TRUE(disk.Access({IoKind::kWrite, 100000, 16}).has_value());
+  ASSERT_TRUE(Access(disk,{IoKind::kRead, 0, 8}).has_value());
+  ASSERT_TRUE(Access(disk,{IoKind::kWrite, 100000, 16}).has_value());
   EXPECT_EQ(disk.stats().reads, 1u);
   EXPECT_EQ(disk.stats().writes, 1u);
   EXPECT_EQ(disk.stats().sectors_read, 8u);
@@ -136,7 +143,7 @@ TEST_P(DiskSpanSweep, MeanAccessTimeGrowsWithSpan) {
   constexpr int kOps = 300;
   for (int i = 0; i < kOps; ++i) {
     const uint64_t lba = rng.NextBelow(span_sectors / 8) * 8;
-    const auto t = disk.Access({IoKind::kRead, lba, 8});
+    const auto t = Access(disk,{IoKind::kRead, lba, 8});
     ASSERT_TRUE(t.has_value());
     total += *t;
   }

@@ -8,6 +8,7 @@
 
 #include "src/core/experiment.h"
 #include "src/core/workloads/random_read.h"
+#include "src/sim/disk_model.h"
 #include "src/sim/fault_plan.h"
 #include "src/sim/io_scheduler.h"
 #include "src/sim/machine.h"
@@ -233,26 +234,26 @@ TEST(FaultPlanTest, InjectErrorSpansWholeBlockAndExplicitRanges) {
   disk.InjectError(1000);
   // A request whose middle sectors cross the extent fails even though its
   // first sector is clean.
-  EXPECT_FALSE(disk.Access(IoRequest{IoKind::kRead, 996, 8}).has_value());
-  EXPECT_FALSE(disk.Access(IoRequest{IoKind::kRead, 1004, 8}).has_value());
+  EXPECT_FALSE(disk.AccessEx(IoRequest{IoKind::kRead, 996, 8}, 0).service.has_value());
+  EXPECT_FALSE(disk.AccessEx(IoRequest{IoKind::kRead, 1004, 8}, 0).service.has_value());
   // Adjacent requests ending at or starting past the extent succeed.
-  EXPECT_TRUE(disk.Access(IoRequest{IoKind::kRead, 992, 8}).has_value());
-  EXPECT_TRUE(disk.Access(IoRequest{IoKind::kRead, 1008, 8}).has_value());
+  EXPECT_TRUE(disk.AccessEx(IoRequest{IoKind::kRead, 992, 8}, 0).service.has_value());
+  EXPECT_TRUE(disk.AccessEx(IoRequest{IoKind::kRead, 1008, 8}, 0).service.has_value());
 
   // Explicit two-sector extent in the middle of a multi-sector request.
   disk.InjectError(2000, 2);
-  EXPECT_FALSE(disk.Access(IoRequest{IoKind::kRead, 1998, 8}).has_value());
-  EXPECT_TRUE(disk.Access(IoRequest{IoKind::kRead, 2002, 8}).has_value());
+  EXPECT_FALSE(disk.AccessEx(IoRequest{IoKind::kRead, 1998, 8}, 0).service.has_value());
+  EXPECT_TRUE(disk.AccessEx(IoRequest{IoKind::kRead, 2002, 8}, 0).service.has_value());
 }
 
 TEST(FaultPlanTest, LifetimeErrorCounterSurvivesClearErrors) {
   DiskModel disk(DiskParams{}, 1);
   disk.InjectError(512);
-  EXPECT_FALSE(disk.Access(IoRequest{IoKind::kRead, 512, 8}).has_value());
+  EXPECT_FALSE(disk.AccessEx(IoRequest{IoKind::kRead, 512, 8}, 0).service.has_value());
   EXPECT_EQ(disk.stats().errors, 1u);
   disk.ClearErrors();
   // The damage is gone but the SMART-style lifetime tally is not.
-  EXPECT_TRUE(disk.Access(IoRequest{IoKind::kRead, 512, 8}).has_value());
+  EXPECT_TRUE(disk.AccessEx(IoRequest{IoKind::kRead, 512, 8}, 0).service.has_value());
   EXPECT_EQ(disk.stats().errors, 1u);
 }
 

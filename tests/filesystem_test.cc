@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "src/sim/disk_model.h"
 #include "src/sim/ext2fs.h"
 #include "src/sim/ext3fs.h"
 #include "src/sim/xfsfs.h"

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/sim/clock.h"
+#include "src/sim/disk_model.h"
 
 namespace fsbench {
 namespace {

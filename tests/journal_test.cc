@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/sim/disk_model.h"
+
 namespace fsbench {
 namespace {
 

@@ -419,6 +419,46 @@ TEST(MtEngineTest, DiskBoundThreadsContendOnTheDeviceTimeline) {
   EXPECT_LT(four.throughput.mean, 4.0 * one.throughput.mean);
 }
 
+MachineFactory TinyCacheSsdMachine() {
+  return [](uint64_t seed) {
+    MachineConfig config = PaperTestbedConfig();
+    config.ram = 120 * kMiB;  // ~10-18 MiB page cache: device-bound postmark
+    config.device = DeviceKind::kSsd;
+    config.seed = seed;
+    return std::make_unique<Machine>(FsKind::kExt2, config);
+  };
+}
+
+TEST(MtEngineTest, SsdPostmarkThroughputMonotoneInThreads) {
+  // The multi-queue point of the SSD model: more closed-loop threads means
+  // more channels busy at once, so aggregate postmark throughput must never
+  // DROP as threads are added (the HDD's shared head makes it collapse
+  // instead — DiskBoundThreadsContendOnTheDeviceTimeline above). Exact
+  // monotonicity, no tolerance: the simulator is deterministic. The
+  // total file population is held constant (split across threads) so the
+  // aggregate working set — and thus the cache hit rate — does not shift
+  // with the thread count; otherwise the comparison measures the cache
+  // cliff, not the channels. The ~50 MiB total exceeds the page cache, so
+  // every point is device-bound.
+  ExperimentConfig config;
+  config.runs = 1;
+  config.duration = 1 * kSecond;
+  config.max_ops = 0;
+  PostmarkConfig pm;
+  pm.min_size = 512;
+  pm.max_size = 64 * kKiB;
+  double last = 0.0;
+  for (int threads : {1, 2, 4, 8, 16}) {
+    config.threads = threads;
+    pm.initial_files = 1600 / threads;  // per-thread share of a fixed total
+    const ExperimentResult result =
+        Experiment(config).Run(TinyCacheSsdMachine(), MtPostmarkFactory(pm));
+    ASSERT_TRUE(result.AllOk()) << threads << " threads";
+    EXPECT_GE(result.throughput.mean, last) << threads << " threads";
+    last = result.throughput.mean;
+  }
+}
+
 TEST(MtEngineTest, CursorsStayOrderedAndCoverTheWindow) {
   // White-box engine check: after a run every cursor sits at or past the
   // measurement end (no thread starved), and the base clock advanced to the

@@ -9,6 +9,8 @@
 
 #include <vector>
 
+#include "src/sim/disk_model.h"
+
 namespace fsbench {
 namespace {
 

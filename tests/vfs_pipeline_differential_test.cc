@@ -30,6 +30,7 @@
 #include <tuple>
 #include <vector>
 
+#include "src/sim/disk_model.h"
 #include "src/sim/ext2fs.h"
 #include "src/sim/ext3fs.h"
 #include "src/sim/vfs.h"
